@@ -1,0 +1,100 @@
+// Ablation studies of the design choices DESIGN.md calls out (not a paper
+// figure — supporting evidence for the reproduction):
+//  1. STE vs exact gradients through the autoencoder (Sec. III-B claims the
+//     STE is needed for healthy information flow).
+//  2. Pruning ceiling pr_max: controls the sparsity/accuracy equilibrium.
+//  3. sigma_ae: tanh (paper choice) vs identity.
+//  4. Deployment consistency: max |deployed - training block| output error.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace alf;
+using namespace alf::bench;
+
+namespace {
+
+struct Result {
+  double acc;
+  double remaining;
+  float max_deploy_err;
+};
+
+Result run(const Scale& s, const AlfConfig& acfg, uint64_t seed) {
+  const DataConfig task = cifar_task(s);
+  SyntheticImageDataset train(task, s.sweep_train_n, 1);
+  SyntheticImageDataset test(task, s.test_n, 2);
+  Rng rng(seed);
+  ModelConfig mc;
+  mc.base_width = s.width;
+  mc.in_hw = s.hw;
+  std::vector<AlfConv*> blocks;
+  auto model = build_plain20(mc, rng, make_alf_conv_maker(acfg, &rng, &blocks));
+  TrainConfig tcfg = train_config(s, seed);
+  tcfg.epochs = s.sweep_epochs;
+  const auto hist = Trainer(*model, train, test, tcfg).run();
+
+  float max_err = 0.0f;
+  if (!acfg.bn_inter) {
+    Rng drng(99);
+    for (AlfConv* b : blocks) {
+      Tensor probe({1, b->in_channels(), 8, 8});
+      for (size_t i = 0; i < probe.numel(); ++i)
+        probe.at(i) = static_cast<float>(drng.uniform(-1, 1));
+      max_err = std::max(max_err, deployment_error(*b, probe, drng));
+    }
+  }
+  return {hist.back().test_acc,
+          Trainer::remaining_filters(blocks), max_err};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale s = parse_scale(argc, argv);
+  std::printf("Ablations: STE, pruning ceiling, sigma_ae, deployment "
+              "(scale=%s)\n\n", s.name);
+
+  Table table("ALF ablations on Plain-20 / CIFAR-10 substitute");
+  table.set_header({"variant", "acc[%]", "remaining_filters[%]",
+                    "max deploy err"});
+
+  auto add = [&table](const std::string& label, const Result& r) {
+    table.add_row({label, Table::fmt(100.0 * r.acc, 1),
+                   Table::fmt(100.0 * r.remaining, 1),
+                   Table::fmt(r.max_deploy_err, 6)});
+    std::printf("done: %s\n", label.c_str());
+    std::fflush(stdout);
+  };
+
+  {
+    AlfConfig cfg = alf_config(s);
+    add("baseline (STE, tanh, pr_max=" + Table::fmt(s.pr_max, 2) + ")",
+        run(s, cfg, 7));
+  }
+  {
+    AlfConfig cfg = alf_config(s);
+    cfg.use_ste = false;
+    add("no STE (exact gradients)", run(s, cfg, 7));
+  }
+  {
+    AlfConfig cfg = alf_config(s);
+    cfg.pr_max = 0.3f;
+    add("pr_max=0.30 (mild pruning)", run(s, cfg, 7));
+  }
+  {
+    AlfConfig cfg = alf_config(s);
+    cfg.pr_max = 0.85f;
+    add("pr_max=0.85 (paper value)", run(s, cfg, 7));
+  }
+  {
+    AlfConfig cfg = alf_config(s);
+    cfg.sigma_ae = Act::kNone;
+    add("sigma_ae=identity", run(s, cfg, 7));
+  }
+
+  std::printf("\n");
+  table.print();
+  table.write_csv("ablation.csv");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Shared infrastructure for the experiment harnesses (one binary per paper
+// table/figure).
+//
+// Every harness runs at a reduced default scale so the whole suite finishes
+// in minutes on a laptop-class single core (see EXPERIMENTS.md for the
+// scaled-vs-paper hyper-parameter mapping). Flags:
+//   --quick   even smaller (CI smoke run)
+//   --full    closer to paper scale (minutes -> hours)
+// Params/OPs columns are ALWAYS computed on the full-scale architecture via
+// the analytic cost models; only *training* runs are scaled.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "alf/deploy.hpp"
+#include "alf/trainer.hpp"
+#include "core/table.hpp"
+#include "models/cost.hpp"
+#include "models/zoo.hpp"
+
+namespace alf::bench {
+
+/// Experiment scale selected by command-line flags.
+struct Scale {
+  const char* name = "default";
+  size_t train_n = 512;
+  size_t test_n = 256;
+  size_t hw = 16;          ///< training resolution (paper: 32)
+  size_t width = 8;        ///< base width of the CIFAR models (paper: 16)
+  size_t epochs = 24;
+  size_t batch = 32;
+  size_t sweep_train_n = 256;  ///< smaller set for many-config sweeps
+  size_t sweep_epochs = 8;
+  size_t ae_steps = 2;       ///< autoencoder steps per task step
+  float lr_ae = 1e-3f;       ///< autoencoder lr (paper value)
+  float lr_mask_mult = 80.0f;  ///< mask-lr multiplier (scaled schedule)
+  float threshold = 0.15f;   ///< scaled clipping threshold (paper: 1e-4)
+  float pr_max = 0.62f;      ///< scaled pruning ceiling (paper: 0.85)
+  size_t mask_warmup = 64;   ///< AE steps before mask updates begin
+};
+
+inline Scale parse_scale(int argc, char** argv) {
+  Scale s;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      s.name = "quick";
+      s.train_n = 256;
+      s.test_n = 128;
+      s.epochs = 10;
+      s.sweep_train_n = 128;
+      s.sweep_epochs = 4;
+      // Few optimizer steps: compensate with a faster mask descent so the
+      // pruning equilibrium is still reached.
+      s.lr_mask_mult = 200.0f;
+      s.mask_warmup = 24;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      s.name = "full";
+      s.train_n = 2048;
+      s.test_n = 512;
+      s.hw = 32;
+      s.width = 16;
+      s.epochs = 48;
+      s.sweep_train_n = 1024;
+      s.sweep_epochs = 16;
+      s.lr_mask_mult = 40.0f;
+      s.threshold = 0.1f;
+      s.pr_max = 0.7f;
+      s.mask_warmup = 256;
+    }
+  }
+  return s;
+}
+
+/// The CIFAR-10 substitute at the selected resolution.
+inline DataConfig cifar_task(const Scale& s) {
+  DataConfig cfg = DataConfig::cifar_like();
+  cfg.height = cfg.width = s.hw;
+  cfg.max_shift = static_cast<int>(s.hw / 16);
+  return cfg;
+}
+
+/// The ImageNet substitute (more classes) at the selected resolution.
+inline DataConfig imagenet_task(const Scale& s) {
+  DataConfig cfg = DataConfig::imagenet_like();
+  cfg.height = cfg.width = s.hw;
+  cfg.max_shift = static_cast<int>(s.hw / 16);
+  return cfg;
+}
+
+/// ALF hyper-parameters at the selected scale (paper defaults otherwise).
+/// Near-identity autoencoder init keeps the STE a descent direction (see
+/// DESIGN.md "STE validity"); the Fig. 2b harness sweeps the paper's
+/// rand/he/xavier alternatives explicitly.
+inline AlfConfig alf_config(const Scale& s) {
+  AlfConfig cfg;
+  cfg.lr_ae = s.lr_ae;
+  cfg.lr_mask_mult = s.lr_mask_mult;
+  cfg.threshold = s.threshold;
+  cfg.pr_max = s.pr_max;
+  cfg.mask_warmup_steps = s.mask_warmup;
+  cfg.wae_init = Init::kIdentity;
+  return cfg;
+}
+
+/// Task-training hyper-parameters at the selected scale.
+inline TrainConfig train_config(const Scale& s, uint64_t seed = 7) {
+  TrainConfig cfg;
+  cfg.epochs = s.epochs;
+  cfg.batch_size = s.batch;
+  cfg.task.lr = 0.05f;
+  cfg.lr_milestones = {s.epochs / 2, (3 * s.epochs) / 4};
+  cfg.ae_steps_per_batch = s.ae_steps;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Per-layer remaining-filter fractions keyed by conv name.
+inline std::map<std::string, double> fractions_by_name(
+    const std::vector<AlfConv*>& blocks) {
+  std::map<std::string, double> out;
+  for (AlfConv* b : blocks) out[b->name()] = b->remaining_fraction();
+  return out;
+}
+
+/// Keep fractions for baseline pruning keyed by conv name.
+inline std::map<std::string, double> keep_by_name(
+    const std::vector<Conv2d*>& convs, const std::vector<double>& fracs) {
+  std::map<std::string, double> out;
+  for (size_t i = 0; i < convs.size(); ++i) out[convs[i]->name()] = fracs[i];
+  return out;
+}
+
+/// "0.07M (-70%)"-style cell.
+inline std::string params_cell(unsigned long long params,
+                               unsigned long long base) {
+  std::string cell = Table::fmt(params / 1e6, 2) + "M";
+  if (base != 0 && params != base) {
+    const double delta = 100.0 * (1.0 - static_cast<double>(params) / base);
+    cell += " (-" + Table::fmt(delta, 0) + "%)";
+  }
+  return cell;
+}
+
+/// "31.5 (-61%)"-style OPs cell in millions.
+inline std::string ops_cell(unsigned long long ops, unsigned long long base) {
+  std::string cell = Table::fmt(ops / 1e6, 1);
+  if (base != 0 && ops != base) {
+    const double delta = 100.0 * (1.0 - static_cast<double>(ops) / base);
+    cell += " (-" + Table::fmt(delta, 0) + "%)";
+  }
+  return cell;
+}
+
+}  // namespace alf::bench

@@ -1,0 +1,83 @@
+// Fig. 2a — design-space exploration of the expansion layer:
+// configuration [Wexp init | sigma_inter | BN_inter], accuracy of Plain-20
+// ALF on the CIFAR-10 substitute, >= 2 repeats per configuration.
+//
+// Paper finding to reproduce: Xavier init slightly better than He; BN_inter
+// brings no perceivable advantage; sigma_inter = none is competitive.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace alf;
+using namespace alf::bench;
+
+namespace {
+
+struct Config {
+  Init wexp;
+  Act inter;
+  bool bn;
+  std::string label() const {
+    return std::string(init_name(wexp)) + "|" +
+           (inter == Act::kNone ? "nc" : act_name(inter)) + "|" +
+           (bn ? "bn" : "nc");
+  }
+};
+
+double run_once(const Scale& s, const Config& cfg, uint64_t seed) {
+  const DataConfig task = cifar_task(s);
+  SyntheticImageDataset train(task, s.sweep_train_n, 1);
+  SyntheticImageDataset test(task, s.test_n, 2);
+  Rng rng(seed);
+
+  AlfConfig acfg = alf_config(s);
+  acfg.wexp_init = cfg.wexp;
+  acfg.sigma_inter = cfg.inter;
+  acfg.bn_inter = cfg.bn;
+
+  std::vector<AlfConv*> blocks;
+  ModelConfig mc;
+  mc.base_width = s.width;
+  mc.in_hw = s.hw;
+  auto model = build_plain20(mc, rng, make_alf_conv_maker(acfg, &rng, &blocks));
+  TrainConfig tcfg = train_config(s, seed);
+  tcfg.epochs = s.sweep_epochs;
+  const auto hist = Trainer(*model, train, test, tcfg).run();
+  return hist.back().test_acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale s = parse_scale(argc, argv);
+  std::printf("Fig. 2a: expansion-layer configuration sweep "
+              "[Wexp,init | sigma_inter | BN_inter] (scale=%s)\n\n",
+              s.name);
+
+  const Config configs[] = {
+      {Init::kHe, Act::kNone, false},   {Init::kXavier, Act::kNone, false},
+      {Init::kHe, Act::kRelu, false},   {Init::kXavier, Act::kRelu, false},
+      {Init::kHe, Act::kRelu, true},    {Init::kXavier, Act::kRelu, true},
+  };
+  constexpr int kRepeats = 2;
+
+  Table table("Fig. 2a — Plain-20 (ALF) accuracy per expansion config");
+  table.set_header({"config", "acc_mean[%]", "acc_min[%]", "acc_max[%]"});
+  for (const Config& cfg : configs) {
+    double sum = 0.0, mn = 1.0, mx = 0.0;
+    for (int r = 0; r < kRepeats; ++r) {
+      const double acc = run_once(s, cfg, 100 + 17 * r);
+      sum += acc;
+      mn = std::min(mn, acc);
+      mx = std::max(mx, acc);
+    }
+    table.add_row({cfg.label(), Table::fmt(100.0 * sum / kRepeats, 1),
+                   Table::fmt(100.0 * mn, 1), Table::fmt(100.0 * mx, 1)});
+    std::printf("done: %s\n", cfg.label().c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv("fig2a.csv");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark) of the computational substrates:
+// GEMM, im2col, convolution forward/backward, ALF block forward and
+// autoencoder step, Eyeriss mapper search, dataset synthesis.
+#include <benchmark/benchmark.h>
+
+#include "alf/alf_conv.hpp"
+#include "data/synthetic.hpp"
+#include "hwmodel/mapper.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace alf;
+
+Tensor random_tensor(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-1, 1));
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = random_tensor({n, n}, rng);
+  Tensor b = random_tensor({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a, false, b, false, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2col(benchmark::State& state) {
+  Rng rng(2);
+  const ConvGeom g{16, 32, 32, 3, 1, 1};
+  Tensor img = random_tensor({16, 32, 32}, rng);
+  Tensor col({g.col_rows(), g.col_cols()});
+  for (auto _ : state) {
+    im2col(img, g, col);
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(3);
+  Conv2d conv("c", 16, 32, 3, 1, 1, Init::kHe, rng);
+  Tensor x = random_tensor({4, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  Rng rng(4);
+  Conv2d conv("c", 16, 32, 3, 1, 1, Init::kHe, rng);
+  Tensor x = random_tensor({4, 16, 16, 16}, rng);
+  Tensor y = conv.forward(x, true);
+  Tensor g = random_tensor(y.shape(), rng);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_AlfForward(benchmark::State& state) {
+  Rng rng(5);
+  AlfConfig cfg;
+  AlfConv block("b", 16, 32, 3, 1, 1, cfg, rng);
+  Tensor x = random_tensor({4, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = block.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AlfForward);
+
+void BM_AutoencoderStep(benchmark::State& state) {
+  Rng rng(6);
+  AlfConfig cfg;
+  AlfConv block("b", 16, 32, 3, 1, 1, cfg, rng);
+  for (auto _ : state) {
+    const AeStepStats st = block.autoencoder_step();
+    benchmark::DoNotOptimize(st.l_rec);
+  }
+}
+BENCHMARK(BM_AutoencoderStep);
+
+void BM_MapperSearch(benchmark::State& state) {
+  ConvWorkload w;
+  w.name = "conv321";
+  w.r = w.s = 3;
+  w.p = w.q = 16;
+  w.c = 16;
+  w.m = 32;
+  w.n = 16;
+  const EyerissConfig arch;
+  MapperConfig cfg;
+  for (auto _ : state) {
+    const LayerEval ev = map_layer(w, arch, cfg);
+    benchmark::DoNotOptimize(ev.cycles);
+  }
+}
+BENCHMARK(BM_MapperSearch);
+
+void BM_DatasetSynthesis(benchmark::State& state) {
+  const DataConfig cfg = DataConfig::cifar_like();
+  for (auto _ : state) {
+    SyntheticImageDataset ds(cfg, 64, 1);
+    benchmark::DoNotOptimize(ds.size());
+  }
+}
+BENCHMARK(BM_DatasetSynthesis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

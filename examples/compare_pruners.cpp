@@ -1,0 +1,188 @@
+// Comparing compression methods on one trained model: magnitude pruning,
+// FPGM (geometric median), AMC-lite (learned per-layer ratios), LCNN-style
+// dictionary sharing, and ALF — the full baseline suite of the paper on a
+// laptop-scale task.
+//
+// Usage: compare_pruners [--fast]
+#include <cstdio>
+#include <cstring>
+
+#include "alf/deploy.hpp"
+#include "alf/trainer.hpp"
+#include "core/table.hpp"
+#include "models/cost.hpp"
+#include "models/zoo.hpp"
+#include "prune/amc.hpp"
+#include "prune/finetune.hpp"
+#include "prune/lcnn.hpp"
+
+using namespace alf;
+
+namespace {
+
+struct Entry {
+  std::string method;
+  double acc;
+  double ops_frac;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  DataConfig task = DataConfig::cifar_like();
+  task.height = task.width = 16;
+  task.max_shift = 1;
+  SyntheticImageDataset train_set(task, fast ? 256 : 512, 1);
+  SyntheticImageDataset test_set(task, fast ? 128 : 256, 2);
+
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = 16;
+  TrainConfig tcfg;
+  tcfg.epochs = fast ? 8 : 16;
+  tcfg.batch_size = 32;
+  tcfg.task.lr = 0.05f;
+  tcfg.lr_milestones = {tcfg.epochs / 2};
+  tcfg.ae_steps_per_batch = 2;
+
+  const ModelCost scaled_cost = cost_plain20(10, mc.base_width, mc.in_hw);
+  std::vector<Entry> entries;
+
+  // A fresh deterministically-trained vanilla model per method (same seeds
+  // => identical starting point; candidates never contaminate each other).
+  auto trained_vanilla = [&]() {
+    Rng rng(17);
+    auto model = build_plain20(mc, rng, standard_conv_maker(mc.init, &rng));
+    Trainer(*model, train_set, test_set, tcfg).run();
+    return model;
+  };
+
+  auto ops_frac_of = [&](const std::map<std::string, double>& keeps) {
+    const ModelCost pruned =
+        apply_filter_pruning(scaled_cost, keeps, "pruned");
+    return static_cast<double>(pruned.total_ops()) / scaled_cost.total_ops();
+  };
+
+  FinetuneConfig fcfg;
+  fcfg.epochs = fast ? 2 : 4;
+  fcfg.batch_size = 32;
+
+  // ---- Vanilla reference. ----
+  {
+    auto model = trained_vanilla();
+    entries.push_back({"vanilla", Trainer::evaluate(*model, test_set), 1.0});
+    std::printf("vanilla done\n");
+    std::fflush(stdout);
+  }
+
+  // ---- Magnitude (Han et al., filter-wise) + fine-tune. ----
+  {
+    auto model = trained_vanilla();
+    auto convs = collect_convs(*model);
+    PrunePlan plan = uniform_plan(convs, 0.6, PruneRule::kMagnitude);
+    const double acc =
+        finetune_pruned(*model, convs, plan, train_set, test_set, fcfg);
+    std::map<std::string, double> keeps;
+    for (size_t i = 1; i < convs.size(); ++i) keeps[convs[i]->name()] = 0.6;
+    entries.push_back({"magnitude (keep 60%)", acc, ops_frac_of(keeps)});
+    std::printf("magnitude done\n");
+    std::fflush(stdout);
+  }
+
+  // ---- FPGM + fine-tune. ----
+  {
+    auto model = trained_vanilla();
+    auto convs = collect_convs(*model);
+    PrunePlan plan = uniform_plan(convs, 0.6, PruneRule::kFpgm);
+    const double acc =
+        finetune_pruned(*model, convs, plan, train_set, test_set, fcfg);
+    std::map<std::string, double> keeps;
+    for (size_t i = 1; i < convs.size(); ++i) keeps[convs[i]->name()] = 0.6;
+    entries.push_back({"FPGM (keep 60%)", acc, ops_frac_of(keeps)});
+    std::printf("FPGM done\n");
+    std::fflush(stdout);
+  }
+
+  // ---- AMC-lite (learned layer-wise ratios) + fine-tune. ----
+  {
+    auto model = trained_vanilla();
+    auto convs = collect_convs(*model);
+    AmcConfig acfg;
+    acfg.target_ops_frac = 0.5;
+    acfg.eval_samples = test_set.size();
+    const AmcResult res =
+        amc_search(*model, convs, scaled_cost, test_set, acfg);
+    PrunePlan plan = per_layer_plan(convs, res.keep_fracs, acfg.rule);
+    const double acc =
+        finetune_pruned(*model, convs, plan, train_set, test_set, fcfg);
+    std::map<std::string, double> keeps;
+    for (size_t i = 0; i < convs.size(); ++i)
+      keeps[convs[i]->name()] = res.keep_fracs[i];
+    entries.push_back({"AMC-lite (target 50% OPs)", acc, ops_frac_of(keeps)});
+    std::printf("AMC done\n");
+    std::fflush(stdout);
+  }
+
+  // ---- LCNN-style dictionary sharing (no fine-tune). ----
+  {
+    auto model = trained_vanilla();
+    auto convs = collect_convs(*model);
+    LcnnConfig lcfg;
+    lcfg.dict_frac = 0.3;
+    Rng krng(3);
+    std::map<std::string, size_t> dicts;
+    for (Conv2d* c : convs) {
+      const LcnnLayerResult res =
+          lcnn_compress_layer(c->weight().value, lcfg, krng);
+      lcnn_apply(*c, res);
+      dicts[c->name()] = res.dictionary.dim(0);
+    }
+    bn_recalibrate(*model, train_set);
+    const double acc = Trainer::evaluate(*model, test_set);
+    const ModelCost lc = apply_lcnn_cost(scaled_cost, dicts, 1, "lcnn");
+    entries.push_back(
+        {"LCNN (dict 30%)", acc,
+         static_cast<double>(lc.total_ops()) / scaled_cost.total_ops()});
+    std::printf("LCNN done\n");
+    std::fflush(stdout);
+  }
+
+  // ---- ALF (trained from scratch with compression in the loop). ----
+  {
+    Rng rng(17);
+    AlfConfig alf;
+    alf.wae_init = Init::kIdentity;
+    alf.lr_mask_mult = fast ? 200.0f : 100.0f;
+    alf.threshold = 0.15f;
+    alf.pr_max = 0.62f;
+    alf.mask_warmup_steps = fast ? 24 : 64;
+    std::vector<AlfConv*> blocks;
+    auto model =
+        build_plain20(mc, rng, make_alf_conv_maker(alf, &rng, &blocks));
+    const auto hist = Trainer(*model, train_set, test_set, tcfg).run();
+    std::map<std::string, double> fracs;
+    for (AlfConv* b : blocks) fracs[b->name()] = b->remaining_fraction();
+    const ModelCost compressed =
+        apply_alf_fractions(scaled_cost, fracs, "alf");
+    entries.push_back(
+        {"ALF (ours)", hist.back().test_acc,
+         static_cast<double>(compressed.total_ops()) /
+             scaled_cost.total_ops()});
+    std::printf("ALF done\n");
+    std::fflush(stdout);
+  }
+
+  Table t("compression methods on Plain-20 / synthetic CIFAR");
+  t.set_header({"method", "acc[%]", "OPs vs vanilla"});
+  for (const Entry& e : entries) {
+    t.add_row({e.method, Table::fmt(100.0 * e.acc, 1),
+               Table::fmt(100.0 * e.ops_frac, 1) + "%"});
+  }
+  std::printf("\n");
+  t.print();
+  return 0;
+}

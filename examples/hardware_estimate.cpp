@@ -1,0 +1,87 @@
+// Estimating energy and latency of a CNN on an Eyeriss-like accelerator —
+// the hardware-model workflow of the paper's Sec. IV-B as a standalone tool.
+//
+// Takes a model name and optional compression fraction, maps every conv
+// layer with the row-stationary mapper, and prints the per-layer energy
+// breakdown (Register / Global Buffer / DRAM), latency and PE utilization.
+//
+// Usage: hardware_estimate [plain20|resnet20|resnet18] [keep_fraction]
+//   keep_fraction < 1 applies uniform ALF compression to every conv layer.
+// Example: hardware_estimate resnet20 0.4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "alf/deploy.hpp"
+#include "core/table.hpp"
+#include "hwmodel/mapper.hpp"
+#include "models/cost.hpp"
+
+using namespace alf;
+
+int main(int argc, char** argv) {
+  std::string model_name = argc > 1 ? argv[1] : "plain20";
+  const double keep = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  ModelCost cost;
+  if (model_name == "plain20") {
+    cost = cost_plain20();
+  } else if (model_name == "resnet20") {
+    cost = cost_resnet20();
+  } else if (model_name == "resnet18") {
+    cost = cost_resnet18_imagenet();
+  } else {
+    std::fprintf(stderr,
+                 "unknown model '%s' (try plain20|resnet20|resnet18)\n",
+                 model_name.c_str());
+    return 1;
+  }
+
+  if (keep < 1.0) {
+    std::map<std::string, double> fracs;
+    for (const LayerCost& l : cost.layers)
+      if (l.kind == "conv") fracs[l.name] = keep;
+    cost = apply_alf_fractions(cost, fracs, cost.name + "-ALF");
+    std::printf("applied uniform ALF compression: keep %.0f%%\n\n",
+                100.0 * keep);
+  }
+
+  const EyerissConfig arch;  // the paper's setup: 16x16 PEs, 220-word RFs,
+                             // 128KB GB, weights bypassing the GB
+  const MapperConfig mapper_cfg;
+  const size_t batch = 16;
+
+  std::printf("mapping %s (batch %zu) on Eyeriss: %zux%zu PEs, "
+              "%zu-word RFs, %zuKB global buffer...\n\n",
+              cost.name.c_str(), batch, arch.pe_rows, arch.pe_cols,
+              arch.rf_words_per_pe, arch.gb_words * 2 / 1024);
+
+  Table t(cost.name + " on Eyeriss (energy in RF-read units)");
+  t.set_header({"layer", "E_register", "E_globalbuf", "E_dram", "latency",
+                "PE util[%]"});
+  double e_rf = 0, e_gb = 0, e_dram = 0, cycles = 0;
+  for (const LayerCost& l : cost.layers) {
+    if (l.kind == "fc") continue;
+    const LayerEval ev = map_layer(workload_from_cost(l, batch), arch,
+                                   mapper_cfg);
+    t.add_row({l.name, Table::fmt(ev.e_rf / 1e6, 2) + "e6",
+               Table::fmt(ev.e_gb / 1e6, 2) + "e6",
+               Table::fmt(ev.e_dram / 1e6, 2) + "e6",
+               Table::fmt(ev.cycles / 1e6, 3) + "e6",
+               Table::fmt(100.0 * ev.utilization, 1)});
+    e_rf += ev.e_rf;
+    e_gb += ev.e_gb;
+    e_dram += ev.e_dram;
+    cycles += ev.cycles;
+  }
+  t.print();
+
+  std::printf("\ntotals: energy %.1fe6 RF-reads "
+              "(register %.0f%%, global buffer %.0f%%, DRAM %.0f%%), "
+              "latency %.2fe6 cycles\n",
+              (e_rf + e_gb + e_dram) / 1e6,
+              100 * e_rf / (e_rf + e_gb + e_dram),
+              100 * e_gb / (e_rf + e_gb + e_dram),
+              100 * e_dram / (e_rf + e_gb + e_dram), cycles / 1e6);
+  return 0;
+}

@@ -1,0 +1,298 @@
+#include "alf/alf_conv.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace alf {
+
+AlfConv::AlfConv(std::string name, size_t in_c, size_t out_c, size_t kernel,
+                 size_t stride, size_t pad, const AlfConfig& config, Rng& rng)
+    : name_(std::move(name)),
+      in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      config_(config),
+      // Per Sec. III-B, no L2 regularization on W inside ALF blocks.
+      w_(name_ + ".w", {out_c, in_c, kernel, kernel}, /*apply_decay=*/false),
+      wexp_(name_ + ".wexp", {out_c, out_c}),
+      wenc_({out_c, out_c}),
+      wdec_({out_c, out_c}),
+      mask_({out_c}),
+      vel_enc_({out_c, out_c}),
+      vel_dec_({out_c, out_c}),
+      vel_mask_({out_c}) {
+  size_t fan_in = 0, fan_out = 0;
+  conv_fans(w_.value.shape(), fan_in, fan_out);
+  init_tensor(w_.value, Init::kHe, fan_in, fan_out, rng);
+  // Expansion is a 1x1 conv Ccode -> Co: fans are the channel counts.
+  init_tensor(wexp_.value, config_.wexp_init, out_c, out_c, rng);
+  init_tensor(wenc_, config_.wae_init, out_c, out_c, rng);
+  init_tensor(wdec_, config_.wae_init, out_c, out_c, rng);
+  // All filters start active, comfortably above the clipping threshold.
+  mask_.fill(1.0f);
+  if (config_.bn_inter) bn_inter_.emplace(name_ + ".bn_inter", out_c);
+}
+
+Tensor AlfConv::w_matrix() const {
+  return w_.value.reshaped({out_c_, in_c_ * kernel_ * kernel_});
+}
+
+Tensor AlfConv::compute_mprune() const {
+  Tensor mprune({out_c_});
+  if (!config_.mask_enabled) {
+    mprune.fill(1.0f);
+    return mprune;
+  }
+  // Clip(M, t) = I{|m_i| > t} * m_i — zeroes sub-threshold entries but lets
+  // the optimizer recover a channel later (the underlying m_i keeps training).
+  for (size_t i = 0; i < out_c_; ++i) {
+    const float m = mask_.at(i);
+    mprune.at(i) = std::abs(m) > config_.threshold ? m : 0.0f;
+  }
+  return mprune;
+}
+
+Tensor AlfConv::compute_wcode() const {
+  // W~code = E^T * Wmat, code filter cc = sum_co E[co,cc] * W[co,:].
+  const Tensor wmat = w_matrix();
+  Tensor wtilde = matmul(wenc_, wmat, /*trans_a=*/true, /*trans_b=*/false);
+  // Apply the pruning gate per code filter, then sigma_ae (Eq. 3).
+  const Tensor mprune = compute_mprune();
+  const size_t cols = wtilde.dim(1);
+  for (size_t cc = 0; cc < out_c_; ++cc) {
+    const float g = mprune.at(cc);
+    float* row = wtilde.data() + cc * cols;
+    for (size_t j = 0; j < cols; ++j) row[j] *= g;
+  }
+  return act_forward(config_.sigma_ae, wtilde);
+}
+
+Tensor AlfConv::forward(const Tensor& x, bool train) {
+  ALF_CHECK_EQ(x.dim(1), in_c_);
+  const ConvGeom g{in_c_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
+  last_out_h_ = g.out_h();
+  last_out_w_ = g.out_w();
+
+  Tensor wcode = compute_wcode();
+  Tensor a_tilde = conv2d_forward(x, wcode, g, out_c_);
+
+  Tensor inter = a_tilde;
+  if (bn_inter_) inter = bn_inter_->forward(inter, train);
+  Tensor activated = act_forward(config_.sigma_inter, inter);
+
+  // Expansion: 1x1 conv realized as GEMM over flattened spatial dims.
+  const ConvGeom ge{out_c_, g.out_h(), g.out_w(), 1, 1, 0};
+  Tensor out = conv2d_forward(activated, wexp_.value, ge, out_c_);
+
+  if (train) {
+    cached_x_ = x;
+    cached_wcode_ = std::move(wcode);
+    cached_a_tilde_ = std::move(a_tilde);
+    cached_inter_ = std::move(activated);
+  }
+  return out;
+}
+
+Tensor AlfConv::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_x_.empty()) << name_ << ": backward before forward";
+  const ConvGeom g{in_c_, cached_x_.dim(2), cached_x_.dim(3), kernel_,
+                   stride_, pad_};
+  const ConvGeom ge{out_c_, g.out_h(), g.out_w(), 1, 1, 0};
+
+  // Expansion conv: gradients for Wexp and for its input.
+  Tensor grad_inter = conv2d_backward(cached_inter_, wexp_.value, ge, out_c_,
+                                      grad_out, &wexp_.grad);
+
+  // sigma_inter (derivative via its output, which is cached_inter_).
+  Tensor grad_a = act_backward(config_.sigma_inter, cached_inter_, grad_inter);
+  if (bn_inter_) grad_a = bn_inter_->backward(grad_a);
+
+  // Code conv: gradient w.r.t. Wcode and the layer input.
+  Tensor grad_wcode({out_c_, in_c_ * kernel_ * kernel_});
+  Tensor grad_x = conv2d_backward(cached_x_, cached_wcode_, g, out_c_, grad_a,
+                                  &grad_wcode);
+
+  Tensor grad_w_mat;
+  if (config_.use_ste) {
+    // Eq. 5: the STE substitutes the autoencoder chain
+    // (sigma_ae', mask gate, encoder matmul) with identity, so the gradient
+    // that reaches W is exactly dL/dWcode.
+    grad_w_mat = std::move(grad_wcode);
+  } else {
+    // Ablation: exact chain rule through sigma_ae, Mprune and the encoder.
+    Tensor grad_z =
+        act_backward(config_.sigma_ae, cached_wcode_, grad_wcode);
+    const Tensor mprune = compute_mprune();
+    const size_t cols = grad_z.dim(1);
+    for (size_t cc = 0; cc < out_c_; ++cc) {
+      const float m = mprune.at(cc);
+      float* row = grad_z.data() + cc * cols;
+      for (size_t j = 0; j < cols; ++j) row[j] *= m;
+    }
+    // dWmat = E * dW~code  ([Co, Ccode] x [Ccode, CiKK])
+    grad_w_mat = matmul(wenc_, grad_z, /*trans_a=*/false, /*trans_b=*/false);
+  }
+  Tensor acc = w_.grad.reshaped({out_c_, in_c_ * kernel_ * kernel_});
+  acc += grad_w_mat;
+  w_.grad = acc.reshaped(w_.grad.shape());
+  return grad_x;
+}
+
+std::vector<Param*> AlfConv::params() {
+  std::vector<Param*> out{&w_, &wexp_};
+  if (bn_inter_) {
+    for (Param* p : bn_inter_->params()) out.push_back(p);
+  }
+  return out;
+}
+
+AeStepStats AlfConv::autoencoder_step() {
+  AeStepStats stats;
+  stats.total_filters = out_c_;
+  if (!config_.mask_enabled) {
+    // Setup-2 mode: the autoencoder still trains (reconstruction only), so
+    // the code stays a faithful low-rank view of W, but nothing is pruned.
+    stats.nu_prune = 0.0;
+  }
+
+  // ---- Forward through the autoencoder (W is a constant input). ----
+  const Tensor wmat = w_matrix();
+  Tensor wtilde = matmul(wenc_, wmat, true, false);  // [Ccode, CiKK]
+  const Tensor mprune = compute_mprune();
+  Tensor z = wtilde;
+  const size_t cols = z.dim(1);
+  for (size_t cc = 0; cc < out_c_; ++cc) {
+    const float gate = mprune.at(cc);
+    float* row = z.data() + cc * cols;
+    for (size_t j = 0; j < cols; ++j) row[j] *= gate;
+  }
+  Tensor wcode = act_forward(config_.sigma_ae, z);
+  Tensor rec_pre = matmul(wdec_, wcode, true, false);  // [Co, CiKK]
+  Tensor wrec = act_forward(config_.sigma_ae, rec_pre);
+
+  // ---- Losses. ----
+  stats.l_rec = mse(wmat, wrec);
+  double sum_abs_m = 0.0;
+  size_t zeros = 0;
+  for (size_t i = 0; i < out_c_; ++i) {
+    sum_abs_m += std::abs(mask_.at(i));
+    if (mprune.at(i) == 0.0f) ++zeros;
+  }
+  stats.zero_filters = zeros;
+  stats.l_prune = sum_abs_m / static_cast<double>(out_c_);
+  // nu_prune = max(0, 1 - exp(m * (theta - pr_max))): full pressure while
+  // theta << pr_max, zero pressure at/after the target pruning rate.
+  const double theta = static_cast<double>(zeros) / out_c_;
+  const double nu =
+      config_.mask_enabled
+          ? std::max(0.0, 1.0 - std::exp(config_.m_slope *
+                                         (theta - config_.pr_max)))
+          : 0.0;
+  stats.nu_prune = nu;
+
+  // ---- Backward. ----
+  // dLrec/dWrec = 2 (Wrec - Wmat) / numel.
+  Tensor grad_wrec(wrec.shape());
+  const float inv_n = 2.0f / static_cast<float>(wrec.numel());
+  for (size_t i = 0; i < wrec.numel(); ++i)
+    grad_wrec.at(i) = inv_n * (wrec.at(i) - wmat.at(i));
+  Tensor grad_rec_pre = act_backward(config_.sigma_ae, wrec, grad_wrec);
+
+  // dD[cc,co] = sum_j Wcode[cc,j] * dRecPre[co,j].
+  Tensor grad_dec = matmul(wcode, grad_rec_pre, false, true);
+  // dWcode = D * dRecPre.
+  Tensor grad_wcode = matmul(wdec_, grad_rec_pre, false, false);
+  Tensor grad_z = act_backward(config_.sigma_ae, wcode, grad_wcode);
+
+  // Mask gradient with STE through the clip (Eq. 6): d z[cc,:] / d mprune_cc
+  // = W~code[cc,:], and dMprune/dM = 1 under the STE.
+  Tensor grad_mask({out_c_});
+  for (size_t cc = 0; cc < out_c_; ++cc) {
+    double acc = 0.0;
+    const float* gz = grad_z.data() + cc * cols;
+    const float* wt = wtilde.data() + cc * cols;
+    for (size_t j = 0; j < cols; ++j) acc += static_cast<double>(gz[j]) * wt[j];
+    // L1 pruning pressure: nu_prune * sign(m) / Co.
+    const float m = mask_.at(cc);
+    const double sign = (m > 0.0f) ? 1.0 : (m < 0.0f ? -1.0 : 0.0);
+    grad_mask.at(cc) =
+        static_cast<float>(acc + nu * sign / static_cast<double>(out_c_));
+  }
+
+  // Encoder gradient: dW~code = dZ * mprune (gate), dE = Wmat * dW~code^T.
+  Tensor grad_wtilde = grad_z;
+  for (size_t cc = 0; cc < out_c_; ++cc) {
+    const float gate = mprune.at(cc);
+    float* row = grad_wtilde.data() + cc * cols;
+    for (size_t j = 0; j < cols; ++j) row[j] *= gate;
+  }
+  Tensor grad_enc = matmul(wmat, grad_wtilde, false, true);
+
+  // ---- SGD update (dedicated autoencoder optimizer). ----
+  auto sgd_update = [this](Tensor& value, Tensor& vel, const Tensor& grad,
+                           float lr) {
+    const float mom = config_.ae_momentum;
+    for (size_t i = 0; i < value.numel(); ++i) {
+      vel.at(i) = mom * vel.at(i) + grad.at(i);
+      value.at(i) -= lr * vel.at(i);
+    }
+  };
+  sgd_update(wenc_, vel_enc_, grad_enc, config_.lr_ae);
+  sgd_update(wdec_, vel_dec_, grad_dec, config_.lr_ae);
+  ++ae_steps_taken_;
+  if (config_.mask_enabled && ae_steps_taken_ > config_.mask_warmup_steps) {
+    sgd_update(mask_, vel_mask_, grad_mask,
+               config_.lr_ae * config_.lr_mask_mult);
+  }
+  return stats;
+}
+
+size_t AlfConv::zero_filters() const {
+  const Tensor mprune = compute_mprune();
+  size_t zeros = 0;
+  for (size_t i = 0; i < out_c_; ++i)
+    if (mprune.at(i) == 0.0f) ++zeros;
+  return zeros;
+}
+
+double AlfConv::remaining_fraction() const {
+  return 1.0 - static_cast<double>(zero_filters()) / out_c_;
+}
+
+size_t AlfConv::ccode_max() const {
+  // Eq. 2: floor(Ci*Co*K^2 / (Ci*K^2 + Co)).
+  const unsigned long long num = static_cast<unsigned long long>(in_c_) *
+                                 out_c_ * kernel_ * kernel_;
+  const unsigned long long den =
+      static_cast<unsigned long long>(in_c_) * kernel_ * kernel_ + out_c_;
+  return static_cast<size_t>(num / den);
+}
+
+std::function<LayerPtr(const std::string&, size_t, size_t, size_t, size_t,
+                       size_t)>
+make_alf_conv_maker(const AlfConfig& config, Rng* rng,
+                    std::vector<AlfConv*>* registry) {
+  ALF_CHECK(rng != nullptr);
+  return [config, rng, registry](const std::string& name, size_t ci,
+                                 size_t co, size_t k, size_t stride,
+                                 size_t pad) -> LayerPtr {
+    auto layer =
+        std::make_unique<AlfConv>(name, ci, co, k, stride, pad, config, *rng);
+    if (registry != nullptr) registry->push_back(layer.get());
+    return layer;
+  };
+}
+
+std::vector<AlfConv*> collect_alf_convs(Sequential& model) {
+  std::vector<AlfConv*> blocks;
+  model.visit([&blocks](Layer& l) {
+    if (auto* b = dynamic_cast<AlfConv*>(&l)) blocks.push_back(b);
+  });
+  return blocks;
+}
+
+}  // namespace alf

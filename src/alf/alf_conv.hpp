@@ -1,0 +1,165 @@
+// The ALF block (Sec. III of the paper): a convolution whose filter bank is
+// compressed during training by a sparse autoencoder.
+//
+// Training-time dataflow (Fig. 1):
+//
+//   W  --(encoder Wenc)-->  W~code  --(x Mprune, sigma_ae)-->  Wcode
+//   Wcode --(decoder Wdec, sigma_ae)--> Wrec           (autoencoder only)
+//   A_l = sigma_inter(A_{l-1} * Wcode) * Wexp          (task path, Eq. 1)
+//
+// Two optimizers touch this block:
+//  * the task optimizer updates W and Wexp; gradients flow to W through a
+//    straight-through estimator that bypasses encoder, mask and sigma_ae
+//    (Eq. 5);
+//  * a per-block autoencoder optimizer updates Wenc, Wdec and the mask M
+//    against Lae = Lrec + nu_prune * Lprune, with an STE through the
+//    non-differentiable mask clipping (Eq. 6).
+//
+// At deployment (Sec. III-C) the autoencoder is discarded, zero filters of
+// Wcode are removed, and the block becomes a dense conv pair
+// (code conv -> sigma_inter -> 1x1 expansion); see alf/deploy.hpp.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/init.hpp"
+
+namespace alf {
+
+/// Hyper-parameters of an ALF block (defaults = the paper's final choices
+/// from the Sec. IV-A design-space exploration).
+struct AlfConfig {
+  Act sigma_ae = Act::kTanh;      ///< autoencoder activation (Fig. 2b: tanh)
+  Act sigma_inter = Act::kNone;   ///< activation on A~ (Fig. 2b: none)
+  bool bn_inter = false;          ///< BatchNorm on A~ (Fig. 2a: none)
+  Init wexp_init = Init::kXavier; ///< expansion init (Fig. 2a: Xavier)
+  Init wae_init = Init::kXavier;  ///< Wenc/Wdec init (Fig. 2b: Xavier)
+  float threshold = 1e-4f;        ///< mask clipping threshold t
+  float lr_ae = 1e-3f;            ///< autoencoder SGD learning rate
+  /// Learning-rate multiplier for the mask M only (mask lr = lr_ae * mult).
+  /// 1.0 reproduces the paper exactly; scaled runs raise it so the pruning
+  /// schedule compresses into the reduced optimizer-step budget without
+  /// destabilizing the encoder/decoder (see EXPERIMENTS.md).
+  float lr_mask_mult = 1.0f;
+  float ae_momentum = 0.0f;       ///< autoencoder SGD momentum
+  float m_slope = 8.0f;           ///< sensitivity slope m in nu_prune
+  float pr_max = 0.85f;           ///< maximum pruning rate
+  bool mask_enabled = true;       ///< false = Setup-2 mode (no pruning)
+  bool use_ste = true;            ///< false = ablation: exact gradients
+  /// Autoencoder steps before mask updates start. With the paper's schedule
+  /// (lr_ae=1e-3 over 200 epochs) the mask moves negligibly early on; scaled
+  /// runs with a faster lr_ae use an explicit warmup to preserve that
+  /// "task settles first, pruning follows" dynamic.
+  size_t mask_warmup_steps = 0;
+};
+
+/// Telemetry of one autoencoder step.
+struct AeStepStats {
+  double l_rec = 0.0;    ///< reconstruction MSE
+  double l_prune = 0.0;  ///< mean |m|
+  double nu_prune = 0.0; ///< current pruning-pressure scale
+  size_t zero_filters = 0;
+  size_t total_filters = 0;
+};
+
+/// Convolution layer compressed by an autoencoder during training.
+class AlfConv : public Layer {
+ public:
+  AlfConv(std::string name, size_t in_c, size_t out_c, size_t kernel,
+          size_t stride, size_t pad, const AlfConfig& config, Rng& rng);
+
+  const char* kind() const override { return "alf_conv"; }
+  const std::string& name() const override { return name_; }
+
+  /// Task-path forward: conv with Wcode, sigma_inter/BN, 1x1 expansion.
+  Tensor forward(const Tensor& x, bool train) override;
+
+  /// Task-path backward; applies the STE of Eq. 5 for dL/dW.
+  Tensor backward(const Tensor& grad_out) override;
+
+  /// Task-optimizer parameters: W, Wexp (+ BN_inter scale/shift if enabled).
+  std::vector<Param*> params() override;
+
+  /// One autoencoder optimization step (Eq. 6); updates Wenc, Wdec, M.
+  AeStepStats autoencoder_step();
+
+  // --- Introspection -------------------------------------------------------
+
+  size_t in_channels() const { return in_c_; }
+  size_t out_channels() const { return out_c_; }
+  size_t kernel() const { return kernel_; }
+  size_t stride() const { return stride_; }
+  size_t pad() const { return pad_; }
+  const AlfConfig& config() const { return config_; }
+
+  /// Number of code filters currently zeroed by the pruning mask.
+  size_t zero_filters() const;
+  /// Fraction of code filters still active (non-zero), in (0, 1].
+  double remaining_fraction() const;
+  /// Eq. 2: max code filters for which the ALF pair beats the plain conv.
+  size_t ccode_max() const;
+
+  /// Current code weights [Co, Ci*K*K] (after mask and sigma_ae).
+  Tensor compute_wcode() const;
+  /// The pruning mask after clipping, [Co].
+  Tensor compute_mprune() const;
+
+  /// Raw parameter access (used by deployment and tests).
+  Param& w() { return w_; }
+  Param& wexp() { return wexp_; }
+  Tensor& wenc() { return wenc_; }
+  Tensor& wdec() { return wdec_; }
+  Tensor& mask() { return mask_; }
+  BatchNorm2d* bn_inter() { return bn_inter_ ? &*bn_inter_ : nullptr; }
+
+  /// Spatial geometry observed at the last forward (for cost accounting).
+  size_t last_out_h() const { return last_out_h_; }
+  size_t last_out_w() const { return last_out_w_; }
+
+ private:
+  /// W viewed as the matrix [Co, Ci*K*K].
+  Tensor w_matrix() const;
+
+  std::string name_;
+  size_t in_c_, out_c_, kernel_, stride_, pad_;
+  AlfConfig config_;
+
+  // Task-optimizer parameters. Per Sec. III-B no weight decay on W.
+  Param w_;     ///< original filter bank [Co, Ci, K, K]
+  Param wexp_;  ///< expansion filters [Co, Ccode=Co] (1x1 conv)
+
+  // Autoencoder parameters (updated only by autoencoder_step()).
+  Tensor wenc_;  ///< encoder matrix E [Co, Ccode]
+  Tensor wdec_;  ///< decoder matrix D [Ccode, Co]
+  Tensor mask_;  ///< trainable mask M [Ccode]
+  Tensor vel_enc_, vel_dec_, vel_mask_;  ///< SGD momentum buffers
+
+  std::optional<BatchNorm2d> bn_inter_;
+
+  // Forward caches (task path).
+  Tensor cached_x_;        ///< layer input
+  Tensor cached_wcode_;    ///< code weights used in the conv
+  Tensor cached_a_tilde_;  ///< conv output before sigma_inter
+  Tensor cached_inter_;    ///< input of the expansion conv
+  size_t last_out_h_ = 0, last_out_w_ = 0;
+  size_t ae_steps_taken_ = 0;
+};
+
+/// ConvMaker producing AlfConv blocks, for use with the model builders.
+/// `rng` and `registry` must outlive the maker; each created block is
+/// appended to `registry`.
+std::function<LayerPtr(const std::string&, size_t, size_t, size_t, size_t,
+                       size_t)>
+make_alf_conv_maker(const AlfConfig& config, Rng* rng,
+                    std::vector<AlfConv*>* registry);
+
+/// Collects all AlfConv blocks of a model in build order.
+std::vector<AlfConv*> collect_alf_convs(Sequential& model);
+
+}  // namespace alf

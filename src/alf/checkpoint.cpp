@@ -1,0 +1,114 @@
+#include "alf/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/check.hpp"
+#include "nn/batchnorm.hpp"
+
+namespace alf {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'L', 'F', 'C', 'K', 'P', 'T', '1'};
+
+void write_u32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_u64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+uint32_t read_u32(std::istream& is) {
+  uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  ALF_CHECK(static_cast<bool>(is)) << "truncated checkpoint";
+  return v;
+}
+uint64_t read_u64(std::istream& is) {
+  uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  ALF_CHECK(static_cast<bool>(is)) << "truncated checkpoint";
+  return v;
+}
+
+}  // namespace
+
+std::vector<NamedTensorRef> state_dict(Sequential& model) {
+  std::vector<NamedTensorRef> refs;
+  // Task parameters (stable order: build order).
+  for (Param* p : model.params()) refs.push_back({p->name, &p->value});
+  // BatchNorm running statistics and ALF autoencoder state.
+  model.visit([&refs](Layer& l) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&l)) {
+      refs.push_back({bn->name() + ".running_mean",
+                      &bn->mutable_running_mean()});
+      refs.push_back({bn->name() + ".running_var",
+                      &bn->mutable_running_var()});
+    }
+    if (auto* blk = dynamic_cast<AlfConv*>(&l)) {
+      refs.push_back({blk->name() + ".wenc", &blk->wenc()});
+      refs.push_back({blk->name() + ".wdec", &blk->wdec()});
+      refs.push_back({blk->name() + ".mask", &blk->mask()});
+      if (BatchNorm2d* bni = blk->bn_inter()) {
+        refs.push_back({bni->name() + ".running_mean",
+                        &bni->mutable_running_mean()});
+        refs.push_back({bni->name() + ".running_var",
+                        &bni->mutable_running_var()});
+      }
+    }
+  });
+  return refs;
+}
+
+bool save_checkpoint(Sequential& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  const auto refs = state_dict(model);
+  os.write(kMagic, sizeof(kMagic));
+  write_u64(os, refs.size());
+  for (const NamedTensorRef& r : refs) {
+    write_u32(os, static_cast<uint32_t>(r.name.size()));
+    os.write(r.name.data(), static_cast<std::streamsize>(r.name.size()));
+    write_u32(os, static_cast<uint32_t>(r.tensor->rank()));
+    for (size_t d = 0; d < r.tensor->rank(); ++d)
+      write_u64(os, r.tensor->dim(d));
+    os.write(reinterpret_cast<const char*>(r.tensor->data()),
+             static_cast<std::streamsize>(r.tensor->numel() * sizeof(float)));
+  }
+  return static_cast<bool>(os);
+}
+
+void load_checkpoint(Sequential& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ALF_CHECK(static_cast<bool>(is)) << "cannot open checkpoint: " << path;
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  ALF_CHECK(static_cast<bool>(is) && std::equal(magic, magic + 8, kMagic))
+      << "not an ALF checkpoint: " << path;
+
+  const auto refs = state_dict(model);
+  const uint64_t count = read_u64(is);
+  ALF_CHECK_EQ(count, refs.size()) << "checkpoint/model tensor count";
+
+  for (const NamedTensorRef& r : refs) {
+    const uint32_t name_len = read_u32(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    ALF_CHECK(static_cast<bool>(is)) << "truncated checkpoint";
+    ALF_CHECK(name == r.name)
+        << "tensor order mismatch: file has '" << name << "', model expects '"
+        << r.name << "'";
+    const uint32_t rank = read_u32(is);
+    ALF_CHECK_EQ(static_cast<size_t>(rank), r.tensor->rank()) << name;
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d)
+      shape[d] = static_cast<size_t>(read_u64(is));
+    ALF_CHECK(shape == r.tensor->shape())
+        << name << ": shape " << shape_str(shape) << " vs model "
+        << shape_str(r.tensor->shape());
+    is.read(reinterpret_cast<char*>(r.tensor->data()),
+            static_cast<std::streamsize>(r.tensor->numel() * sizeof(float)));
+    ALF_CHECK(static_cast<bool>(is)) << "truncated tensor data: " << name;
+  }
+}
+
+}  // namespace alf

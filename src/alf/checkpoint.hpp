@@ -1,0 +1,38 @@
+// Model checkpointing: save / load the full training state of a network —
+// task parameters, BatchNorm running statistics, and for ALF blocks the
+// autoencoder state (Wenc, Wdec, mask M) — to a portable binary file.
+//
+// Format (little-endian):
+//   magic "ALFCKPT1" | u64 tensor-count |
+//   per tensor: u32 name-len | name bytes | u32 rank | u64 dims[] | f32 data[]
+//
+// Loading requires an exactly matching architecture (same names, same
+// shapes); mismatches throw CheckError with a precise message.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alf/alf_conv.hpp"
+#include "nn/sequential.hpp"
+
+namespace alf {
+
+/// A named reference to one state tensor of a model.
+struct NamedTensorRef {
+  std::string name;
+  Tensor* tensor = nullptr;
+};
+
+/// Collects every state tensor of `model` in a deterministic order:
+/// task parameters, BN running statistics, ALF autoencoder state.
+std::vector<NamedTensorRef> state_dict(Sequential& model);
+
+/// Writes the full state to `path`. Returns false on I/O failure.
+bool save_checkpoint(Sequential& model, const std::string& path);
+
+/// Restores state saved by save_checkpoint. Throws CheckError if the file
+/// is malformed or does not match the model's architecture.
+void load_checkpoint(Sequential& model, const std::string& path);
+
+}  // namespace alf

@@ -1,0 +1,145 @@
+#include "alf/trainer.hpp"
+
+#include <cstdio>
+
+#include "core/check.hpp"
+#include "nn/loss.hpp"
+
+namespace alf {
+
+Trainer::Trainer(Sequential& model, const SyntheticImageDataset& train_set,
+                 const SyntheticImageDataset& test_set, TrainConfig config)
+    : model_(model),
+      train_set_(train_set),
+      test_set_(test_set),
+      config_(std::move(config)) {
+  ALF_CHECK(config_.epochs > 0);
+}
+
+void bn_recalibrate(Sequential& model, const SyntheticImageDataset& ds,
+                    size_t batches, size_t batch_size, uint64_t seed) {
+  // Collect every BatchNorm in the model, including BN_inter layers hidden
+  // inside ALF blocks (not visited as child layers).
+  std::vector<BatchNorm2d*> bns;
+  model.visit([&bns](Layer& l) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&l)) bns.push_back(bn);
+    if (auto* blk = dynamic_cast<AlfConv*>(&l)) {
+      if (blk->bn_inter() != nullptr) bns.push_back(blk->bn_inter());
+    }
+  });
+  if (bns.empty()) return;
+  std::vector<float> saved;
+  saved.reserve(bns.size());
+  for (BatchNorm2d* bn : bns) saved.push_back(bn->momentum());
+
+  BatchIterator it(ds, batch_size, seed, /*shuffle=*/true);
+  Tensor x;
+  std::vector<int> y;
+  for (size_t b = 0; b < batches && it.next(x, y); ++b) {
+    // momentum = 1/(b+1) turns the EMA into an exact cumulative average
+    // over the calibration batches (batch 1 fully replaces stale stats).
+    const float m = 1.0f / static_cast<float>(b + 1);
+    for (BatchNorm2d* bn : bns) bn->set_momentum(m);
+    (void)model.forward(x, /*train=*/true);
+  }
+  for (size_t i = 0; i < bns.size(); ++i) bns[i]->set_momentum(saved[i]);
+}
+
+double Trainer::evaluate(Sequential& model, const SyntheticImageDataset& ds,
+                         size_t batch_size) {
+  BatchIterator it(ds, batch_size, /*seed=*/1, /*shuffle=*/false);
+  Tensor x;
+  std::vector<int> y;
+  size_t correct = 0, total = 0;
+  while (it.next(x, y)) {
+    Tensor logits = model.forward(x, /*train=*/false);
+    correct += static_cast<size_t>(accuracy(logits, y) * y.size() + 0.5);
+    total += y.size();
+  }
+  ALF_CHECK(total > 0);
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double Trainer::remaining_filters(const std::vector<AlfConv*>& blocks) {
+  if (blocks.empty()) return 1.0;
+  size_t total = 0, zero = 0;
+  for (AlfConv* b : blocks) {
+    total += b->out_channels();
+    zero += b->zero_filters();
+  }
+  ALF_CHECK(total > 0);
+  return 1.0 - static_cast<double>(zero) / static_cast<double>(total);
+}
+
+std::vector<EpochStats> Trainer::run() {
+  std::vector<AlfConv*> blocks = collect_alf_convs(model_);
+  Sgd task_opt(model_.params(), config_.task);
+  StepLrSchedule schedule(config_.task.lr, config_.lr_milestones,
+                          config_.lr_factor);
+  BatchIterator it(train_set_, config_.batch_size, config_.seed ^ 0xBA7C4,
+                   /*shuffle=*/true);
+
+  std::vector<EpochStats> history;
+  history.reserve(config_.epochs);
+  Tensor x;
+  std::vector<int> y;
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    task_opt.set_lr(schedule.lr_at(epoch));
+    it.reset();
+
+    double loss_sum = 0.0, lrec_sum = 0.0, nu_sum = 0.0;
+    size_t correct = 0, seen = 0, batches = 0, ae_updates = 0;
+    while (it.next(x, y)) {
+      // --- Player 1: task optimizer. ---
+      task_opt.zero_grad();
+      Tensor logits = model_.forward(x, /*train=*/true);
+      LossResult res = softmax_cross_entropy(logits, y);
+      model_.backward(res.grad_logits);
+      task_opt.step();
+
+      loss_sum += res.loss;
+      correct += res.correct;
+      seen += y.size();
+      ++batches;
+
+      // --- Player 2: autoencoder optimizers (one per block). ---
+      for (size_t s = 0; s < config_.ae_steps_per_batch; ++s) {
+        for (AlfConv* b : blocks) {
+          const AeStepStats st = b->autoencoder_step();
+          lrec_sum += st.l_rec;
+          nu_sum += st.nu_prune;
+          ++ae_updates;
+        }
+      }
+    }
+    ALF_CHECK(batches > 0);
+
+    EpochStats st;
+    st.epoch = epoch;
+    st.train_loss = loss_sum / static_cast<double>(batches);
+    st.train_acc = static_cast<double>(correct) / static_cast<double>(seen);
+    // The ALF code/mask moves faster than BN's running averages; refresh
+    // them before eval so test accuracy reflects the current weights.
+    bn_recalibrate(model_, train_set_);
+    st.test_acc = evaluate(model_, test_set_);
+    st.remaining_filters = remaining_filters(blocks);
+    if (ae_updates > 0) {
+      st.mean_l_rec = lrec_sum / static_cast<double>(ae_updates);
+      st.mean_nu_prune = nu_sum / static_cast<double>(ae_updates);
+    }
+    history.push_back(st);
+
+    if (config_.verbose) {
+      std::printf(
+          "epoch %3zu  loss %.4f  train %.3f  test %.3f  filters %.1f%%  "
+          "lrec %.5f  nu %.3f\n",
+          epoch, st.train_loss, st.train_acc, st.test_acc,
+          100.0 * st.remaining_filters, st.mean_l_rec, st.mean_nu_prune);
+      std::fflush(stdout);
+    }
+  }
+  return history;
+}
+
+}  // namespace alf

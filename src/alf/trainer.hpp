@@ -1,0 +1,75 @@
+// Two-player training procedure (Sec. III-B).
+//
+// Each mini-batch: (1) the task optimizer takes an SGD step on
+// Ltask = LCE + nu_wd * Lreg for all task parameters (W and Wexp of every
+// ALF block, BN scale/shift, FC head), with STE gradients inside the blocks;
+// (2) every ALF block's dedicated autoencoder optimizer takes a step on
+// Lae = Lrec + nu_prune * Lprune, updating Wenc, Wdec and the mask M.
+#pragma once
+
+#include <vector>
+
+#include "alf/alf_conv.hpp"
+#include "data/synthetic.hpp"
+#include "nn/sequential.hpp"
+#include "optim/sgd.hpp"
+
+namespace alf {
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  size_t epochs = 30;
+  size_t batch_size = 32;
+  SgdConfig task{0.05f, 0.9f, 1e-4f};
+  std::vector<size_t> lr_milestones;  ///< epochs at which lr is scaled
+  float lr_factor = 0.1f;
+  size_t ae_steps_per_batch = 1;  ///< autoencoder updates per task update
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Per-epoch telemetry (drives the Fig. 2c curves).
+struct EpochStats {
+  size_t epoch = 0;
+  double train_loss = 0.0;
+  double train_acc = 0.0;
+  double test_acc = 0.0;
+  double remaining_filters = 1.0;  ///< non-zero code filters / total filters
+  double mean_l_rec = 0.0;         ///< mean autoencoder reconstruction loss
+  double mean_nu_prune = 0.0;      ///< mean pruning-pressure scale
+};
+
+/// Refreshes BatchNorm running statistics by running `batches` forward
+/// passes in training mode (no parameter updates). ALF's mask and code
+/// evolve faster than BN's exponential averages track, so eval-mode
+/// accuracy is only meaningful after re-calibration — the same practice
+/// pruning frameworks apply before validating a pruned model.
+void bn_recalibrate(Sequential& model, const SyntheticImageDataset& ds,
+                    size_t batches = 4, size_t batch_size = 64,
+                    uint64_t seed = 3);
+
+/// Trains a model (with or without ALF blocks) on a synthetic dataset.
+class Trainer {
+ public:
+  Trainer(Sequential& model, const SyntheticImageDataset& train_set,
+          const SyntheticImageDataset& test_set, TrainConfig config);
+
+  /// Runs the full schedule; returns one entry per epoch.
+  std::vector<EpochStats> run();
+
+  /// Top-1 accuracy of `model` on `ds` in eval mode.
+  static double evaluate(Sequential& model, const SyntheticImageDataset& ds,
+                         size_t batch_size = 64);
+
+  /// Filter-count-weighted fraction of remaining (non-zero) code filters
+  /// across all ALF blocks; 1.0 if the model has none.
+  static double remaining_filters(const std::vector<AlfConv*>& blocks);
+
+ private:
+  Sequential& model_;
+  const SyntheticImageDataset& train_set_;
+  const SyntheticImageDataset& test_set_;
+  TrainConfig config_;
+};
+
+}  // namespace alf

@@ -1,0 +1,67 @@
+// Lightweight runtime-check macros used across the library.
+//
+// All public entry points validate their preconditions with ALF_CHECK; a
+// failed check throws alf::CheckError carrying the source location and the
+// failed expression, so tests can assert on misuse and applications get a
+// diagnosable error instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace alf {
+
+/// Error thrown when a runtime precondition or invariant check fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+/// Stream-collecting helper so ALF_CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(file_, line_, expr_, os_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace alf
+
+/// Checks `cond`; on failure throws alf::CheckError. Extra context can be
+/// streamed: ALF_CHECK(i < n) << "i=" << i;
+#define ALF_CHECK(cond)                                         \
+  if (cond) {                                                   \
+  } else                                                        \
+    ::alf::detail::CheckMessage(__FILE__, __LINE__, #cond)
+
+/// Equality check with both values reported.
+#define ALF_CHECK_EQ(a, b) \
+  ALF_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "

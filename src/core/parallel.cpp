@@ -1,0 +1,59 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace alf {
+namespace {
+
+std::atomic<int> g_threads{0};
+
+int default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+}  // namespace
+
+int parallel_threads() {
+  const int n = g_threads.load(std::memory_order_relaxed);
+  return n > 0 ? n : default_threads();
+}
+
+void set_parallel_threads(int n) {
+  g_threads.store(n, std::memory_order_relaxed);
+}
+
+void parallel_for_chunked(size_t begin, size_t end,
+                          const std::function<void(size_t, size_t)>& fn,
+                          size_t min_per_worker) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  const int workers =
+      static_cast<int>(std::min<size_t>(total, parallel_threads()));
+  if (workers <= 1 || total < std::max<size_t>(2, min_per_worker)) {
+    fn(begin, end);
+    return;
+  }
+  const size_t chunk = (total + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    const size_t lo = begin + w * chunk;
+    if (lo >= end) break;
+    const size_t hi = std::min(end, lo + chunk);
+    pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+void parallel_for(size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn) {
+  parallel_for_chunked(begin, end, [&fn](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace alf

@@ -1,0 +1,34 @@
+// Deterministic data-parallel helper.
+//
+// parallel_for splits [begin, end) into contiguous chunks, one per worker.
+// Each index is processed by exactly one thread, so elementwise writes are
+// race-free and results are bit-identical regardless of thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace alf {
+
+/// Number of worker threads used by parallel_for (defaults to hardware
+/// concurrency, capped at 16). Thread-safe to read; set once at startup.
+int parallel_threads();
+
+/// Override the worker count (0 restores the default). Intended for tests.
+void set_parallel_threads(int n);
+
+/// Runs fn(i) for every i in [begin, end), split into contiguous chunks
+/// across workers. Falls back to serial execution for small ranges.
+/// fn must not throw; exceptions escaping fn terminate the program.
+void parallel_for(size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) per worker. Lower overhead
+/// for tight loops since fn amortizes call cost over the whole chunk.
+/// `min_per_worker` is the serial cutoff: ranges smaller than this run
+/// inline. Pass 1 for coarse-grained items (e.g. images of a batch).
+void parallel_for_chunked(size_t begin, size_t end,
+                          const std::function<void(size_t, size_t)>& fn,
+                          size_t min_per_worker = 256);
+
+}  // namespace alf

@@ -1,0 +1,47 @@
+// Console table / CSV emission used by the benchmark harnesses.
+//
+// Every bench prints paper-style rows with this formatter so the output of
+// `bench_table2` etc. can be compared side-by-side with the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace alf {
+
+/// Column-aligned text table with an optional title, printable to stdout
+/// and dumpable as CSV.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width if a header is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the aligned table.
+  std::string to_string() const;
+
+  /// Renders as CSV (no alignment padding).
+  std::string to_csv() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  /// Writes the CSV form to `path`. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  /// Convenience numeric formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace alf

@@ -1,0 +1,62 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+void hflip_image(Tensor& x, size_t i) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  const size_t c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  ALF_CHECK(i < x.dim(0));
+  float* img = x.data() + i * c * h * w;
+  for (size_t ch = 0; ch < c; ++ch) {
+    for (size_t row = 0; row < h; ++row) {
+      float* r = img + (ch * h + row) * w;
+      std::reverse(r, r + w);
+    }
+  }
+}
+
+void shift_image(Tensor& x, size_t i, int dy, int dx) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  const size_t c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  ALF_CHECK(i < x.dim(0));
+  if (dy == 0 && dx == 0) return;
+  float* img = x.data() + i * c * h * w;
+  std::vector<float> tmp(h * w);
+  for (size_t ch = 0; ch < c; ++ch) {
+    float* plane = img + ch * h * w;
+    std::fill(tmp.begin(), tmp.end(), 0.0f);
+    for (size_t y = 0; y < h; ++y) {
+      const long sy = static_cast<long>(y) - dy;
+      if (sy < 0 || sy >= static_cast<long>(h)) continue;
+      for (size_t xx = 0; xx < w; ++xx) {
+        const long sx = static_cast<long>(xx) - dx;
+        if (sx < 0 || sx >= static_cast<long>(w)) continue;
+        tmp[y * w + xx] = plane[static_cast<size_t>(sy) * w +
+                                static_cast<size_t>(sx)];
+      }
+    }
+    std::copy(tmp.begin(), tmp.end(), plane);
+  }
+}
+
+void augment_batch(Tensor& x, const AugmentConfig& config, Rng& rng) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  const size_t n = x.dim(0);
+  for (size_t i = 0; i < n; ++i) {
+    if (config.hflip && rng.uniform() < 0.5) hflip_image(x, i);
+    if (config.max_shift > 0) {
+      const int span = 2 * config.max_shift + 1;
+      const int dy =
+          static_cast<int>(rng.uniform_index(span)) - config.max_shift;
+      const int dx =
+          static_cast<int>(rng.uniform_index(span)) - config.max_shift;
+      shift_image(x, i, dy, dx);
+    }
+  }
+}
+
+}  // namespace alf

@@ -1,0 +1,26 @@
+// Training-time data augmentation: random horizontal flips and integer
+// translations with zero padding — the standard CIFAR recipe the paper's
+// base implementations use.
+#pragma once
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace alf {
+
+/// Augmentation policy.
+struct AugmentConfig {
+  bool hflip = true;      ///< flip each image left-right with p = 0.5
+  int max_shift = 2;      ///< uniform translation in [-max_shift, max_shift]
+};
+
+/// Flips image `i` of batch `x` [N, C, H, W] left-right, in place.
+void hflip_image(Tensor& x, size_t i);
+
+/// Translates image `i` of batch `x` by (dy, dx), zero-filling, in place.
+void shift_image(Tensor& x, size_t i, int dy, int dx);
+
+/// Applies the policy independently to every image of the batch.
+void augment_batch(Tensor& x, const AugmentConfig& config, Rng& rng);
+
+}  // namespace alf

@@ -1,0 +1,161 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/check.hpp"
+
+namespace alf {
+namespace {
+
+/// Per-class generative parameters, derived deterministically from the seed.
+struct ClassProto {
+  double freq_x, freq_y;      // grating frequencies
+  double orient;              // grating orientation
+  double color[3];            // per-channel bias
+  double blob_x, blob_y;      // normalized blob center
+  double blob_sigma;
+};
+
+std::vector<ClassProto> make_protos(const DataConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<ClassProto> protos(cfg.classes);
+  for (size_t k = 0; k < cfg.classes; ++k) {
+    ClassProto& p = protos[k];
+    p.freq_x = rng.uniform(1.5, 5.5);
+    p.freq_y = rng.uniform(1.5, 5.5);
+    p.orient = rng.uniform(0.0, std::numbers::pi);
+    for (double& c : p.color) c = rng.uniform(-0.4, 0.4);
+    p.blob_x = rng.uniform(0.25, 0.75);
+    p.blob_y = rng.uniform(0.25, 0.75);
+    p.blob_sigma = rng.uniform(0.08, 0.2);
+  }
+  return protos;
+}
+
+}  // namespace
+
+DataConfig DataConfig::cifar_like() { return DataConfig{}; }
+
+DataConfig DataConfig::imagenet_like() {
+  DataConfig cfg;
+  cfg.classes = 20;
+  cfg.height = 32;
+  cfg.width = 32;
+  cfg.noise_std = 0.4f;
+  cfg.seed = 1337;
+  return cfg;
+}
+
+SyntheticImageDataset::SyntheticImageDataset(const DataConfig& config,
+                                             size_t count,
+                                             uint64_t split_seed)
+    : config_(config) {
+  ALF_CHECK(config.classes >= 2);
+  ALF_CHECK(config.channels >= 1 && config.channels <= 3);
+  const auto protos = make_protos(config);
+  sample_numel_ = config.channels * config.height * config.width;
+  pixels_.resize(count * sample_numel_);
+  labels_.resize(count);
+
+  Rng rng(split_seed ^ (config.seed * 0x9E3779B97F4A7C15ull));
+  const double h = static_cast<double>(config.height);
+  const double w = static_cast<double>(config.width);
+
+  for (size_t i = 0; i < count; ++i) {
+    const int label = static_cast<int>(i % config.classes);
+    labels_[i] = label;
+    const ClassProto& p = protos[static_cast<size_t>(label)];
+
+    // Per-sample nuisance parameters.
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double amp = rng.uniform(0.6, 1.0);
+    const int dx = static_cast<int>(
+        rng.uniform_index(2 * config.max_shift + 1)) - config.max_shift;
+    const int dy = static_cast<int>(
+        rng.uniform_index(2 * config.max_shift + 1)) - config.max_shift;
+    const double co = std::cos(p.orient), so = std::sin(p.orient);
+
+    float* img = pixels_.data() + i * sample_numel_;
+    for (size_t c = 0; c < config.channels; ++c) {
+      for (size_t y = 0; y < config.height; ++y) {
+        for (size_t x = 0; x < config.width; ++x) {
+          const double xn = (static_cast<double>(x) + dx) / w - 0.5;
+          const double yn = (static_cast<double>(y) + dy) / h - 0.5;
+          // Oriented grating.
+          const double u = co * xn - so * yn;
+          const double v = so * xn + co * yn;
+          double val = amp * std::sin(2.0 * std::numbers::pi *
+                                          (p.freq_x * u + p.freq_y * v) +
+                                      phase);
+          // Class-specific Gaussian blob (sign alternates per channel so the
+          // color structure carries information too).
+          const double bx = xn + 0.5 - p.blob_x;
+          const double by = yn + 0.5 - p.blob_y;
+          const double blob =
+              std::exp(-(bx * bx + by * by) / (2.0 * p.blob_sigma *
+                                               p.blob_sigma));
+          val += (c % 2 == 0 ? 1.0 : -1.0) * blob;
+          val += p.color[c];
+          val += rng.normal(0.0, config.noise_std);
+          img[(c * config.height + y) * config.width + x] =
+              static_cast<float>(std::clamp(val, -2.0, 2.0));
+        }
+      }
+    }
+  }
+}
+
+void SyntheticImageDataset::fill_batch(const std::vector<size_t>& indices,
+                                       Tensor& x, std::vector<int>& y) const {
+  const size_t b = indices.size();
+  const Shape want{b, config_.channels, config_.height, config_.width};
+  if (x.shape() != want) x = Tensor(want);
+  y.resize(b);
+  for (size_t i = 0; i < b; ++i) {
+    const size_t idx = indices[i];
+    ALF_CHECK(idx < labels_.size());
+    const float* src = pixels_.data() + idx * sample_numel_;
+    std::copy(src, src + sample_numel_, x.data() + i * sample_numel_);
+    y[i] = labels_[idx];
+  }
+}
+
+void SyntheticImageDataset::full_batch(Tensor& x, std::vector<int>& y) const {
+  std::vector<size_t> idx(size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  fill_batch(idx, x, y);
+}
+
+BatchIterator::BatchIterator(const SyntheticImageDataset& ds,
+                             size_t batch_size, uint64_t seed, bool shuffle)
+    : ds_(ds), batch_size_(batch_size), shuffle_(shuffle), rng_(seed) {
+  ALF_CHECK(batch_size_ > 0);
+  reset();
+}
+
+void BatchIterator::reset() {
+  if (shuffle_) {
+    order_ = rng_.permutation(ds_.size());
+  } else {
+    order_.resize(ds_.size());
+    for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  }
+  cursor_ = 0;
+}
+
+bool BatchIterator::next(Tensor& x, std::vector<int>& y) {
+  if (cursor_ >= order_.size()) return false;
+  const size_t end = std::min(order_.size(), cursor_ + batch_size_);
+  std::vector<size_t> idx(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  ds_.fill_batch(idx, x, y);
+  return true;
+}
+
+size_t BatchIterator::batches_per_epoch() const {
+  return (ds_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace alf

@@ -1,0 +1,49 @@
+// Eyeriss-like accelerator description (the paper's Sec. IV-B setup).
+//
+// 16x16 PE array executing a row-stationary dataflow; each PE holds three
+// register files (inputs / weights / partial sums) totalling 220 16-bit
+// words; a 128KB global buffer holds ifmaps and ofmaps while *weights bypass
+// the global buffer* and stream from DRAM into the PE register files.
+// Energy is normalized to the cost of a single register-file read; latency
+// to a register bandwidth of one word (2 bytes) per cycle.
+#pragma once
+
+#include <cstddef>
+
+namespace alf {
+
+/// Architecture parameters; defaults reproduce the paper's Eyeriss model.
+struct EyerissConfig {
+  size_t pe_rows = 16;
+  size_t pe_cols = 16;
+  size_t rf_words_per_pe = 220;  ///< combined input+weight+psum RFs
+  size_t gb_words = 64 * 1024;   ///< 128KB of 16-bit words
+
+  // Per-word access energy, normalized to one RF read (Eyeriss ISCA'16).
+  double e_rf = 1.0;
+  double e_noc = 2.0;
+  double e_gb = 6.0;
+  double e_dram = 200.0;
+
+  // Sustained bandwidths in words/cycle (latency normalized to a register
+  // bandwidth of 2 bytes/cycle = 1 word/cycle).
+  double dram_bw = 1.0;
+  double gb_bw = 4.0;
+
+  size_t num_pes() const { return pe_rows * pe_cols; }
+};
+
+/// Mapper search controls (paper: exhaustive, 100K timeout, 1K victory).
+///
+/// The victory default is higher than the paper's 1K because this mapper
+/// enumerates systematically (not randomly): early candidates are all
+/// spatially-serial, so a small victory window would terminate before any
+/// parallel mapping is visited. 100K evaluations take ~0.1s per layer.
+struct MapperConfig {
+  size_t max_iterations = 100000;  ///< hard cap on evaluated mappings
+  size_t victory = 50000;          ///< stop after this many non-improvements
+  /// Objective: energy * delay (EDP) if true, else energy only.
+  bool edp_objective = true;
+};
+
+}  // namespace alf

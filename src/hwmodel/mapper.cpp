@@ -1,0 +1,161 @@
+#include "hwmodel/mapper.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace alf {
+namespace {
+
+/// Candidate tiling factors for a dimension of size n: all divisors plus
+/// powers of two (ceil-covered remainders are allowed), ascending.
+std::vector<size_t> candidates(size_t n) {
+  std::vector<size_t> out;
+  for (size_t d = 1; d <= n; ++d)
+    if (n % d == 0) out.push_back(d);
+  for (size_t p = 1; p < n; p *= 2)
+    if (n % p != 0) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t ceil_div(size_t a, size_t b) { return (a + b - 1) / b; }
+
+double objective(const LayerEval& ev, const MapperConfig& cfg) {
+  return cfg.edp_objective ? ev.energy() * ev.cycles : ev.energy();
+}
+
+/// One spatial configuration of the PE array.
+struct SpatialConfig {
+  size_t e, ms, cs;
+};
+
+}  // namespace
+
+LayerEval map_layer(const ConvWorkload& w, const EyerissConfig& arch,
+                    const MapperConfig& mapper, MapperStats* stats) {
+  ALF_CHECK(w.r <= arch.pe_rows)
+      << w.name << ": kernel height exceeds PE rows";
+  MapperStats local;
+  LayerEval best;
+  double best_obj = 0.0;
+  size_t since_improvement = 0;
+
+  // ---- Enumerate all legal spatial configurations first, largest PE
+  // occupancy first, so the iteration budget is spent evenly across the
+  // spatial space instead of exhausting it on serial mappings. ----
+  std::vector<SpatialConfig> spatials;
+  for (size_t e : candidates(std::min(w.p, arch.pe_cols))) {
+    const size_t sets_max = (arch.pe_rows / w.r) * (arch.pe_cols / e);
+    for (size_t ms : candidates(w.m)) {
+      if (ms > sets_max) break;
+      for (size_t cs : candidates(w.c)) {
+        if (ms * cs > sets_max) break;
+        spatials.push_back({e, ms, cs});
+      }
+    }
+  }
+  ALF_CHECK(!spatials.empty());
+  std::stable_sort(spatials.begin(), spatials.end(),
+                   [&w](const SpatialConfig& a, const SpatialConfig& b) {
+                     return a.e * a.ms * a.cs * w.r > b.e * b.ms * b.cs * w.r;
+                   });
+  const size_t per_spatial_budget =
+      std::max<size_t>(64, mapper.max_iterations / spatials.size());
+
+  bool done_all = false;
+  for (const SpatialConfig& sp : spatials) {
+    if (done_all) break;
+    size_t budget = per_spatial_budget;
+    bool done_spatial = false;
+
+    auto consider = [&](const Mapping& map) {
+      if (done_spatial || done_all) return;
+      ++local.evaluated;
+      if (local.evaluated >= mapper.max_iterations) {
+        local.hit_cap = true;
+        done_all = true;
+      }
+      if (--budget == 0) done_spatial = true;
+      LayerEval ev = evaluate_mapping(w, arch, map);
+      if (!ev.valid) return;
+      ++local.valid;
+      const double obj = objective(ev, mapper);
+      if (!best.valid || obj < best_obj) {
+        best = ev;
+        best_obj = obj;
+        since_improvement = 0;
+      } else if (++since_improvement >= mapper.victory && best.valid) {
+        done_all = true;
+      }
+    };
+
+    const size_t m_after_s = ceil_div(w.m, sp.ms);
+    const size_t c_after_s = ceil_div(w.c, sp.cs);
+    const size_t p_after_s = ceil_div(w.p, sp.e);
+    // Small fixed RF-level candidates — larger tiles exceed Eyeriss-like RFs
+    // anyway.
+    for (size_t t0m : {size_t{1}, size_t{2}, size_t{4}}) {
+      if (done_spatial || done_all || t0m > m_after_s) break;
+      for (size_t t0c : {size_t{1}, size_t{2}, size_t{4}}) {
+        if (done_spatial || done_all || t0c > c_after_s) break;
+        for (size_t t0q : candidates(w.q)) {
+          if (done_spatial || done_all) break;
+          // RF capacity pre-check.
+          const size_t w_rf = w.s * t0c * t0m;
+          const size_t if_rf = t0c * ((t0q - 1) * w.stride + w.s);
+          const size_t of_rf = t0m * t0q;
+          if (w_rf + if_rf + of_rf > arch.rf_words_per_pe) continue;
+
+          Mapping map;
+          map.e = sp.e;
+          map.ms = sp.ms;
+          map.cs = sp.cs;
+          map.t0.m = t0m;
+          map.t0.c = t0c;
+          map.t0.q = t0q;
+          const size_t m1 = ceil_div(m_after_s, t0m);
+          const size_t c1 = ceil_div(c_after_s, t0c);
+          const size_t q1 = ceil_div(w.q, t0q);
+          for (size_t t1m : candidates(m1)) {
+            if (done_spatial || done_all) break;
+            for (size_t t1c : candidates(c1)) {
+              if (done_spatial || done_all) break;
+              for (size_t t1p : candidates(p_after_s)) {
+                if (done_spatial || done_all) break;
+                for (size_t t1q : candidates(q1)) {
+                  if (done_spatial || done_all) break;
+                  for (size_t t1n : candidates(w.n)) {
+                    if (done_spatial || done_all) break;
+                    map.t1 = {t1m, t1c, t1p, t1q, t1n};
+                    map.t2 = {ceil_div(m1, t1m), ceil_div(c1, t1c),
+                              ceil_div(p_after_s, t1p), ceil_div(q1, t1q),
+                              ceil_div(w.n, t1n)};
+                    consider(map);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  ALF_CHECK(best.valid) << w.name << ": no valid mapping found";
+  return best;
+}
+
+std::vector<LayerEval> map_model(const ModelCost& cost, size_t batch,
+                                 const EyerissConfig& arch,
+                                 const MapperConfig& mapper) {
+  std::vector<LayerEval> out;
+  for (const ConvWorkload& w : workloads_from_model(cost, batch))
+    out.push_back(map_layer(w, arch, mapper));
+  return out;
+}
+
+}  // namespace alf

@@ -1,0 +1,31 @@
+// Mapping search ("mapper") over the row-stationary mapping space.
+//
+// Mirrors the paper's Timeloop setup: exhaustive enumeration of tiling
+// factors with a hard iteration cap (100K) and a victory condition (stop
+// after 1K consecutive evaluations without improvement), minimizing the
+// energy-delay product.
+#pragma once
+
+#include "hwmodel/mapping.hpp"
+
+namespace alf {
+
+/// Search telemetry.
+struct MapperStats {
+  size_t evaluated = 0;  ///< mappings evaluated (valid or not)
+  size_t valid = 0;      ///< mappings passing validity checks
+  bool hit_cap = false;  ///< stopped by max_iterations
+};
+
+/// Finds the best mapping for one layer. Throws CheckError if no valid
+/// mapping exists (cannot happen for workloads fitting basic constraints:
+/// kernel height <= PE rows).
+LayerEval map_layer(const ConvWorkload& w, const EyerissConfig& arch,
+                    const MapperConfig& mapper, MapperStats* stats = nullptr);
+
+/// Maps every conv layer of a model; returns per-layer results in order.
+std::vector<LayerEval> map_model(const ModelCost& cost, size_t batch,
+                                 const EyerissConfig& arch,
+                                 const MapperConfig& mapper);
+
+}  // namespace alf

@@ -1,0 +1,211 @@
+#include "hwmodel/mapping.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/check.hpp"
+
+namespace alf {
+namespace {
+
+/// Datatypes moving through the hierarchy.
+enum class Dt { kWeight, kIfmap, kOfmap };
+
+/// Loop dims (R and S are handled implicitly: R spatial, S innermost RF).
+enum class Dim { kM, kC, kP, kQ, kN };
+
+bool relevant(Dim d, Dt t) {
+  switch (t) {
+    case Dt::kWeight:
+      return d == Dim::kM || d == Dim::kC;
+    case Dt::kIfmap:
+      return d == Dim::kN || d == Dim::kC || d == Dim::kP || d == Dim::kQ;
+    case Dt::kOfmap:
+      return d == Dim::kN || d == Dim::kM || d == Dim::kP || d == Dim::kQ;
+  }
+  return true;
+}
+
+size_t factor_of(const Mapping::Levels& l, Dim d) {
+  switch (d) {
+    case Dim::kM:
+      return l.m;
+    case Dim::kC:
+      return l.c;
+    case Dim::kP:
+      return l.p;
+    case Dim::kQ:
+      return l.q;
+    case Dim::kN:
+      return l.n;
+  }
+  return 1;
+}
+
+// Canonical loop order per level, innermost first. Chosen to favour
+// row-stationary reuse: spatial-adjacent dims (Q, P) iterate innermost at
+// the GB level; batch and output channels iterate outermost at DRAM.
+constexpr Dim kGbOrder[5] = {Dim::kQ, Dim::kP, Dim::kN, Dim::kC, Dim::kM};
+constexpr Dim kDramOrder[5] = {Dim::kQ, Dim::kP, Dim::kC, Dim::kM, Dim::kN};
+
+/// Times the child tile of datatype `t` must be refetched across one level's
+/// loop nest: innermost loops irrelevant to `t` reuse the resident tile;
+/// any loop outside the first relevant one forces a refetch.
+unsigned long long refetch(const Mapping::Levels& l, const Dim order[5],
+                           Dt t) {
+  unsigned long long mult = 1;
+  bool seen_relevant = false;
+  for (int i = 0; i < 5; ++i) {
+    const Dim d = order[i];
+    const size_t f = factor_of(l, d);
+    if (relevant(d, t)) seen_relevant = true;
+    if (seen_relevant) mult *= f;
+  }
+  return mult;
+}
+
+}  // namespace
+
+std::string Mapping::to_string() const {
+  std::ostringstream os;
+  os << "spatial[e=" << e << " ms=" << ms << " cs=" << cs << "]"
+     << " rf[m=" << t0.m << " c=" << t0.c << " q=" << t0.q << " n=" << t0.n
+     << "]"
+     << " gb[m=" << t1.m << " c=" << t1.c << " p=" << t1.p << " q=" << t1.q
+     << " n=" << t1.n << "]"
+     << " dram[m=" << t2.m << " c=" << t2.c << " p=" << t2.p << " q=" << t2.q
+     << " n=" << t2.n << "]";
+  return os.str();
+}
+
+bool mapping_valid(const ConvWorkload& w, const EyerissConfig& arch,
+                   const Mapping& map) {
+  if (map.t0.p != 1) return false;
+  // Array geometry: a set occupies R rows x e columns; ms*cs sets must pack.
+  if (w.r > arch.pe_rows || map.e > arch.pe_cols) return false;
+  const size_t sets_max =
+      (arch.pe_rows / w.r) * (arch.pe_cols / map.e);
+  if (map.ms * map.cs > sets_max) return false;
+
+  // Coverage of every dimension.
+  if (map.covered_m() < w.m || map.covered_c() < w.c ||
+      map.covered_p() < w.p || map.covered_q() < w.q ||
+      map.covered_n() < w.n)
+    return false;
+
+  // RF capacity per PE: one filter row (S wide) per (t0.c, t0.m), one ifmap
+  // row segment, one psum row segment.
+  const size_t w_rf = w.s * map.t0.c * map.t0.m;
+  const size_t if_rf =
+      map.t0.n * map.t0.c * ((map.t0.q - 1) * w.stride + w.s);
+  const size_t of_rf = map.t0.n * map.t0.m * map.t0.q;
+  if (w_rf + if_rf + of_rf > arch.rf_words_per_pe) return false;
+
+  // GB capacity: ifmap tile + ofmap tile (weights bypass the GB).
+  const size_t m_gb = map.ms * map.t0.m * map.t1.m;
+  const size_t c_gb = map.cs * map.t0.c * map.t1.c;
+  const size_t p_gb = map.e * map.t1.p;
+  const size_t q_gb = map.t0.q * map.t1.q;
+  const size_t n_gb = map.t0.n * map.t1.n;
+  const unsigned long long if_gb = static_cast<unsigned long long>(n_gb) *
+                                   c_gb * ((p_gb - 1) * w.stride + w.r) *
+                                   ((q_gb - 1) * w.stride + w.s);
+  const unsigned long long of_gb =
+      static_cast<unsigned long long>(n_gb) * m_gb * p_gb * q_gb;
+  if (if_gb + of_gb > arch.gb_words) return false;
+  return true;
+}
+
+LayerEval evaluate_mapping(const ConvWorkload& w, const EyerissConfig& arch,
+                           const Mapping& map) {
+  LayerEval ev;
+  ev.name = w.name;
+  ev.mapping = map;
+  if (!mapping_valid(w, arch, map)) return ev;
+  ev.valid = true;
+
+  // ---- Tile sizes. ----
+  // Array tile: union of all PE-resident data across the spatial extent.
+  const unsigned long long w_arr = static_cast<unsigned long long>(w.r) *
+                                   w.s * (map.cs * map.t0.c) *
+                                   (map.ms * map.t0.m);
+  const size_t h_arr = (map.e - 1) * w.stride + w.r;
+  const size_t w_row = (map.t0.q - 1) * w.stride + w.s;
+  const unsigned long long if_arr = static_cast<unsigned long long>(map.t0.n) *
+                                    (map.cs * map.t0.c) * h_arr * w_row;
+  const unsigned long long of_arr = static_cast<unsigned long long>(map.t0.n) *
+                                    (map.ms * map.t0.m) * map.e * map.t0.q;
+
+  // GB tile (ifmap / ofmap only).
+  const size_t c_gb = map.cs * map.t0.c * map.t1.c;
+  const size_t p_gb = map.e * map.t1.p;
+  const size_t q_gb = map.t0.q * map.t1.q;
+  const size_t n_gb = map.t0.n * map.t1.n;
+  const unsigned long long if_gb = static_cast<unsigned long long>(n_gb) *
+                                   c_gb * ((p_gb - 1) * w.stride + w.r) *
+                                   ((q_gb - 1) * w.stride + w.s);
+
+  // ---- Refetch counts. ----
+  const unsigned long long fills_arr_w =
+      refetch(map.t1, kGbOrder, Dt::kWeight) *
+      refetch(map.t2, kDramOrder, Dt::kWeight);
+  const unsigned long long fills_arr_if =
+      refetch(map.t1, kGbOrder, Dt::kIfmap) *
+      refetch(map.t2, kDramOrder, Dt::kIfmap);
+  const unsigned long long fills_arr_of =
+      refetch(map.t1, kGbOrder, Dt::kOfmap) *
+      refetch(map.t2, kDramOrder, Dt::kOfmap);
+  const unsigned long long fills_gb_if =
+      refetch(map.t2, kDramOrder, Dt::kIfmap);
+
+  // ---- DRAM traffic (words). ----
+  // Weights bypass the GB: every array fill streams them from DRAM.
+  const unsigned long long dram_w = fills_arr_w * w_arr;
+  const unsigned long long dram_if = fills_gb_if * if_gb;
+  // Ofmaps: written once; if C is tiled at the DRAM level the partial sums
+  // spill and are re-read + re-written per extra C pass.
+  const unsigned long long of_total = w.ofmap_words();
+  const unsigned long long dram_of =
+      (map.t2.c > 1) ? of_total * (2 * map.t2.c - 1) : of_total;
+  ev.dram_words = dram_w + dram_if + dram_of;
+
+  // ---- GB traffic (words). ----
+  const unsigned long long gb_if_fill = fills_gb_if * if_gb;  // DRAM -> GB
+  const unsigned long long gb_if_read = fills_arr_if * if_arr;  // GB -> array
+  const unsigned long long gb_of_acc = 2ull * fills_arr_of * of_arr;
+  const unsigned long long gb_of_drain = dram_of;
+  ev.gb_words = gb_if_fill + gb_if_read + gb_of_acc + gb_of_drain;
+
+  // ---- Register-level traffic. ----
+  // Latency accounts for the rounding waste of imperfect factorizations
+  // (idle PE slots still take cycles); energy counts only algorithmic MACs
+  // (idle PEs are clock-gated — Timeloop's convention).
+  const unsigned long long modeled_macs =
+      static_cast<unsigned long long>(map.covered_m()) * map.covered_c() *
+      map.covered_p() * map.covered_q() * map.covered_n() * w.r * w.s;
+  // Per MAC: ifmap read, weight read, psum read + write.
+  const double rf_accesses = 4.0 * static_cast<double>(w.macs());
+  // Inter-PE / array-ingress traffic crosses the NoC once per word.
+  const double noc_words = static_cast<double>(gb_if_read) +
+                           static_cast<double>(dram_w) +
+                           static_cast<double>(gb_of_acc);
+
+  // ---- Energy (normalized to one RF read). ----
+  ev.e_rf = rf_accesses * arch.e_rf + noc_words * arch.e_noc;
+  ev.e_gb = static_cast<double>(ev.gb_words) * arch.e_gb;
+  ev.e_dram = static_cast<double>(ev.dram_words) * arch.e_dram;
+
+  // ---- Latency. ----
+  const size_t used = map.used_pes(w);
+  const double compute_cycles =
+      static_cast<double>(modeled_macs) / static_cast<double>(used);
+  const double dram_cycles =
+      static_cast<double>(ev.dram_words) / arch.dram_bw;
+  const double gb_cycles = static_cast<double>(ev.gb_words) / arch.gb_bw;
+  ev.cycles = std::max({compute_cycles, dram_cycles, gb_cycles});
+  ev.utilization =
+      static_cast<double>(used) / static_cast<double>(arch.num_pes());
+  return ev;
+}
+
+}  // namespace alf

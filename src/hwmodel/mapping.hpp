@@ -1,0 +1,76 @@
+// Row-stationary mapping of a conv workload onto the PE array + memory
+// hierarchy, and its analytical evaluation (Timeloop-style access counting).
+//
+// Spatial scheme (row-stationary, Eyeriss ISCA'16): the R filter rows of a
+// PE set span PE-array rows; `e` output rows span columns; whole sets are
+// replicated across the array over `ms` filters and `cs` input channels.
+// Temporal scheme: three tiling levels — per-PE register file (t0), global
+// buffer (t1) and DRAM (t2) — over the dims {M, C, P, Q, N}. S stays
+// innermost in the RF; R is fully spatial; P is not tiled at the RF level
+// (it is covered spatially by `e` and temporally above).
+#pragma once
+
+#include <string>
+
+#include "hwmodel/arch.hpp"
+#include "hwmodel/workload.hpp"
+
+namespace alf {
+
+/// A complete mapping decision.
+struct Mapping {
+  // Spatial factors.
+  size_t e = 1;   ///< output rows per PE set (across columns)
+  size_t ms = 1;  ///< set replication over output channels
+  size_t cs = 1;  ///< set replication over input channels
+
+  /// Temporal tile factors of one level for {M, C, P, Q, N}.
+  struct Levels {
+    size_t m = 1, c = 1, p = 1, q = 1, n = 1;
+  };
+  Levels t0;  ///< register-file level (t0.p must stay 1)
+  Levels t1;  ///< global-buffer level
+  Levels t2;  ///< DRAM level
+
+  /// PEs occupied by the mapping.
+  size_t used_pes(const ConvWorkload& w) const { return w.r * e * ms * cs; }
+
+  /// Covered (over-approximated) dimension products, >= true dims.
+  size_t covered_m() const { return ms * t0.m * t1.m * t2.m; }
+  size_t covered_c() const { return cs * t0.c * t1.c * t2.c; }
+  size_t covered_p() const { return e * t1.p * t2.p; }
+  size_t covered_q() const { return t0.q * t1.q * t2.q; }
+  size_t covered_n() const { return t0.n * t1.n * t2.n; }
+
+  std::string to_string() const;
+};
+
+/// Access counts and derived metrics of a mapping on a workload.
+struct LayerEval {
+  std::string name;
+  // Energy per category in units of one RF read. The register category
+  // includes inter-PE (NoC) traffic, which in row-stationary dataflow is
+  // register-to-register forwarding.
+  double e_rf = 0.0;
+  double e_gb = 0.0;
+  double e_dram = 0.0;
+  double energy() const { return e_rf + e_gb + e_dram; }
+
+  double cycles = 0.0;        ///< normalized latency (1 word/cycle register BW)
+  double utilization = 0.0;   ///< used PEs / total PEs
+  unsigned long long dram_words = 0;
+  unsigned long long gb_words = 0;
+  Mapping mapping;
+  bool valid = false;
+};
+
+/// True if the mapping fits the array, the RF and the GB, and covers the
+/// whole workload.
+bool mapping_valid(const ConvWorkload& w, const EyerissConfig& arch,
+                   const Mapping& map);
+
+/// Evaluates a (valid) mapping; returns valid=false otherwise.
+LayerEval evaluate_mapping(const ConvWorkload& w, const EyerissConfig& arch,
+                           const Mapping& map);
+
+}  // namespace alf

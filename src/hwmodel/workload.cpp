@@ -1,0 +1,34 @@
+#include "hwmodel/workload.hpp"
+
+#include "core/check.hpp"
+
+namespace alf {
+
+ConvWorkload workload_from_cost(const LayerCost& layer, size_t batch) {
+  ALF_CHECK(layer.kind != "fc") << layer.name;
+  ConvWorkload w;
+  w.name = layer.name;
+  w.r = layer.k;
+  w.s = layer.k;
+  w.p = layer.out_h;
+  w.q = layer.out_w;
+  w.c = layer.ci;
+  w.m = layer.co;
+  w.n = batch;
+  w.stride = layer.stride;
+  // Consistency with the analytic MAC count (per image).
+  ALF_CHECK_EQ(w.macs() / batch, layer.macs) << layer.name;
+  return w;
+}
+
+std::vector<ConvWorkload> workloads_from_model(const ModelCost& cost,
+                                               size_t batch) {
+  std::vector<ConvWorkload> out;
+  for (const LayerCost& l : cost.layers) {
+    if (l.kind == "fc") continue;
+    out.push_back(workload_from_cost(l, batch));
+  }
+  return out;
+}
+
+}  // namespace alf

@@ -1,0 +1,53 @@
+// Convolution workload descriptor for the hardware model.
+//
+// Uses the Eyeriss/Timeloop naming convention:
+//   R x S  filter kernel (height x width)
+//   P x Q  output feature map (height x width)
+//   C      input channels, M output channels, N batch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "models/cost.hpp"
+
+namespace alf {
+
+/// One convolutional layer as seen by the accelerator.
+struct ConvWorkload {
+  std::string name;
+  size_t r = 3, s = 3;   ///< kernel
+  size_t p = 1, q = 1;   ///< output H, W
+  size_t c = 1, m = 1;   ///< channels in / out
+  size_t n = 1;          ///< batch
+  size_t stride = 1;
+
+  size_t in_h() const { return (p - 1) * stride + r; }
+  size_t in_w() const { return (q - 1) * stride + s; }
+
+  /// Word counts (16-bit words, one word per element).
+  unsigned long long ifmap_words() const {
+    return static_cast<unsigned long long>(n) * c * in_h() * in_w();
+  }
+  unsigned long long weight_words() const {
+    return static_cast<unsigned long long>(m) * c * r * s;
+  }
+  unsigned long long ofmap_words() const {
+    return static_cast<unsigned long long>(n) * m * p * q;
+  }
+  unsigned long long macs() const {
+    return static_cast<unsigned long long>(n) * m * c * p * q * r * s;
+  }
+};
+
+/// Builds a workload from an analytic LayerCost entry (conv kinds only)
+/// at the given batch size.
+ConvWorkload workload_from_cost(const LayerCost& layer, size_t batch);
+
+/// Extracts all conv workloads of a model cost at the given batch size
+/// (conv, conv_code and conv_exp layers; FC layers are skipped, matching the
+/// paper's "Conv layers only" accounting).
+std::vector<ConvWorkload> workloads_from_model(const ModelCost& cost,
+                                               size_t batch);
+
+}  // namespace alf

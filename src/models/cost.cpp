@@ -1,0 +1,239 @@
+#include "models/cost.hpp"
+
+#include <array>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+unsigned long long ModelCost::total_params() const {
+  unsigned long long s = 0;
+  for (const auto& l : layers) s += l.params;
+  return s;
+}
+
+unsigned long long ModelCost::total_macs() const {
+  unsigned long long s = 0;
+  for (const auto& l : layers) s += l.macs;
+  return s;
+}
+
+unsigned long long ModelCost::conv_params() const {
+  unsigned long long s = 0;
+  for (const auto& l : layers)
+    if (l.kind != "fc") s += l.params;
+  return s;
+}
+
+CostBuilder::CostBuilder(std::string model_name, size_t in_c, size_t in_h,
+                         size_t in_w)
+    : c_(in_c), h_(in_h), w_(in_w) {
+  cost_.name = std::move(model_name);
+}
+
+CostBuilder& CostBuilder::conv(const std::string& name, size_t co, size_t k,
+                               size_t stride, size_t pad) {
+  ALF_CHECK(h_ + 2 * pad >= k) << name;
+  const size_t ho = (h_ + 2 * pad - k) / stride + 1;
+  const size_t wo = (w_ + 2 * pad - k) / stride + 1;
+  LayerCost l;
+  l.name = name;
+  l.kind = "conv";
+  l.ci = c_;
+  l.co = co;
+  l.k = k;
+  l.stride = stride;
+  l.out_h = ho;
+  l.out_w = wo;
+  l.params = static_cast<unsigned long long>(k) * k * c_ * co;
+  l.macs = l.params * ho * wo;
+  cost_.layers.push_back(l);
+  c_ = co;
+  h_ = ho;
+  w_ = wo;
+  return *this;
+}
+
+CostBuilder& CostBuilder::alf_conv(const std::string& name, size_t ccode,
+                                   size_t co, size_t k, size_t stride,
+                                   size_t pad) {
+  ALF_CHECK(ccode > 0 && ccode <= co) << name;
+  conv(name, ccode, k, stride, pad);
+  cost_.layers.back().kind = "conv_code";
+  // 1x1 expansion back to co channels at the post-conv resolution.
+  conv(name + "_exp", co, 1, 1, 0);
+  cost_.layers.back().kind = "conv_exp";
+  return *this;
+}
+
+CostBuilder& CostBuilder::pool(size_t k, size_t stride, size_t pad) {
+  ALF_CHECK(h_ + 2 * pad >= k);
+  h_ = (h_ + 2 * pad - k) / stride + 1;
+  w_ = (w_ + 2 * pad - k) / stride + 1;
+  return *this;
+}
+
+CostBuilder& CostBuilder::global_pool() {
+  h_ = 1;
+  w_ = 1;
+  return *this;
+}
+
+CostBuilder& CostBuilder::fc(const std::string& name, size_t out_features) {
+  LayerCost l;
+  l.name = name;
+  l.kind = "fc";
+  l.ci = c_ * h_ * w_;
+  l.co = out_features;
+  l.k = 1;
+  l.out_h = 1;
+  l.out_w = 1;
+  l.params = static_cast<unsigned long long>(l.ci) * out_features;
+  l.macs = l.params;
+  cost_.layers.push_back(l);
+  c_ = out_features;
+  h_ = w_ = 1;
+  return *this;
+}
+
+CostBuilder& CostBuilder::add_layer(LayerCost layer) {
+  cost_.layers.push_back(std::move(layer));
+  return *this;
+}
+
+namespace {
+
+/// Computes the cost of a single conv applied at explicit input dims,
+/// without a running-shape builder (for parallel branches / shortcuts).
+LayerCost conv_at(const std::string& name, size_t ci, size_t h, size_t w,
+                  size_t co, size_t k, size_t stride, size_t pad) {
+  CostBuilder b("tmp", ci, h, w);
+  b.conv(name, co, k, stride, pad);
+  return b.finish().layers.front();
+}
+
+/// Shared body of Plain-20 / ResNet-20: conv1 + 18 stage convs. ResNet-20
+/// additionally has two 1x1 projection shortcuts at the stage transitions.
+ModelCost cost_cifar20(const std::string& name, bool residual, size_t classes,
+                       size_t base_width, size_t in_hw) {
+  CostBuilder b(name, 3, in_hw, in_hw);
+  b.conv("conv1", base_width, 3, 1, 1);
+  const size_t widths[3] = {base_width, 2 * base_width, 4 * base_width};
+  for (size_t s = 0; s < 3; ++s) {
+    for (size_t blk = 1; blk <= 3; ++blk) {
+      for (size_t j = 1; j <= 2; ++j) {
+        const bool down = (s > 0 && blk == 1 && j == 1);
+        const std::string lname = "conv" + std::to_string(s + 2) +
+                                  std::to_string(blk) + std::to_string(j);
+        if (down && residual) {
+          b.add_layer(conv_at("shortcut" + std::to_string(s + 2), b.cur_c(),
+                              b.cur_h(), b.cur_w(), widths[s], 1, 2, 0));
+        }
+        b.conv(lname, widths[s], 3, down ? 2 : 1, 1);
+      }
+    }
+  }
+  b.global_pool();
+  b.fc("fc", classes);
+  return b.finish();
+}
+
+}  // namespace
+
+ModelCost cost_plain20(size_t classes, size_t base_width, size_t in_hw) {
+  return cost_cifar20("Plain-20", /*residual=*/false, classes, base_width,
+                      in_hw);
+}
+
+ModelCost cost_resnet20(size_t classes, size_t base_width, size_t in_hw) {
+  return cost_cifar20("ResNet-20", /*residual=*/true, classes, base_width,
+                      in_hw);
+}
+
+ModelCost cost_resnet18_imagenet() {
+  CostBuilder b("ResNet-18", 3, 224, 224);
+  b.conv("conv1", 64, 7, 2, 3);
+  b.pool(3, 2, 1);  // 56x56
+  const size_t widths[4] = {64, 128, 256, 512};
+  for (size_t s = 0; s < 4; ++s) {
+    for (size_t blk = 1; blk <= 2; ++blk) {
+      const bool down = (s > 0 && blk == 1);
+      const std::string base =
+          "conv" + std::to_string(s + 2) + "_" + std::to_string(blk);
+      if (down) {
+        b.add_layer(conv_at("shortcut" + std::to_string(s + 2), b.cur_c(),
+                            b.cur_h(), b.cur_w(), widths[s], 1, 2, 0));
+      }
+      b.conv(base + "_1", widths[s], 3, down ? 2 : 1, 1);
+      b.conv(base + "_2", widths[s], 3, 1, 1);
+    }
+  }
+  b.global_pool();
+  b.fc("fc", 1000);
+  return b.finish();
+}
+
+ModelCost cost_squeezenet_imagenet() {
+  // SqueezeNet v1.0 with the original 227x227 AlexNet-style input.
+  CostBuilder b("SqueezeNet", 3, 227, 227);
+  b.conv("conv1", 96, 7, 2, 0);  // 111x111
+  b.pool(3, 2);                  // 55x55
+  auto fire = [&b](const std::string& name, size_t squeeze, size_t expand) {
+    b.conv(name + "/squeeze1x1", squeeze, 1, 1, 0);
+    const size_t c = b.cur_c(), h = b.cur_h(), w = b.cur_w();
+    b.add_layer(conv_at(name + "/expand1x1", c, h, w, expand, 1, 1, 0));
+    b.add_layer(conv_at(name + "/expand3x3", c, h, w, expand, 3, 1, 1));
+    b.set_c(2 * expand);  // concat of the two expand branches
+  };
+  fire("fire2", 16, 64);
+  fire("fire3", 16, 64);
+  fire("fire4", 32, 128);
+  b.pool(3, 2);  // 27x27
+  fire("fire5", 32, 128);
+  fire("fire6", 48, 192);
+  fire("fire7", 48, 192);
+  fire("fire8", 64, 256);
+  b.pool(3, 2);  // 13x13
+  fire("fire9", 64, 256);
+  b.conv("conv10", 1000, 1, 1, 0);
+  b.global_pool();
+  return b.finish();
+}
+
+ModelCost cost_googlenet_imagenet() {
+  CostBuilder b("GoogLeNet", 3, 224, 224);
+  b.conv("conv1", 64, 7, 2, 3);  // 112
+  b.pool(3, 2, 1);               // 56
+  b.conv("conv2_reduce", 64, 1, 1, 0);
+  b.conv("conv2", 192, 3, 1, 1);
+  b.pool(3, 2, 1);  // 28
+
+  auto inception = [&b](const std::string& name, size_t c1, size_t c3r,
+                        size_t c3, size_t c5r, size_t c5, size_t pp) {
+    const size_t c = b.cur_c(), h = b.cur_h(), w = b.cur_w();
+    b.add_layer(conv_at(name + "/1x1", c, h, w, c1, 1, 1, 0));
+    b.add_layer(conv_at(name + "/3x3_reduce", c, h, w, c3r, 1, 1, 0));
+    b.add_layer(conv_at(name + "/3x3", c3r, h, w, c3, 3, 1, 1));
+    b.add_layer(conv_at(name + "/5x5_reduce", c, h, w, c5r, 1, 1, 0));
+    b.add_layer(conv_at(name + "/5x5", c5r, h, w, c5, 5, 1, 2));
+    b.add_layer(conv_at(name + "/pool_proj", c, h, w, pp, 1, 1, 0));
+    b.set_c(c1 + c3 + c5 + pp);  // branch concat
+  };
+
+  inception("3a", 64, 96, 128, 16, 32, 32);
+  inception("3b", 128, 128, 192, 32, 96, 64);
+  b.pool(3, 2, 1);  // 14
+  inception("4a", 192, 96, 208, 16, 48, 64);
+  inception("4b", 160, 112, 224, 24, 64, 64);
+  inception("4c", 128, 128, 256, 24, 64, 64);
+  inception("4d", 112, 144, 288, 32, 64, 64);
+  inception("4e", 256, 160, 320, 32, 128, 128);
+  b.pool(3, 2, 1);  // 7
+  inception("5a", 256, 160, 320, 32, 128, 128);
+  inception("5b", 384, 192, 384, 48, 128, 128);
+  b.global_pool();
+  b.fc("fc", 1000);
+  return b.finish();
+}
+
+}  // namespace alf

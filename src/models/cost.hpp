@@ -1,0 +1,91 @@
+// Analytic Params / MACs / OPs accounting.
+//
+// The paper reports Params and OPs (= 2 * MACs: one multiply + one add) for
+// conv and FC layers only — BatchNorm and bias terms are excluded, matching
+// the "for Conv layers only" convention of Table II. The full-scale ImageNet
+// architectures of Table III (ResNet-18, SqueezeNet, GoogLeNet) are encoded
+// here exactly, so Params/OPs columns are computed at paper scale even though
+// training runs at reduced scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alf {
+
+/// Cost of one layer.
+struct LayerCost {
+  std::string name;
+  std::string kind;  // "conv", "fc", "conv_code", "conv_exp"
+  size_t ci = 0, co = 0, k = 0, stride = 1;
+  size_t out_h = 1, out_w = 1;
+  unsigned long long params = 0;
+  unsigned long long macs = 0;
+};
+
+/// Cost of a whole model.
+struct ModelCost {
+  std::string name;
+  std::vector<LayerCost> layers;
+
+  unsigned long long total_params() const;
+  unsigned long long total_macs() const;
+  /// OPs = 2 * MACs (multiply + accumulate), the paper's convention.
+  unsigned long long total_ops() const { return 2 * total_macs(); }
+
+  /// Subset matching a kind ("conv" includes conv_code/conv_exp).
+  unsigned long long conv_params() const;
+};
+
+/// Incremental builder tracking the running feature-map shape.
+class CostBuilder {
+ public:
+  CostBuilder(std::string model_name, size_t in_c, size_t in_h, size_t in_w);
+
+  /// Standard convolution; updates the running shape.
+  CostBuilder& conv(const std::string& name, size_t co, size_t k,
+                    size_t stride, size_t pad);
+
+  /// ALF-compressed convolution: code conv (co -> ccode filters) followed by
+  /// the 1x1 expansion conv back to co channels. Updates shape as `conv`.
+  CostBuilder& alf_conv(const std::string& name, size_t ccode, size_t co,
+                        size_t k, size_t stride, size_t pad);
+
+  /// Pooling layers change shape only (no params / MACs counted).
+  CostBuilder& pool(size_t k, size_t stride, size_t pad = 0);
+  CostBuilder& global_pool();
+
+  /// Fully-connected layer from the current flattened shape.
+  CostBuilder& fc(const std::string& name, size_t out_features);
+
+  /// Side-channel for inception-style branches: current dims.
+  size_t cur_c() const { return c_; }
+  size_t cur_h() const { return h_; }
+  size_t cur_w() const { return w_; }
+  /// Overrides the running channel count (after manual branch accounting).
+  void set_c(size_t c) { c_ = c; }
+
+  /// Appends an externally computed layer (parallel branch, projection
+  /// shortcut) without touching the running shape.
+  CostBuilder& add_layer(LayerCost layer);
+
+  ModelCost finish() const { return cost_; }
+
+ private:
+  ModelCost cost_;
+  size_t c_, h_, w_;
+};
+
+/// CIFAR models (Table II scale: 32x32 input, width 16/32/64).
+ModelCost cost_plain20(size_t classes = 10, size_t base_width = 16,
+                       size_t in_hw = 32);
+ModelCost cost_resnet20(size_t classes = 10, size_t base_width = 16,
+                        size_t in_hw = 32);
+
+/// Full-scale ImageNet architectures (Table III).
+ModelCost cost_resnet18_imagenet();
+ModelCost cost_squeezenet_imagenet();
+ModelCost cost_googlenet_imagenet();
+
+}  // namespace alf

@@ -1,0 +1,52 @@
+#include "models/summary.hpp"
+
+#include "core/table.hpp"
+
+namespace alf {
+
+std::vector<LayerSummary> summarize(Sequential& model) {
+  std::vector<LayerSummary> rows;
+  model.visit([&rows](Layer& l) {
+    // Containers contribute no parameters of their own; their children are
+    // visited separately.
+    const std::string kind = l.kind();
+    if (kind == "sequential" || kind == "residual") return;
+    LayerSummary s;
+    s.name = l.name();
+    s.kind = kind;
+    for (Param* p : l.params()) {
+      s.param_count += p->value.numel();
+      if (!s.shape_note.empty()) s.shape_note += " + ";
+      std::string dims;
+      for (size_t d = 0; d < p->value.rank(); ++d) {
+        if (d) dims += "x";
+        dims += std::to_string(p->value.dim(d));
+      }
+      s.shape_note += dims;
+    }
+    rows.push_back(std::move(s));
+  });
+  return rows;
+}
+
+size_t count_parameters(Sequential& model) {
+  size_t total = 0;
+  for (Param* p : model.params()) total += p->value.numel();
+  return total;
+}
+
+std::string summary_table(Sequential& model) {
+  Table t("model: " + model.name());
+  t.set_header({"layer", "kind", "params", "shapes"});
+  size_t total = 0;
+  for (const LayerSummary& s : summarize(model)) {
+    t.add_row({s.name, s.kind,
+               std::to_string(s.param_count),
+               s.shape_note.empty() ? "-" : s.shape_note});
+    total += s.param_count;
+  }
+  t.add_row({"TOTAL", "", std::to_string(total), ""});
+  return t.to_string();
+}
+
+}  // namespace alf

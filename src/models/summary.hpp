@@ -1,0 +1,29 @@
+// Human-readable model summaries: walks a runnable network and reports
+// every layer with its parameter count — the `model.summary()` a downstream
+// user expects from a training framework.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace alf {
+
+/// One row of a model summary.
+struct LayerSummary {
+  std::string name;
+  std::string kind;
+  size_t param_count = 0;   ///< task parameters (value tensors)
+  std::string shape_note;   ///< e.g. "16x8x3x3" for a conv filter bank
+};
+
+/// Flattened per-layer summary (containers are descended, not listed).
+std::vector<LayerSummary> summarize(Sequential& model);
+
+/// Total task parameters of the model.
+size_t count_parameters(Sequential& model);
+
+/// Renders the summary as an aligned table string.
+std::string summary_table(Sequential& model);
+
+}  // namespace alf

@@ -1,0 +1,136 @@
+#include "models/zoo.hpp"
+
+#include "core/check.hpp"
+#include "nn/activations.hpp"
+
+namespace alf {
+
+ConvMaker standard_conv_maker(Init init, Rng* rng) {
+  ALF_CHECK(rng != nullptr);
+  return [init, rng](const std::string& name, size_t ci, size_t co, size_t k,
+                     size_t stride, size_t pad) -> LayerPtr {
+    return std::make_unique<Conv2d>(name, ci, co, k, stride, pad, init, *rng);
+  };
+}
+
+namespace {
+
+/// Appends conv + BN (+ optional ReLU) to `seq`.
+void add_conv_bn(Sequential& seq, const ConvMaker& make_conv,
+                 const std::string& name, size_t ci, size_t co, size_t k,
+                 size_t stride, size_t pad, bool relu) {
+  seq.add(make_conv(name, ci, co, k, stride, pad));
+  seq.emplace<BatchNorm2d>(name + "_bn", co);
+  if (relu) seq.emplace<Activation>(name + "_relu", Act::kRelu);
+}
+
+void add_head(Sequential& seq, const ModelConfig& cfg, size_t features,
+              Rng& rng) {
+  seq.emplace<GlobalAvgPool>("gap");
+  seq.emplace<Flatten>("flatten");
+  seq.emplace<Linear>("fc", features, cfg.classes, cfg.init, rng);
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> build_plain20(const ModelConfig& cfg, Rng& rng,
+                                          const ConvMaker& make_conv) {
+  auto seq = std::make_unique<Sequential>("plain20");
+  add_conv_bn(*seq, make_conv, "conv1", cfg.in_channels, cfg.base_width, 3, 1,
+              1, /*relu=*/true);
+  const size_t widths[3] = {cfg.base_width, 2 * cfg.base_width,
+                            4 * cfg.base_width};
+  size_t ci = cfg.base_width;
+  for (size_t s = 0; s < 3; ++s) {
+    for (size_t blk = 1; blk <= 3; ++blk) {
+      for (size_t j = 1; j <= 2; ++j) {
+        const bool down = (s > 0 && blk == 1 && j == 1);
+        const std::string name = "conv" + std::to_string(s + 2) +
+                                 std::to_string(blk) + std::to_string(j);
+        add_conv_bn(*seq, make_conv, name, ci, widths[s], 3, down ? 2 : 1, 1,
+                    /*relu=*/true);
+        ci = widths[s];
+      }
+    }
+  }
+  add_head(*seq, cfg, widths[2], rng);
+  return seq;
+}
+
+std::unique_ptr<Sequential> build_resnet20(const ModelConfig& cfg, Rng& rng,
+                                           const ConvMaker& make_conv) {
+  auto seq = std::make_unique<Sequential>("resnet20");
+  add_conv_bn(*seq, make_conv, "conv1", cfg.in_channels, cfg.base_width, 3, 1,
+              1, /*relu=*/true);
+  const size_t widths[3] = {cfg.base_width, 2 * cfg.base_width,
+                            4 * cfg.base_width};
+  size_t ci = cfg.base_width;
+  for (size_t s = 0; s < 3; ++s) {
+    for (size_t blk = 1; blk <= 3; ++blk) {
+      const bool down = (s > 0 && blk == 1);
+      const std::string base =
+          "conv" + std::to_string(s + 2) + std::to_string(blk);
+      auto body = std::make_unique<Sequential>(base + "_body");
+      add_conv_bn(*body, make_conv, base + "1", ci, widths[s], 3,
+                  down ? 2 : 1, 1, /*relu=*/true);
+      add_conv_bn(*body, make_conv, base + "2", widths[s], widths[s], 3, 1, 1,
+                  /*relu=*/false);
+      std::unique_ptr<Sequential> shortcut;
+      if (down || ci != widths[s]) {
+        shortcut = std::make_unique<Sequential>(base + "_shortcut");
+        // Projection shortcuts stay plain convs (they are not ALF-compressed
+        // in the paper; they carry <2% of the parameters).
+        add_conv_bn(*shortcut, standard_conv_maker(cfg.init, &rng),
+                    base + "_proj", ci, widths[s], 1, down ? 2 : 1, 0,
+                    /*relu=*/false);
+      }
+      seq->emplace<ResidualBlock>(base, std::move(body), std::move(shortcut));
+      ci = widths[s];
+    }
+  }
+  add_head(*seq, cfg, widths[2], rng);
+  return seq;
+}
+
+std::unique_ptr<Sequential> build_resnet18(const ModelConfig& cfg, Rng& rng,
+                                           const ConvMaker& make_conv) {
+  auto seq = std::make_unique<Sequential>("resnet18");
+  add_conv_bn(*seq, make_conv, "conv1", cfg.in_channels, cfg.base_width, 3, 1,
+              1, /*relu=*/true);
+  const size_t widths[4] = {cfg.base_width, 2 * cfg.base_width,
+                            4 * cfg.base_width, 8 * cfg.base_width};
+  size_t ci = cfg.base_width;
+  for (size_t s = 0; s < 4; ++s) {
+    for (size_t blk = 1; blk <= 2; ++blk) {
+      const bool down = (s > 0 && blk == 1);
+      const std::string base =
+          "conv" + std::to_string(s + 2) + "_" + std::to_string(blk);
+      auto body = std::make_unique<Sequential>(base + "_body");
+      add_conv_bn(*body, make_conv, base + "_1", ci, widths[s], 3,
+                  down ? 2 : 1, 1, /*relu=*/true);
+      add_conv_bn(*body, make_conv, base + "_2", widths[s], widths[s], 3, 1,
+                  1, /*relu=*/false);
+      std::unique_ptr<Sequential> shortcut;
+      if (down || ci != widths[s]) {
+        shortcut = std::make_unique<Sequential>(base + "_shortcut");
+        add_conv_bn(*shortcut, standard_conv_maker(cfg.init, &rng),
+                    base + "_proj", ci, widths[s], 1, down ? 2 : 1, 0,
+                    /*relu=*/false);
+      }
+      seq->emplace<ResidualBlock>(base, std::move(body), std::move(shortcut));
+      ci = widths[s];
+    }
+  }
+  add_head(*seq, cfg, widths[3], rng);
+  return seq;
+}
+
+std::vector<Conv2d*> collect_convs(Sequential& model) {
+  std::vector<Conv2d*> convs;
+  model.visit([&convs](Layer& l) {
+    if (auto* c = dynamic_cast<Conv2d*>(&l)) convs.push_back(c);
+  });
+  return convs;
+}
+
+}  // namespace alf

@@ -1,0 +1,56 @@
+// Runnable model builders: Plain-20, ResNet-20 (CIFAR scale) and a
+// width/depth-faithful ResNet-18 for the reduced-scale ImageNet-like task.
+//
+// Builders are parameterized over a ConvMaker so the same topology can be
+// instantiated with plain Conv2d layers (vanilla / baseline-pruned models)
+// or with ALF blocks (alf::make_alf_conv_maker) without duplicating the
+// architecture definitions. Convolution names follow the paper's Fig. 3
+// labels (conv1, conv211 ... conv432).
+#pragma once
+
+#include <functional>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+
+namespace alf {
+
+/// Factory producing the convolution unit of a layer. The returned layer
+/// must map [N, ci, H, W] -> [N, co, H', W'] with the given geometry; it may
+/// internally be a plain conv or a full ALF block.
+using ConvMaker = std::function<LayerPtr(
+    const std::string& name, size_t ci, size_t co, size_t k, size_t stride,
+    size_t pad)>;
+
+/// Architecture hyper-parameters.
+struct ModelConfig {
+  size_t classes = 10;
+  size_t base_width = 16;  ///< width of the first stage (paper: 16)
+  size_t in_channels = 3;
+  size_t in_hw = 32;
+  Init init = Init::kHe;  ///< init for plain convs and the FC head
+};
+
+/// ConvMaker producing standard Conv2d layers. `rng` must outlive the maker.
+ConvMaker standard_conv_maker(Init init, Rng* rng);
+
+/// Plain-20: 19 sequential 3x3 convs (no skips) + GAP + FC.
+std::unique_ptr<Sequential> build_plain20(const ModelConfig& cfg, Rng& rng,
+                                          const ConvMaker& make_conv);
+
+/// ResNet-20: conv1 + 9 basic residual blocks + GAP + FC.
+std::unique_ptr<Sequential> build_resnet20(const ModelConfig& cfg, Rng& rng,
+                                           const ConvMaker& make_conv);
+
+/// ResNet-18 topology (4 stages x 2 basic blocks, widths w..8w) with a 3x3
+/// stem suited to the reduced-resolution ImageNet-like task.
+std::unique_ptr<Sequential> build_resnet18(const ModelConfig& cfg, Rng& rng,
+                                           const ConvMaker& make_conv);
+
+/// Collects pointers to all Conv2d layers in build order.
+std::vector<Conv2d*> collect_convs(Sequential& model);
+
+}  // namespace alf

@@ -1,0 +1,89 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+Act parse_act(const std::string& name) {
+  if (name == "none" || name == "nc") return Act::kNone;
+  if (name == "relu") return Act::kRelu;
+  if (name == "tanh") return Act::kTanh;
+  if (name == "sigmoid") return Act::kSigmoid;
+  ALF_CHECK(false) << "unknown activation: " << name;
+  return Act::kNone;  // unreachable
+}
+
+const char* act_name(Act act) {
+  switch (act) {
+    case Act::kNone:
+      return "none";
+    case Act::kRelu:
+      return "relu";
+    case Act::kTanh:
+      return "tanh";
+    case Act::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+Tensor act_forward(Act act, const Tensor& x) {
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const size_t n = x.numel();
+  switch (act) {
+    case Act::kNone:
+      for (size_t i = 0; i < n; ++i) py[i] = px[i];
+      break;
+    case Act::kRelu:
+      for (size_t i = 0; i < n; ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+      break;
+    case Act::kTanh:
+      for (size_t i = 0; i < n; ++i) py[i] = std::tanh(px[i]);
+      break;
+    case Act::kSigmoid:
+      for (size_t i = 0; i < n; ++i) py[i] = 1.0f / (1.0f + std::exp(-px[i]));
+      break;
+  }
+  return y;
+}
+
+Tensor act_backward(Act act, const Tensor& y, const Tensor& grad_y) {
+  ALF_CHECK(same_shape(y, grad_y));
+  Tensor gx(y.shape());
+  const float* py = y.data();
+  const float* pg = grad_y.data();
+  float* px = gx.data();
+  const size_t n = y.numel();
+  switch (act) {
+    case Act::kNone:
+      for (size_t i = 0; i < n; ++i) px[i] = pg[i];
+      break;
+    case Act::kRelu:
+      for (size_t i = 0; i < n; ++i) px[i] = py[i] > 0.0f ? pg[i] : 0.0f;
+      break;
+    case Act::kTanh:
+      for (size_t i = 0; i < n; ++i) px[i] = pg[i] * (1.0f - py[i] * py[i]);
+      break;
+    case Act::kSigmoid:
+      for (size_t i = 0; i < n; ++i) px[i] = pg[i] * py[i] * (1.0f - py[i]);
+      break;
+  }
+  return gx;
+}
+
+Tensor Activation::forward(const Tensor& x, bool train) {
+  Tensor y = act_forward(act_, x);
+  if (train) cached_y_ = y;
+  return y;
+}
+
+Tensor Activation::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_y_.empty()) << "backward before forward";
+  return act_backward(act_, cached_y_, grad_out);
+}
+
+}  // namespace alf

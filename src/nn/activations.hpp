@@ -1,0 +1,51 @@
+// Elementwise activation functions, both as Layers (network graph) and as
+// free functions with derivatives (used inside the ALF autoencoder where
+// sigma_ae is applied to weight tensors, not feature maps).
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace alf {
+
+/// Activation identifiers used in the Fig. 2 configuration sweeps.
+enum class Act {
+  kNone,     ///< identity
+  kRelu,
+  kTanh,
+  kSigmoid,
+};
+
+/// Parses "none" / "relu" / "tanh" / "sigmoid".
+Act parse_act(const std::string& name);
+
+/// Name of an activation.
+const char* act_name(Act act);
+
+/// y = act(x), elementwise.
+Tensor act_forward(Act act, const Tensor& x);
+
+/// dL/dx from dL/dy given y = act(x) (derivative expressed in terms of the
+/// *output* y, which all four supported activations allow).
+Tensor act_backward(Act act, const Tensor& y, const Tensor& grad_y);
+
+/// Generic activation layer.
+class Activation : public Layer {
+ public:
+  Activation(std::string name, Act act) : name_(std::move(name)), act_(act) {}
+
+  const char* kind() const override { return act_name(act_); }
+  const std::string& name() const override { return name_; }
+  Act act() const { return act_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  Act act_;
+  Tensor cached_y_;
+};
+
+}  // namespace alf

@@ -1,0 +1,130 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+BatchNorm2d::BatchNorm2d(std::string name, size_t channels, float momentum,
+                         float eps)
+    : name_(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name_ + ".gamma", {channels}, /*apply_decay=*/false),
+      beta_(name_ + ".beta", {channels}, /*apply_decay=*/false),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  gamma_.value.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  ALF_CHECK_EQ(x.dim(1), channels_);
+  const size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const size_t hw = h * w;
+  const size_t count = n * hw;
+  ALF_CHECK(count > 0);
+
+  Tensor out(x.shape());
+  Tensor mean({channels_});
+  Tensor inv_std({channels_});
+
+  if (train) {
+    for (size_t c = 0; c < channels_; ++c) {
+      double s = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * hw;
+        for (size_t j = 0; j < hw; ++j) s += p[j];
+      }
+      const double mu = s / static_cast<double>(count);
+      double var = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * hw;
+        for (size_t j = 0; j < hw; ++j) {
+          const double d = p[j] - mu;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(count);
+      mean.at(c) = static_cast<float>(mu);
+      inv_std.at(c) = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      running_mean_.at(c) = (1.0f - momentum_) * running_mean_.at(c) +
+                            momentum_ * static_cast<float>(mu);
+      running_var_.at(c) = (1.0f - momentum_) * running_var_.at(c) +
+                           momentum_ * static_cast<float>(var);
+    }
+  } else {
+    for (size_t c = 0; c < channels_; ++c) {
+      mean.at(c) = running_mean_.at(c);
+      inv_std.at(c) =
+          1.0f / std::sqrt(running_var_.at(c) + eps_);
+    }
+  }
+
+  Tensor xhat(x.shape());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < channels_; ++c) {
+      const float mu = mean.at(c);
+      const float is = inv_std.at(c);
+      const float g = gamma_.value.at(c);
+      const float b = beta_.value.at(c);
+      const float* px = x.data() + (i * channels_ + c) * hw;
+      float* ph = xhat.data() + (i * channels_ + c) * hw;
+      float* po = out.data() + (i * channels_ + c) * hw;
+      for (size_t j = 0; j < hw; ++j) {
+        ph[j] = (px[j] - mu) * is;
+        po[j] = g * ph[j] + b;
+      }
+    }
+  }
+
+  if (train) {
+    cached_xhat_ = std::move(xhat);
+    cached_inv_std_ = std::move(inv_std);
+    cached_n_ = n;
+    cached_h_ = h;
+    cached_w_ = w;
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_xhat_.empty()) << "backward before forward(train)";
+  const size_t n = cached_n_, hw = cached_h_ * cached_w_;
+  const size_t count = n * hw;
+  Tensor grad_x(grad_out.shape());
+
+  for (size_t c = 0; c < channels_; ++c) {
+    // Accumulate dgamma, dbeta and the two batch sums needed for dx.
+    double dgamma = 0.0, dbeta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float* pg = grad_out.data() + (i * channels_ + c) * hw;
+      const float* ph = cached_xhat_.data() + (i * channels_ + c) * hw;
+      for (size_t j = 0; j < hw; ++j) {
+        dgamma += static_cast<double>(pg[j]) * ph[j];
+        dbeta += pg[j];
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(dgamma);
+    beta_.grad.at(c) += static_cast<float>(dbeta);
+
+    const float g = gamma_.value.at(c);
+    const float is = cached_inv_std_.at(c);
+    const float inv_count = 1.0f / static_cast<float>(count);
+    const float mean_dy = static_cast<float>(dbeta) * inv_count;
+    const float mean_dy_xhat = static_cast<float>(dgamma) * inv_count;
+    for (size_t i = 0; i < n; ++i) {
+      const float* pg = grad_out.data() + (i * channels_ + c) * hw;
+      const float* ph = cached_xhat_.data() + (i * channels_ + c) * hw;
+      float* px = grad_x.data() + (i * channels_ + c) * hw;
+      for (size_t j = 0; j < hw; ++j) {
+        px[j] = g * is * (pg[j] - mean_dy - ph[j] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_x;
+}
+
+}  // namespace alf

@@ -1,0 +1,50 @@
+// Batch normalization over NCHW feature maps (per-channel statistics).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace alf {
+
+/// BatchNorm2d with learnable scale/shift and running statistics.
+///
+/// Training mode normalizes with batch statistics and updates the running
+/// mean/variance with exponential moving average; eval mode uses the running
+/// statistics. gamma/beta are excluded from weight decay.
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::string name, size_t channels, float momentum = 0.1f,
+              float eps = 1e-5f);
+
+  const char* kind() const override { return "bn"; }
+  const std::string& name() const override { return name_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+  size_t channels() const { return channels_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  /// Mutable access for checkpoint restore.
+  Tensor& mutable_running_mean() { return running_mean_; }
+  Tensor& mutable_running_var() { return running_var_; }
+
+  /// EMA momentum of the running statistics. bn_recalibrate() sets this to
+  /// 1/i per calibration batch to compute an exact cumulative average.
+  float momentum() const { return momentum_; }
+  void set_momentum(float momentum) { momentum_ = momentum; }
+
+ private:
+  std::string name_;
+  size_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Caches for backward.
+  Tensor cached_xhat_;     // normalized input
+  Tensor cached_inv_std_;  // 1/sqrt(var + eps), per channel
+  size_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+}  // namespace alf

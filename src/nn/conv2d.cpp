@@ -1,0 +1,129 @@
+#include "nn/conv2d.hpp"
+
+#include <mutex>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+
+namespace alf {
+
+Conv2d::Conv2d(std::string name, size_t in_c, size_t out_c, size_t kernel,
+               size_t stride, size_t pad, Init scheme, Rng& rng)
+    : name_(std::move(name)),
+      in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      w_(name_ + ".w", {out_c, in_c, kernel, kernel}) {
+  size_t fan_in = 0, fan_out = 0;
+  conv_fans(w_.value.shape(), fan_in, fan_out);
+  init_tensor(w_.value, scheme, fan_in, fan_out, rng);
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w_mat, const ConvGeom& g,
+                      size_t out_c) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  const size_t n = x.dim(0);
+  ALF_CHECK_EQ(x.dim(1), g.in_c);
+  ALF_CHECK_EQ(x.dim(2), g.in_h);
+  ALF_CHECK_EQ(x.dim(3), g.in_w);
+  ALF_CHECK_EQ(w_mat.dim(0), out_c);
+  ALF_CHECK_EQ(w_mat.dim(1), g.col_rows());
+
+  const size_t ho = g.out_h(), wo = g.out_w();
+  Tensor out({n, out_c, ho, wo});
+  const size_t in_sz = g.in_c * g.in_h * g.in_w;
+  const size_t out_sz = out_c * ho * wo;
+  // Data-parallel over the batch; each worker owns per-image scratch. The
+  // inner GEMMs stay serial (few rows), so there is no nested parallelism.
+  parallel_for_chunked(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        Tensor col({g.col_rows(), g.col_cols()});
+        Tensor img({g.in_c, g.in_h, g.in_w});
+        Tensor res({out_c, ho * wo});
+        for (size_t i = lo; i < hi; ++i) {
+          std::copy(x.data() + i * in_sz, x.data() + (i + 1) * in_sz,
+                    img.data());
+          im2col(img, g, col);
+          gemm(w_mat, false, col, false, res);
+          std::copy(res.data(), res.data() + out_sz, out.data() + i * out_sz);
+        }
+      },
+      /*min_per_worker=*/1);
+  return out;
+}
+
+Tensor conv2d_backward(const Tensor& x, const Tensor& w_mat,
+                       const ConvGeom& g, size_t out_c,
+                       const Tensor& grad_out, Tensor* grad_w) {
+  const size_t n = x.dim(0);
+  const size_t ho = g.out_h(), wo = g.out_w();
+  ALF_CHECK_EQ(grad_out.dim(0), n);
+  ALF_CHECK_EQ(grad_out.dim(1), out_c);
+  ALF_CHECK_EQ(grad_out.dim(2), ho);
+  ALF_CHECK_EQ(grad_out.dim(3), wo);
+
+  Tensor grad_x(x.shape());
+  const size_t in_sz = g.in_c * g.in_h * g.in_w;
+  const size_t out_sz = out_c * ho * wo;
+
+  // Data-parallel over the batch; each worker accumulates its weight
+  // gradient locally and merges under a mutex (cheap vs. the GEMMs).
+  std::mutex grad_w_mutex;
+  parallel_for_chunked(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        Tensor col({g.col_rows(), g.col_cols()});
+        Tensor img({g.in_c, g.in_h, g.in_w});
+        Tensor gcol({g.col_rows(), g.col_cols()});
+        Tensor gout_i({out_c, ho * wo});
+        Tensor local_gw;
+        if (grad_w != nullptr) local_gw = Tensor(grad_w->shape());
+        for (size_t i = lo; i < hi; ++i) {
+          std::copy(x.data() + i * in_sz, x.data() + (i + 1) * in_sz,
+                    img.data());
+          im2col(img, g, col);
+          std::copy(grad_out.data() + i * out_sz,
+                    grad_out.data() + (i + 1) * out_sz, gout_i.data());
+          if (grad_w != nullptr) {
+            // dW += gout_i [Co, HoWo] * col^T [HoWo, CiKK]
+            gemm(gout_i, false, col, true, local_gw, 1.0f, 1.0f);
+          }
+          // dcol = W^T [CiKK, Co] * gout_i [Co, HoWo]
+          gemm(w_mat, true, gout_i, false, gcol);
+          img.fill(0.0f);
+          col2im(gcol, g, img);
+          std::copy(img.data(), img.data() + in_sz,
+                    grad_x.data() + i * in_sz);
+        }
+        if (grad_w != nullptr) {
+          const std::lock_guard<std::mutex> lock(grad_w_mutex);
+          *grad_w += local_gw;
+        }
+      },
+      /*min_per_worker=*/1);
+  return grad_x;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (train) cached_x_ = x;
+  const ConvGeom g{in_c_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
+  const Tensor w_mat = w_.value.reshaped({out_c_, in_c_ * kernel_ * kernel_});
+  return conv2d_forward(x, w_mat, g, out_c_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_x_.empty()) << "backward before forward";
+  const ConvGeom g{in_c_, cached_x_.dim(2), cached_x_.dim(3), kernel_, stride_,
+                   pad_};
+  const Tensor w_mat = w_.value.reshaped({out_c_, in_c_ * kernel_ * kernel_});
+  Tensor grad_w_mat = w_.grad.reshaped({out_c_, in_c_ * kernel_ * kernel_});
+  Tensor grad_x = conv2d_backward(cached_x_, w_mat, g, out_c_, grad_out,
+                                  &grad_w_mat);
+  w_.grad = grad_w_mat.reshaped(w_.grad.shape());
+  return grad_x;
+}
+
+}  // namespace alf

@@ -1,0 +1,57 @@
+// Standard 2-D convolution (NCHW, square kernel, zero padding, no bias —
+// every conv in the reproduced models is followed by BatchNorm).
+//
+// Implementation: per-image im2col + GEMM. The filter bank is stored as
+// [Co, Ci, K, K]; viewed as the matrix Wmat [Co, Ci*K*K] for the GEMM.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace alf {
+
+/// Plain convolution layer.
+class Conv2d : public Layer {
+ public:
+  /// Creates a conv with filters initialized by `scheme`.
+  Conv2d(std::string name, size_t in_c, size_t out_c, size_t kernel,
+         size_t stride, size_t pad, Init scheme, Rng& rng);
+
+  const char* kind() const override { return "conv"; }
+  const std::string& name() const override { return name_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_}; }
+
+  size_t in_channels() const { return in_c_; }
+  size_t out_channels() const { return out_c_; }
+  size_t kernel() const { return kernel_; }
+  size_t stride() const { return stride_; }
+  size_t pad() const { return pad_; }
+
+  /// Filter bank [Co, Ci, K, K].
+  Param& weight() { return w_; }
+  const Param& weight() const { return w_; }
+
+ private:
+  std::string name_;
+  size_t in_c_, out_c_, kernel_, stride_, pad_;
+  Param w_;
+  Tensor cached_x_;  // input cached for backward (im2col recomputed)
+};
+
+/// Functional convolution used by Conv2d and AlfConv.
+///
+/// x: [N, Ci, H, W]; w viewed as [Co, Ci*K*K]; returns [N, Co, Ho, Wo].
+Tensor conv2d_forward(const Tensor& x, const Tensor& w_mat, const ConvGeom& g,
+                      size_t out_c);
+
+/// Gradients of conv2d_forward. Accumulates into grad_w (shape of w_mat);
+/// returns dL/dx. Pass grad_w = nullptr to skip the weight gradient.
+Tensor conv2d_backward(const Tensor& x, const Tensor& w_mat,
+                       const ConvGeom& g, size_t out_c,
+                       const Tensor& grad_out, Tensor* grad_w);
+
+}  // namespace alf

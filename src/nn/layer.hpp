@@ -1,0 +1,66 @@
+// Layer abstraction for the manual-backprop NN framework.
+//
+// Layers own their parameters (value + gradient buffers) and cache whatever
+// they need between forward() and backward(). The framework is single-stream:
+// backward(grad) must follow the matching forward(x, train=true).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace alf {
+
+/// A trainable parameter: value, gradient accumulator and optimizer policy.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Whether the task optimizer applies L2 weight decay to this parameter.
+  /// (The paper applies no regularization to W inside ALF blocks and none to
+  /// BN scale/shift.)
+  bool decay = true;
+
+  Param() = default;
+  Param(std::string n, Shape shape, bool apply_decay = true)
+      : name(std::move(n)),
+        value(shape),
+        grad(std::move(shape)),
+        decay(apply_decay) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class of every network building block.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Short type tag ("conv", "bn", "relu", "alf_conv", ...).
+  virtual const char* kind() const = 0;
+
+  /// Instance name (used in stats tables, e.g. "conv2_1_1").
+  virtual const std::string& name() const = 0;
+
+  /// Computes the layer output. `train` selects training behaviour
+  /// (BN batch statistics, caching for backward).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be called after forward(x, /*train=*/true).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Parameters updated by the *task* optimizer.
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Zeroes all task-parameter gradients.
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace alf

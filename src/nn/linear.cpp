@@ -1,0 +1,54 @@
+#include "nn/linear.hpp"
+
+#include "core/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace alf {
+
+Linear::Linear(std::string name, size_t in_features, size_t out_features,
+               Init scheme, Rng& rng)
+    : name_(std::move(name)),
+      in_(in_features),
+      out_(out_features),
+      w_(name_ + ".w", {out_features, in_features}),
+      b_(name_ + ".b", {out_features}, /*apply_decay=*/false) {
+  init_tensor(w_.value, scheme, in_, out_, rng);
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  ALF_CHECK_EQ(x.rank(), size_t{2});
+  ALF_CHECK_EQ(x.dim(1), in_);
+  if (train) cached_x_ = x;
+  Tensor y = matmul(x, w_.value, false, true);  // [N, out]
+  const size_t n = x.dim(0);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < out_; ++j) y.at(i, j) += b_.value.at(j);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_x_.empty()) << "backward before forward";
+  const size_t n = cached_x_.dim(0);
+  ALF_CHECK_EQ(grad_out.dim(0), n);
+  ALF_CHECK_EQ(grad_out.dim(1), out_);
+  // dW += gout^T * x ; db += sum_n gout ; dx = gout * W
+  gemm(grad_out, true, cached_x_, false, w_.grad, 1.0f, 1.0f);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < out_; ++j) b_.grad.at(j) += grad_out.at(i, j);
+  return matmul(grad_out, w_.value, false, false);
+}
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  if (train) cached_shape_ = x.shape();
+  ALF_CHECK(x.rank() >= 2);
+  size_t features = 1;
+  for (size_t d = 1; d < x.rank(); ++d) features *= x.dim(d);
+  return x.reshaped({x.dim(0), features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_shape_.empty()) << "backward before forward";
+  return grad_out.reshaped(cached_shape_);
+}
+
+}  // namespace alf

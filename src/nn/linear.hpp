@@ -1,0 +1,50 @@
+// Fully-connected layer (with bias) — used as the classifier head.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/init.hpp"
+
+namespace alf {
+
+/// y = x * W^T + b, x: [N, in], W: [out, in], b: [out].
+class Linear : public Layer {
+ public:
+  Linear(std::string name, size_t in_features, size_t out_features,
+         Init scheme, Rng& rng);
+
+  const char* kind() const override { return "linear"; }
+  const std::string& name() const override { return name_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+  size_t in_features() const { return in_; }
+  size_t out_features() const { return out_; }
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  std::string name_;
+  size_t in_, out_;
+  Param w_, b_;
+  Tensor cached_x_;
+};
+
+/// Flattens [N, C, H, W] -> [N, C*H*W]; inverse in backward.
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name) : name_(std::move(name)) {}
+
+  const char* kind() const override { return "flatten"; }
+  const std::string& name() const override { return name_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  Shape cached_shape_;
+};
+
+}  // namespace alf

@@ -1,0 +1,66 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  ALF_CHECK_EQ(logits.rank(), size_t{2});
+  const size_t n = logits.dim(0), c = logits.dim(1);
+  ALF_CHECK_EQ(labels.size(), n);
+
+  LossResult res;
+  res.grad_logits = Tensor(logits.shape());
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    const int label = labels[i];
+    ALF_CHECK(label >= 0 && static_cast<size_t>(label) < c);
+
+    float mx = row[0];
+    size_t arg = 0;
+    for (size_t j = 1; j < c; ++j) {
+      if (row[j] > mx) {
+        mx = row[j];
+        arg = j;
+      }
+    }
+    if (arg == static_cast<size_t>(label)) ++res.correct;
+
+    double z = 0.0;
+    for (size_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - mx));
+    const double logz = std::log(z);
+    total += logz - (row[label] - mx);
+
+    float* grow = res.grad_logits.data() + i * c;
+    const float invn = 1.0f / static_cast<float>(n);
+    for (size_t j = 0; j < c; ++j) {
+      const double p = std::exp(static_cast<double>(row[j] - mx)) / z;
+      grow[j] = static_cast<float>(p) * invn;
+    }
+    grow[label] -= invn;
+  }
+  res.loss = total / static_cast<double>(n);
+  return res;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  ALF_CHECK_EQ(logits.rank(), size_t{2});
+  const size_t n = logits.dim(0), c = logits.dim(1);
+  ALF_CHECK_EQ(labels.size(), n);
+  ALF_CHECK(n > 0);
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    size_t arg = 0;
+    for (size_t j = 1; j < c; ++j)
+      if (row[j] > row[arg]) arg = j;
+    if (arg == static_cast<size_t>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace alf

@@ -1,0 +1,26 @@
+// Softmax cross-entropy loss with integrated gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace alf {
+
+/// Result of a loss evaluation over a batch.
+struct LossResult {
+  double loss = 0.0;     ///< mean cross-entropy over the batch
+  size_t correct = 0;    ///< top-1 correct predictions
+  Tensor grad_logits;    ///< dL/dlogits, already divided by batch size
+};
+
+/// Computes mean softmax cross-entropy of `logits` [N, C] against integer
+/// labels (each in [0, C)). Numerically stabilized (max-subtraction).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Top-1 accuracy of `logits` [N, C] against labels (no gradient).
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace alf

@@ -1,0 +1,86 @@
+#include "nn/pooling.hpp"
+
+#include "core/check.hpp"
+
+namespace alf {
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  if (train) cached_shape_ = x.shape();
+  const size_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  ALF_CHECK(hw > 0);
+  Tensor out({n, c, 1, 1});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t ch = 0; ch < c; ++ch) {
+      const float* p = x.data() + (i * c + ch) * hw;
+      double s = 0.0;
+      for (size_t j = 0; j < hw; ++j) s += p[j];
+      out.at4(i, ch, 0, 0) = static_cast<float>(s / static_cast<double>(hw));
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_shape_.empty()) << "backward before forward";
+  const size_t n = cached_shape_[0], c = cached_shape_[1];
+  const size_t hw = cached_shape_[2] * cached_shape_[3];
+  Tensor grad_x(cached_shape_);
+  const float scale = 1.0f / static_cast<float>(hw);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at4(i, ch, 0, 0) * scale;
+      float* p = grad_x.data() + (i * c + ch) * hw;
+      for (size_t j = 0; j < hw; ++j) p[j] = g;
+    }
+  }
+  return grad_x;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  const size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  ALF_CHECK(h % window_ == 0 && w % window_ == 0)
+      << "input " << h << "x" << w << " not divisible by window " << window_;
+  const size_t ho = h / window_, wo = w / window_;
+  Tensor out({n, c, ho, wo});
+  if (train) {
+    cached_shape_ = x.shape();
+    argmax_.assign(n * c * ho * wo, 0);
+  }
+  size_t oidx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      for (size_t oh = 0; oh < ho; ++oh) {
+        for (size_t ow = 0; ow < wo; ++ow, ++oidx) {
+          float best = plane[oh * window_ * w + ow * window_];
+          size_t best_idx = oh * window_ * w + ow * window_;
+          for (size_t kh = 0; kh < window_; ++kh) {
+            for (size_t kw = 0; kw < window_; ++kw) {
+              const size_t idx = (oh * window_ + kh) * w + ow * window_ + kw;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out.at(oidx) = best;
+          if (train) argmax_[oidx] = (i * c + ch) * h * w + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_shape_.empty()) << "backward before forward";
+  ALF_CHECK_EQ(grad_out.numel(), argmax_.size());
+  Tensor grad_x(cached_shape_);
+  for (size_t i = 0; i < argmax_.size(); ++i)
+    grad_x.at(argmax_[i]) += grad_out.at(i);
+  return grad_x;
+}
+
+}  // namespace alf

@@ -1,0 +1,43 @@
+// Spatial pooling layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace alf {
+
+/// Global average pooling: [N, C, H, W] -> [N, C, 1, 1].
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name) : name_(std::move(name)) {}
+
+  const char* kind() const override { return "gap"; }
+  const std::string& name() const override { return name_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  Shape cached_shape_;
+};
+
+/// Max pooling with square window and stride == window (non-overlapping).
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::string name, size_t window)
+      : name_(std::move(name)), window_(window) {}
+
+  const char* kind() const override { return "maxpool"; }
+  const std::string& name() const override { return name_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  size_t window_;
+  Shape cached_shape_;
+  std::vector<size_t> argmax_;  // flat input index per output element
+};
+
+}  // namespace alf

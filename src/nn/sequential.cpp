@@ -1,0 +1,93 @@
+#include "nn/sequential.hpp"
+
+#include <functional>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+Layer* Sequential::add(LayerPtr layer) {
+  ALF_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return layers_.back().get();
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, train);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+void Sequential::visit(const std::function<void(Layer&)>& fn) {
+  for (auto& l : layers_) {
+    fn(*l);
+    if (auto* seq = dynamic_cast<Sequential*>(l.get())) {
+      seq->visit(fn);
+    } else if (auto* res = dynamic_cast<ResidualBlock*>(l.get())) {
+      res->body().visit(fn);
+      if (res->shortcut() != nullptr) res->shortcut()->visit(fn);
+    }
+  }
+}
+
+ResidualBlock::ResidualBlock(std::string name,
+                             std::unique_ptr<Sequential> body,
+                             std::unique_ptr<Sequential> shortcut)
+    : name_(std::move(name)),
+      body_(std::move(body)),
+      shortcut_(std::move(shortcut)) {
+  ALF_CHECK(body_ != nullptr);
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  Tensor main = body_->forward(x, train);
+  Tensor skip = (shortcut_ != nullptr) ? shortcut_->forward(x, train) : x;
+  ALF_CHECK(same_shape(main, skip))
+      << name_ << ": body " << shape_str(main.shape()) << " vs shortcut "
+      << shape_str(skip.shape());
+  main += skip;
+  if (train) cached_sum_ = main;
+  // Final ReLU of the block.
+  Tensor out(main.shape());
+  for (size_t i = 0; i < main.numel(); ++i)
+    out.at(i) = main.at(i) > 0.0f ? main.at(i) : 0.0f;
+  return out;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  ALF_CHECK(!cached_sum_.empty()) << "backward before forward";
+  Tensor grad_sum(grad_out.shape());
+  for (size_t i = 0; i < grad_out.numel(); ++i)
+    grad_sum.at(i) = cached_sum_.at(i) > 0.0f ? grad_out.at(i) : 0.0f;
+
+  Tensor grad_x = body_->backward(grad_sum);
+  if (shortcut_ != nullptr) {
+    grad_x += shortcut_->backward(grad_sum);
+  } else {
+    grad_x += grad_sum;
+  }
+  return grad_x;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> out = body_->params();
+  if (shortcut_ != nullptr)
+    for (Param* p : shortcut_->params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace alf

@@ -1,0 +1,76 @@
+// Sequential container and residual block.
+//
+// All reproduced models (Plain-20, ResNet-20/18) are expressed as a
+// Sequential of layers, where residual stages are ResidualBlock layers that
+// internally contain two conv units and an optional projection shortcut.
+#pragma once
+
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace alf {
+
+/// Ordered list of layers, itself a Layer.
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name = "seq") : name_(std::move(name)) {}
+
+  const char* kind() const override { return "sequential"; }
+  const std::string& name() const override { return name_; }
+
+  /// Appends a layer; returns a non-owning pointer for convenience.
+  Layer* add(LayerPtr layer);
+
+  /// Typed add: seq.emplace<Conv2d>(...).
+  template <typename T, typename... Args>
+  T* emplace(Args&&... args) {
+    auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = layer.get();
+    add(std::move(layer));
+    return raw;
+  }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  size_t size() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_.at(i).get(); }
+  const Layer* layer(size_t i) const { return layers_.at(i).get(); }
+
+  /// Depth-first visit of all layers (descending into containers).
+  void visit(const std::function<void(Layer&)>& fn);
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+/// Residual block: out = relu(body(x) + shortcut(x)).
+///
+/// `shortcut` may be empty (identity). Both sub-networks are Sequentials so
+/// that the body convs can be plain Conv2d or AlfConv interchangeably.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::string name, std::unique_ptr<Sequential> body,
+                std::unique_ptr<Sequential> shortcut);
+
+  const char* kind() const override { return "residual"; }
+  const std::string& name() const override { return name_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  Sequential& body() { return *body_; }
+  Sequential* shortcut() { return shortcut_.get(); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Sequential> body_;
+  std::unique_ptr<Sequential> shortcut_;  // nullptr = identity
+  Tensor cached_sum_;                     // pre-ReLU sum for backward
+};
+
+}  // namespace alf

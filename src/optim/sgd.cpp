@@ -1,0 +1,49 @@
+#include "optim/sgd.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    ALF_CHECK(p != nullptr);
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const float wd = p.decay ? config_.weight_decay : 0.0f;
+    float* pv = v.data();
+    float* pw = p.value.data();
+    const float* pg = p.grad.data();
+    for (size_t j = 0; j < p.value.numel(); ++j) {
+      const float g = pg[j] + wd * pw[j];
+      pv[j] = config_.momentum * pv[j] + g;
+      pw[j] -= config_.lr * pv[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+StepLrSchedule::StepLrSchedule(float base_lr, std::vector<size_t> milestones,
+                               float factor)
+    : base_lr_(base_lr), milestones_(std::move(milestones)), factor_(factor) {}
+
+float StepLrSchedule::lr_at(size_t epoch) const {
+  float lr = base_lr_;
+  for (size_t m : milestones_)
+    if (epoch >= m) lr *= factor_;
+  return lr;
+}
+
+}  // namespace alf

@@ -1,0 +1,60 @@
+// Stochastic gradient descent with momentum and decoupled L2 weight decay.
+//
+// Used both as the task optimizer (Ltask = LCE + nu_wd * Lreg, realized by
+// adding nu_wd * w to the gradient of decay-enabled params) and as the
+// per-ALF-block autoencoder optimizer (no decay, plain SGD per the paper).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace alf {
+
+/// SGD hyper-parameters.
+struct SgdConfig {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;  ///< applied only to Param::decay == true
+};
+
+/// Momentum SGD over an explicit parameter list.
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, SgdConfig config);
+
+  /// Applies one update step using the gradients currently stored in the
+  /// parameters; does not zero them.
+  void step();
+
+  /// Zeroes gradients of all managed parameters.
+  void zero_grad();
+
+  float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+  const SgdConfig& config() const { return config_; }
+  const std::vector<Param*>& params() const { return params_; }
+
+ private:
+  std::vector<Param*> params_;
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;  // parallel to params_
+};
+
+/// Piecewise-constant learning-rate schedule: lr * factor^(#milestones passed).
+class StepLrSchedule {
+ public:
+  StepLrSchedule(float base_lr, std::vector<size_t> milestones,
+                 float factor = 0.1f);
+
+  /// Learning rate for a given epoch (0-based).
+  float lr_at(size_t epoch) const;
+
+ private:
+  float base_lr_;
+  std::vector<size_t> milestones_;
+  float factor_;
+};
+
+}  // namespace alf

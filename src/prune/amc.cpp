@@ -1,0 +1,128 @@
+#include "prune/amc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+#include "nn/loss.hpp"
+
+namespace alf {
+namespace {
+
+/// Snapshot / restore of conv weights so candidate evaluations are
+/// non-destructive.
+std::vector<Tensor> snapshot(const std::vector<Conv2d*>& convs) {
+  std::vector<Tensor> out;
+  out.reserve(convs.size());
+  for (Conv2d* c : convs) out.push_back(c->weight().value);
+  return out;
+}
+
+void restore(const std::vector<Conv2d*>& convs,
+             const std::vector<Tensor>& snap) {
+  for (size_t i = 0; i < convs.size(); ++i) convs[i]->weight().value = snap[i];
+}
+
+double ops_fraction(const ModelCost& vanilla,
+                    const std::vector<Conv2d*>& convs,
+                    const std::vector<double>& keep) {
+  std::map<std::string, double> by_name;
+  for (size_t i = 0; i < convs.size(); ++i)
+    by_name[convs[i]->name()] = keep[i];
+  const ModelCost pruned =
+      apply_filter_pruning(vanilla, by_name, "candidate");
+  return static_cast<double>(pruned.total_ops()) /
+         static_cast<double>(vanilla.total_ops());
+}
+
+}  // namespace
+
+AmcResult amc_search(Sequential& model, const std::vector<Conv2d*>& convs,
+                     const ModelCost& vanilla_cost,
+                     const SyntheticImageDataset& val_set,
+                     const AmcConfig& config) {
+  ALF_CHECK(!convs.empty());
+  Rng rng(config.seed);
+  const size_t n_layers = convs.size();
+
+  // Validation subset used for every reward evaluation.
+  const size_t eval_n = std::min(config.eval_samples, val_set.size());
+  std::vector<size_t> eval_idx(eval_n);
+  std::iota(eval_idx.begin(), eval_idx.end(), size_t{0});
+  Tensor eval_x;
+  std::vector<int> eval_y;
+  val_set.fill_batch(eval_idx, eval_x, eval_y);
+
+  const std::vector<Tensor> snap = snapshot(convs);
+  auto eval_candidate = [&](const std::vector<double>& keep, double& acc,
+                            double& ops) {
+    PrunePlan plan = per_layer_plan(convs, keep, config.rule);
+    apply_plan(convs, plan);
+    Tensor logits = model.forward(eval_x, /*train=*/false);
+    acc = accuracy(logits, eval_y);
+    restore(convs, snap);
+    ops = ops_fraction(vanilla_cost, convs, keep);
+    return acc - config.lambda * std::max(0.0, ops - config.target_ops_frac);
+  };
+
+  // CEM state: per-layer Gaussian over keep fractions.
+  std::vector<double> mean(n_layers, config.init_keep_mean);
+  std::vector<double> stddev(n_layers, config.init_keep_std);
+
+  AmcResult best;
+  best.reward = -1e30;
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    struct Cand {
+      std::vector<double> keep;
+      double reward, acc, ops;
+    };
+    std::vector<Cand> pop;
+    pop.reserve(config.population);
+    for (size_t p = 0; p < config.population; ++p) {
+      Cand c;
+      c.keep.resize(n_layers);
+      for (size_t l = 0; l < n_layers; ++l) {
+        c.keep[l] = std::clamp(rng.normal(mean[l], stddev[l]),
+                               config.min_keep, 1.0);
+      }
+      c.reward = eval_candidate(c.keep, c.acc, c.ops);
+      pop.push_back(std::move(c));
+    }
+    std::stable_sort(pop.begin(), pop.end(),
+                     [](const Cand& a, const Cand& b) {
+                       return a.reward > b.reward;
+                     });
+    if (pop.front().reward > best.reward) {
+      best.reward = pop.front().reward;
+      best.keep_fracs = pop.front().keep;
+      best.accuracy = pop.front().acc;
+      best.ops_frac = pop.front().ops;
+    }
+    // Refit the Gaussian on the elites.
+    const size_t n_el = std::min(config.elites, pop.size());
+    for (size_t l = 0; l < n_layers; ++l) {
+      double m = 0.0;
+      for (size_t e = 0; e < n_el; ++e) m += pop[e].keep[l];
+      m /= static_cast<double>(n_el);
+      double v = 0.0;
+      for (size_t e = 0; e < n_el; ++e) {
+        const double d = pop[e].keep[l] - m;
+        v += d * d;
+      }
+      v /= static_cast<double>(n_el);
+      mean[l] = m;
+      stddev[l] = std::max(0.02, std::sqrt(v));
+    }
+    if (config.verbose) {
+      std::printf("amc iter %zu  best reward %.4f  acc %.3f  ops %.3f\n",
+                  iter, best.reward, best.accuracy, best.ops_frac);
+      std::fflush(stdout);
+    }
+  }
+  return best;
+}
+
+}  // namespace alf

@@ -1,0 +1,52 @@
+// AMC-lite: learning-based compression-policy search (substitute for the
+// DDPG agent of He et al. [14] — see DESIGN.md).
+//
+// The agent learns a per-layer keep fraction by cross-entropy-method policy
+// search: sample candidate policies from a per-layer Gaussian, evaluate
+// reward = accuracy(pruned model, no fine-tuning) - lambda * max(0,
+// ops_frac - target), refit the Gaussian on the elite candidates. This
+// mirrors AMC's key traits (learned layer-wise ratios, reward combining
+// accuracy and an efficiency constraint, no intermediate fine-tuning).
+#pragma once
+
+#include "data/synthetic.hpp"
+#include "models/cost.hpp"
+#include "nn/sequential.hpp"
+#include "prune/structured.hpp"
+
+namespace alf {
+
+/// Search hyper-parameters.
+struct AmcConfig {
+  size_t population = 10;
+  size_t elites = 3;
+  size_t iterations = 4;
+  double target_ops_frac = 0.5;  ///< desired OPs(pruned)/OPs(vanilla)
+  double lambda = 4.0;           ///< penalty weight for exceeding the target
+  double init_keep_mean = 0.7;
+  double init_keep_std = 0.2;
+  double min_keep = 0.15;
+  size_t eval_samples = 512;  ///< validation subset for the reward
+  PruneRule rule = PruneRule::kMagnitude;
+  uint64_t seed = 99;
+  bool verbose = false;
+};
+
+/// Result of a policy search.
+struct AmcResult {
+  std::vector<double> keep_fracs;  ///< per conv layer, collect_convs order
+  double reward = 0.0;
+  double accuracy = 0.0;   ///< reward-eval accuracy of the best candidate
+  double ops_frac = 1.0;   ///< OPs ratio of the best candidate
+};
+
+/// Runs the CEM policy search on a trained model. `vanilla_cost` must list
+/// the conv layers with names matching the runnable model's conv layers.
+/// The model's weights are restored to their original values afterwards
+/// (the returned plan still has to be applied + fine-tuned by the caller).
+AmcResult amc_search(Sequential& model, const std::vector<Conv2d*>& convs,
+                     const ModelCost& vanilla_cost,
+                     const SyntheticImageDataset& val_set,
+                     const AmcConfig& config);
+
+}  // namespace alf

@@ -1,0 +1,51 @@
+#include "prune/finetune.hpp"
+
+#include <cstdio>
+
+#include "alf/trainer.hpp"
+#include "core/check.hpp"
+#include "nn/loss.hpp"
+
+namespace alf {
+
+double finetune_pruned(Sequential& model, const std::vector<Conv2d*>& convs,
+                       const PrunePlan& plan,
+                       const SyntheticImageDataset& train_set,
+                       const SyntheticImageDataset& test_set,
+                       const FinetuneConfig& config) {
+  ALF_CHECK_EQ(convs.size(), plan.keep.size());
+  apply_plan(convs, plan);
+
+  Sgd opt(model.params(), config.sgd);
+  BatchIterator it(train_set, config.batch_size, config.seed,
+                   /*shuffle=*/true);
+  Tensor x;
+  std::vector<int> y;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    it.reset();
+    double loss_sum = 0.0;
+    size_t batches = 0;
+    while (it.next(x, y)) {
+      opt.zero_grad();
+      Tensor logits = model.forward(x, /*train=*/true);
+      LossResult res = softmax_cross_entropy(logits, y);
+      model.backward(res.grad_logits);
+      opt.step();
+      // Projection: pruned filters stay exactly zero.
+      apply_plan(convs, plan);
+      loss_sum += res.loss;
+      ++batches;
+    }
+    if (config.verbose) {
+      std::printf("finetune epoch %zu  loss %.4f\n", epoch,
+                  loss_sum / static_cast<double>(batches));
+      std::fflush(stdout);
+    }
+  }
+  // Zeroed filters shift every layer's activation statistics; refresh BN
+  // running averages before the final evaluation.
+  bn_recalibrate(model, train_set);
+  return Trainer::evaluate(model, test_set);
+}
+
+}  // namespace alf

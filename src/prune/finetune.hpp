@@ -1,0 +1,30 @@
+// Fine-tuning with frozen sparsity: projected SGD that re-zeroes pruned
+// filters after every optimizer step, so baseline pruning methods can
+// recover accuracy without re-growing pruned channels.
+#pragma once
+
+#include "data/synthetic.hpp"
+#include "nn/sequential.hpp"
+#include "optim/sgd.hpp"
+#include "prune/structured.hpp"
+
+namespace alf {
+
+/// Fine-tuning hyper-parameters.
+struct FinetuneConfig {
+  size_t epochs = 5;
+  size_t batch_size = 32;
+  SgdConfig sgd{0.01f, 0.9f, 1e-4f};
+  uint64_t seed = 21;
+  bool verbose = false;
+};
+
+/// Fine-tunes `model` while keeping the plan's pruned filters at zero.
+/// Returns the final test accuracy.
+double finetune_pruned(Sequential& model, const std::vector<Conv2d*>& convs,
+                       const PrunePlan& plan,
+                       const SyntheticImageDataset& train_set,
+                       const SyntheticImageDataset& test_set,
+                       const FinetuneConfig& config);
+
+}  // namespace alf

@@ -1,0 +1,159 @@
+#include "prune/lcnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+LcnnLayerResult lcnn_compress_layer(const Tensor& w, const LcnnConfig& config,
+                                    Rng& rng) {
+  ALF_CHECK_EQ(w.rank(), size_t{4});
+  const size_t co = w.dim(0);
+  const size_t fsize = w.numel() / co;
+  const size_t d = std::max(
+      config.min_dict,
+      static_cast<size_t>(std::lround(config.dict_frac * co)));
+  ALF_CHECK(d <= co) << "dictionary larger than the filter bank";
+
+  LcnnLayerResult res;
+  res.dictionary = Tensor({d, fsize});
+  res.assignment.assign(co, 0);
+
+  // k-means++-style seeding, deterministic via rng.
+  std::vector<size_t> seeds;
+  seeds.push_back(rng.uniform_index(co));
+  std::vector<double> dist2(co, std::numeric_limits<double>::max());
+  auto filter = [&w, fsize](size_t f) { return w.data() + f * fsize; };
+  auto sq_dist = [fsize](const float* a, const float* b) {
+    double s = 0.0;
+    for (size_t j = 0; j < fsize; ++j) {
+      const double diff = static_cast<double>(a[j]) - b[j];
+      s += diff * diff;
+    }
+    return s;
+  };
+  while (seeds.size() < d) {
+    const float* last = filter(seeds.back());
+    double total = 0.0;
+    for (size_t f = 0; f < co; ++f) {
+      dist2[f] = std::min(dist2[f], sq_dist(filter(f), last));
+      total += dist2[f];
+    }
+    // Sample proportional to squared distance (deterministic stream).
+    double target = rng.uniform() * total;
+    size_t chosen = co - 1;
+    for (size_t f = 0; f < co; ++f) {
+      target -= dist2[f];
+      if (target <= 0.0) {
+        chosen = f;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+  for (size_t k = 0; k < d; ++k) {
+    const float* src = filter(seeds[k]);
+    std::copy(src, src + fsize, res.dictionary.data() + k * fsize);
+  }
+
+  // Lloyd iterations.
+  std::vector<double> centroid(fsize);
+  for (size_t iter = 0; iter < config.kmeans_iters; ++iter) {
+    bool changed = false;
+    for (size_t f = 0; f < co; ++f) {
+      double best = std::numeric_limits<double>::max();
+      size_t arg = 0;
+      for (size_t k = 0; k < d; ++k) {
+        const double dd =
+            sq_dist(filter(f), res.dictionary.data() + k * fsize);
+        if (dd < best) {
+          best = dd;
+          arg = k;
+        }
+      }
+      if (res.assignment[f] != arg) {
+        res.assignment[f] = arg;
+        changed = true;
+      }
+    }
+    for (size_t k = 0; k < d; ++k) {
+      std::fill(centroid.begin(), centroid.end(), 0.0);
+      size_t count = 0;
+      for (size_t f = 0; f < co; ++f) {
+        if (res.assignment[f] != k) continue;
+        const float* p = filter(f);
+        for (size_t j = 0; j < fsize; ++j) centroid[j] += p[j];
+        ++count;
+      }
+      if (count == 0) continue;  // empty cluster keeps its previous atom
+      float* atom = res.dictionary.data() + k * fsize;
+      for (size_t j = 0; j < fsize; ++j)
+        atom[j] = static_cast<float>(centroid[j] / count);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  double err = 0.0;
+  for (size_t f = 0; f < co; ++f) {
+    err += sq_dist(filter(f),
+                   res.dictionary.data() + res.assignment[f] * fsize);
+  }
+  res.recon_mse = err / static_cast<double>(w.numel());
+  return res;
+}
+
+void lcnn_apply(Conv2d& conv, const LcnnLayerResult& result) {
+  Tensor& w = conv.weight().value;
+  const size_t co = w.dim(0);
+  ALF_CHECK_EQ(result.assignment.size(), co);
+  const size_t fsize = w.numel() / co;
+  ALF_CHECK_EQ(result.dictionary.dim(1), fsize);
+  for (size_t f = 0; f < co; ++f) {
+    const float* atom =
+        result.dictionary.data() + result.assignment[f] * fsize;
+    std::copy(atom, atom + fsize, w.data() + f * fsize);
+  }
+}
+
+ModelCost apply_lcnn_cost(
+    const ModelCost& vanilla,
+    const std::map<std::string, size_t>& dict_size_by_name,
+    size_t lookup_terms, const std::string& new_name) {
+  ModelCost out;
+  out.name = new_name;
+  for (const LayerCost& l : vanilla.layers) {
+    auto it = dict_size_by_name.find(l.name);
+    if (l.kind != "conv" || it == dict_size_by_name.end()) {
+      out.layers.push_back(l);
+      continue;
+    }
+    const size_t d = it->second;
+    ALF_CHECK(d >= 1 && d <= l.co) << l.name;
+    // Dictionary conv: D filters of the original geometry.
+    LayerCost dict = l;
+    dict.kind = "conv_code";
+    dict.co = d;
+    dict.params = static_cast<unsigned long long>(l.k) * l.k * l.ci * d;
+    dict.macs = dict.params * l.out_h * l.out_w;
+    out.layers.push_back(dict);
+    // Lookup/recombination: s MACs per output channel and position; the
+    // table itself stores s (index, weight) pairs per output channel.
+    LayerCost lut;
+    lut.name = l.name + "_lut";
+    lut.kind = "conv_exp";
+    lut.ci = d;
+    lut.co = l.co;
+    lut.k = 1;
+    lut.out_h = l.out_h;
+    lut.out_w = l.out_w;
+    lut.params = static_cast<unsigned long long>(lookup_terms) * l.co;
+    lut.macs = lut.params * l.out_h * l.out_w;
+    out.layers.push_back(lut);
+  }
+  return out;
+}
+
+}  // namespace alf

@@ -1,0 +1,49 @@
+// LCNN-style dictionary filter-sharing (substitute for Bagherinezhad et al.
+// [19] — see DESIGN.md).
+//
+// Each layer's filters are clustered into a small shared dictionary
+// (deterministic k-means); every original filter is replaced by its nearest
+// dictionary atom. At inference the dictionary convolution is computed once
+// (D filters) and each output channel is a lookup/recombination of
+// dictionary responses — the cost model in apply_lcnn_cost reflects this:
+// MACs = D * Ci * K^2 * Ho * Wo (dictionary conv) + s * Co * Ho * Wo
+// (recombination with s terms per output channel).
+#pragma once
+
+#include <map>
+
+#include "core/rng.hpp"
+#include "models/cost.hpp"
+#include "nn/conv2d.hpp"
+
+namespace alf {
+
+/// Dictionary-sharing hyper-parameters.
+struct LcnnConfig {
+  double dict_frac = 0.3;  ///< dictionary size as a fraction of Co
+  size_t min_dict = 2;
+  size_t kmeans_iters = 20;
+  size_t lookup_terms = 1;  ///< s: dictionary responses combined per channel
+};
+
+/// Result of compressing one layer.
+struct LcnnLayerResult {
+  Tensor dictionary;               ///< [D, Ci*K*K]
+  std::vector<size_t> assignment;  ///< per original filter, index into dict
+  double recon_mse = 0.0;          ///< ||W - W_shared||^2 / numel
+};
+
+/// Clusters the filters of `w` [Co, Ci, K, K] into a dictionary.
+LcnnLayerResult lcnn_compress_layer(const Tensor& w, const LcnnConfig& config,
+                                    Rng& rng);
+
+/// Replaces every filter of `conv` by its dictionary atom (weight sharing).
+void lcnn_apply(Conv2d& conv, const LcnnLayerResult& result);
+
+/// Analytic cost of an LCNN-compressed model: every conv named in
+/// `dict_size_by_name` is replaced by a dictionary conv + lookup stage.
+ModelCost apply_lcnn_cost(const ModelCost& vanilla,
+                          const std::map<std::string, size_t>& dict_size_by_name,
+                          size_t lookup_terms, const std::string& new_name);
+
+}  // namespace alf

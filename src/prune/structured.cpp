@@ -1,0 +1,167 @@
+#include "prune/structured.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+std::vector<double> filter_saliency(const Tensor& w, PruneRule rule) {
+  ALF_CHECK_EQ(w.rank(), size_t{4});
+  const size_t co = w.dim(0);
+  const size_t fsize = w.numel() / co;
+  std::vector<double> sal(co, 0.0);
+
+  switch (rule) {
+    case PruneRule::kMagnitude: {
+      for (size_t f = 0; f < co; ++f) {
+        const float* p = w.data() + f * fsize;
+        double s = 0.0;
+        for (size_t j = 0; j < fsize; ++j) s += std::abs(p[j]);
+        sal[f] = s;
+      }
+      break;
+    }
+    case PruneRule::kFpgm: {
+      // FPGM: a filter minimizing the sum of distances to all other filters
+      // sits near the geometric median and is *most replaceable*. Saliency is
+      // therefore that distance sum itself (small = prune).
+      for (size_t a = 0; a < co; ++a) {
+        const float* pa = w.data() + a * fsize;
+        double total = 0.0;
+        for (size_t b = 0; b < co; ++b) {
+          if (a == b) continue;
+          const float* pb = w.data() + b * fsize;
+          double d2 = 0.0;
+          for (size_t j = 0; j < fsize; ++j) {
+            const double d = static_cast<double>(pa[j]) - pb[j];
+            d2 += d * d;
+          }
+          total += std::sqrt(d2);
+        }
+        sal[a] = total;
+      }
+      break;
+    }
+  }
+  return sal;
+}
+
+std::vector<bool> select_filters(const Tensor& w, double keep_frac,
+                                 PruneRule rule) {
+  const size_t co = w.dim(0);
+  const size_t kept = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::clamp(keep_frac, 0.0, 1.0) * co)));
+  const std::vector<double> sal = filter_saliency(w, rule);
+  std::vector<size_t> order(co);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&sal](size_t a, size_t b) { return sal[a] > sal[b]; });
+  std::vector<bool> keep(co, false);
+  for (size_t i = 0; i < kept; ++i) keep[order[i]] = true;
+  return keep;
+}
+
+void zero_pruned_filters(Conv2d& conv, const std::vector<bool>& keep) {
+  Tensor& w = conv.weight().value;
+  const size_t co = w.dim(0);
+  ALF_CHECK_EQ(keep.size(), co);
+  const size_t fsize = w.numel() / co;
+  for (size_t f = 0; f < co; ++f) {
+    if (keep[f]) continue;
+    float* p = w.data() + f * fsize;
+    std::fill(p, p + fsize, 0.0f);
+  }
+}
+
+double PrunePlan::kept_fraction() const {
+  size_t total = 0, k = 0;
+  for (const auto& layer : keep) {
+    total += layer.size();
+    for (bool b : layer) k += b ? 1 : 0;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(k) / static_cast<double>(total);
+}
+
+PrunePlan uniform_plan(const std::vector<Conv2d*>& convs, double keep_frac,
+                       PruneRule rule, bool skip_first) {
+  PrunePlan plan;
+  for (size_t i = 0; i < convs.size(); ++i) {
+    const Tensor& w = convs[i]->weight().value;
+    if (i == 0 && skip_first) {
+      plan.keep.emplace_back(w.dim(0), true);
+    } else {
+      plan.keep.push_back(select_filters(w, keep_frac, rule));
+    }
+  }
+  return plan;
+}
+
+PrunePlan per_layer_plan(const std::vector<Conv2d*>& convs,
+                         const std::vector<double>& keep_fracs,
+                         PruneRule rule) {
+  ALF_CHECK_EQ(convs.size(), keep_fracs.size());
+  PrunePlan plan;
+  for (size_t i = 0; i < convs.size(); ++i) {
+    plan.keep.push_back(
+        select_filters(convs[i]->weight().value, keep_fracs[i], rule));
+  }
+  return plan;
+}
+
+void apply_plan(const std::vector<Conv2d*>& convs, const PrunePlan& plan) {
+  ALF_CHECK_EQ(convs.size(), plan.keep.size());
+  for (size_t i = 0; i < convs.size(); ++i)
+    zero_pruned_filters(*convs[i], plan.keep[i]);
+}
+
+ModelCost apply_filter_pruning(
+    const ModelCost& vanilla,
+    const std::map<std::string, double>& keep_frac_by_name,
+    const std::string& new_name) {
+  ModelCost out;
+  out.name = new_name;
+  // Running map from channel count "co of the previous conv" — when a conv's
+  // vanilla ci equals the previous conv's vanilla co, the chain propagates
+  // the pruned count; otherwise (branches/shortcuts) ci stays vanilla.
+  size_t prev_vanilla_co = 0, prev_pruned_co = 0;
+  for (const LayerCost& l : vanilla.layers) {
+    LayerCost nl = l;
+    if (l.kind == "conv") {
+      size_t ci = l.ci;
+      if (prev_vanilla_co == l.ci && prev_pruned_co > 0) ci = prev_pruned_co;
+      size_t co = l.co;
+      auto it = keep_frac_by_name.find(l.name);
+      if (it != keep_frac_by_name.end()) {
+        co = std::max<size_t>(
+            1, static_cast<size_t>(std::ceil(
+                   std::clamp(it->second, 0.0, 1.0) * l.co)));
+      }
+      nl.ci = ci;
+      nl.co = co;
+      nl.params = static_cast<unsigned long long>(l.k) * l.k * ci * co;
+      nl.macs = nl.params * l.out_h * l.out_w;
+      prev_vanilla_co = l.co;
+      prev_pruned_co = co;
+    } else if (l.kind == "fc") {
+      // After a global pool the FC input features scale with the last conv's
+      // channel count.
+      size_t in_features = l.ci;
+      if (prev_vanilla_co > 0 && l.ci % prev_vanilla_co == 0) {
+        const size_t spatial = l.ci / prev_vanilla_co;
+        in_features = spatial * prev_pruned_co;
+      }
+      nl.ci = in_features;
+      nl.params = static_cast<unsigned long long>(in_features) * l.co;
+      nl.macs = nl.params;
+    }
+    out.layers.push_back(nl);
+  }
+  return out;
+}
+
+}  // namespace alf

@@ -1,0 +1,73 @@
+// Structured (filter-level) pruning baselines.
+//
+// Two saliency rules from the paper's comparison set:
+//  * magnitude (Han et al. [3], applied filter-wise): smallest L1-norm
+//    filters are pruned;
+//  * FPGM (He et al. [13]): filters closest to the layer's geometric median
+//    — i.e. with the smallest total distance to all other filters — are the
+//    most redundant and are pruned.
+//
+// Pruning is realized as zeroing whole filters and keeping them zero during
+// fine-tuning (projected SGD), which preserves tensor shapes at training
+// time exactly like ALF's masking; the *deployed* cost is computed
+// analytically with the pruned channels removed (apply_filter_pruning).
+#pragma once
+
+#include <map>
+
+#include "models/cost.hpp"
+#include "models/zoo.hpp"
+#include "nn/conv2d.hpp"
+
+namespace alf {
+
+/// Filter-saliency rule.
+enum class PruneRule {
+  kMagnitude,  ///< L1 norm of the filter
+  kFpgm,       ///< distance-to-all-others (geometric-median criterion)
+};
+
+/// Per-filter saliency of a conv filter bank [Co, Ci, K, K]; higher = keep.
+std::vector<double> filter_saliency(const Tensor& w, PruneRule rule);
+
+/// Keep-mask retaining the ceil(keep_frac * Co) most salient filters
+/// (at least one filter is always kept).
+std::vector<bool> select_filters(const Tensor& w, double keep_frac,
+                                 PruneRule rule);
+
+/// Zeroes all weights of filters with keep[i] == false.
+void zero_pruned_filters(Conv2d& conv, const std::vector<bool>& keep);
+
+/// A pruning decision for a whole model: keep-mask per conv layer,
+/// aligned with collect_convs() order.
+struct PrunePlan {
+  std::vector<std::vector<bool>> keep;
+
+  /// Fraction of filters kept overall.
+  double kept_fraction() const;
+};
+
+/// Builds a plan with a uniform keep fraction for every conv layer
+/// (optionally skipping the first conv, which is conventionally kept dense).
+PrunePlan uniform_plan(const std::vector<Conv2d*>& convs, double keep_frac,
+                       PruneRule rule, bool skip_first = true);
+
+/// Builds a plan from per-layer keep fractions (AMC-lite output).
+PrunePlan per_layer_plan(const std::vector<Conv2d*>& convs,
+                         const std::vector<double>& keep_fracs,
+                         PruneRule rule);
+
+/// Applies (zeroes) the plan to the convs.
+void apply_plan(const std::vector<Conv2d*>& convs, const PrunePlan& plan);
+
+/// Analytic deployed cost of a filter-pruned model. For every conv layer
+/// named in `keep_frac_by_name`, Co shrinks to the kept count; the *input*
+/// channels of the next conv in the layer list shrink accordingly when the
+/// channel counts chain up (sequential topologies). FC layers following a
+/// global pool shrink their input features proportionally.
+ModelCost apply_filter_pruning(
+    const ModelCost& vanilla,
+    const std::map<std::string, double>& keep_frac_by_name,
+    const std::string& new_name);
+
+}  // namespace alf

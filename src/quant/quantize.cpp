@@ -1,0 +1,53 @@
+#include "quant/quantize.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+QuantParams calibrate_quant(const Tensor& t, int bits) {
+  ALF_CHECK(bits >= 2 && bits <= 16) << "bits=" << bits;
+  QuantParams p;
+  p.bits = bits;
+  const float max_abs = t.abs_max();
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+  p.scale = max_abs > 0.0f ? max_abs / levels : 1.0f;
+  return p;
+}
+
+double quantize_dequantize(Tensor& t, const QuantParams& params) {
+  ALF_CHECK(params.scale > 0.0f);
+  const float inv = 1.0f / params.scale;
+  const float qmax = static_cast<float>((1 << (params.bits - 1)) - 1);
+  double err = 0.0;
+  for (size_t i = 0; i < t.numel(); ++i) {
+    const float orig = t.at(i);
+    float q = std::round(orig * inv);
+    q = std::max(-qmax, std::min(qmax, q));
+    const float deq = q * params.scale;
+    const double d = static_cast<double>(orig) - deq;
+    err += d * d;
+    t.at(i) = deq;
+  }
+  return t.numel() > 0 ? err / static_cast<double>(t.numel()) : 0.0;
+}
+
+ModelQuantStats quantize_model_weights(Sequential& model, int bits) {
+  ModelQuantStats stats;
+  double total = 0.0;
+  for (Param* p : model.params()) {
+    // Skip BN scale/shift (recognizable: decay disabled AND rank-1 named
+    // gamma/beta). Weights and biases of conv/linear layers are quantized.
+    const bool is_bn = p->name.find(".gamma") != std::string::npos ||
+                       p->name.find(".beta") != std::string::npos;
+    if (is_bn) continue;
+    const QuantParams qp = calibrate_quant(p->value, bits);
+    total += quantize_dequantize(p->value, qp);
+    ++stats.tensors;
+  }
+  if (stats.tensors > 0) stats.mean_sq_error = total / stats.tensors;
+  return stats;
+}
+
+}  // namespace alf

@@ -1,0 +1,45 @@
+// Post-training weight quantization — the paper's Sec. II notes that
+// quantization "is orthogonal to this work and can be applied in
+// conjunction with the proposed ALF method"; this module demonstrates that
+// claim (see tests/test_quant.cpp and examples/compare_pruners.cpp).
+//
+// Scheme: uniform symmetric fake-quantization. Weights are mapped to the
+// integer grid [-2^(bits-1)+1, 2^(bits-1)-1] with a per-tensor max-abs
+// scale and immediately de-quantized, so the rest of the float pipeline is
+// unchanged while the values carry exactly `bits` bits of information.
+#pragma once
+
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace alf {
+
+/// Per-tensor quantization parameters.
+struct QuantParams {
+  int bits = 8;
+  float scale = 1.0f;  ///< float value of one integer step
+
+  /// Largest representable magnitude.
+  float max_value() const {
+    return scale * static_cast<float>((1 << (bits - 1)) - 1);
+  }
+};
+
+/// Chooses a symmetric max-abs scale for `t`. bits must be in [2, 16].
+QuantParams calibrate_quant(const Tensor& t, int bits);
+
+/// In-place fake quantization of `t` with the given parameters.
+/// Returns the mean squared quantization error.
+double quantize_dequantize(Tensor& t, const QuantParams& params);
+
+/// Result of quantizing a whole model.
+struct ModelQuantStats {
+  size_t tensors = 0;
+  double mean_sq_error = 0.0;  ///< averaged over quantized tensors
+};
+
+/// Fake-quantizes every task parameter of the model (conv/FC weights and
+/// biases; BatchNorm scale/shift are left in float, the usual practice).
+ModelQuantStats quantize_model_weights(Sequential& model, int bits);
+
+}  // namespace alf

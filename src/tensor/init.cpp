@@ -1,0 +1,77 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+Init parse_init(const std::string& name) {
+  if (name == "he") return Init::kHe;
+  if (name == "xavier") return Init::kXavier;
+  if (name == "rand") return Init::kRand;
+  if (name == "identity") return Init::kIdentity;
+  ALF_CHECK(false) << "unknown init scheme: " << name;
+  return Init::kRand;  // unreachable
+}
+
+const char* init_name(Init init) {
+  switch (init) {
+    case Init::kHe:
+      return "he";
+    case Init::kXavier:
+      return "xavier";
+    case Init::kRand:
+      return "rand";
+    case Init::kIdentity:
+      return "identity";
+  }
+  return "?";
+}
+
+void init_tensor(Tensor& t, Init scheme, size_t fan_in, size_t fan_out,
+                 Rng& rng) {
+  switch (scheme) {
+    case Init::kHe: {
+      ALF_CHECK(fan_in > 0);
+      const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+      for (size_t i = 0; i < t.numel(); ++i)
+        t.at(i) = static_cast<float>(rng.normal(0.0, stddev));
+      break;
+    }
+    case Init::kXavier: {
+      ALF_CHECK(fan_in + fan_out > 0);
+      const double limit =
+          std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+      for (size_t i = 0; i < t.numel(); ++i)
+        t.at(i) = static_cast<float>(rng.uniform(-limit, limit));
+      break;
+    }
+    case Init::kRand: {
+      for (size_t i = 0; i < t.numel(); ++i)
+        t.at(i) = static_cast<float>(rng.uniform(-0.05, 0.05));
+      break;
+    }
+    case Init::kIdentity: {
+      ALF_CHECK(t.rank() == 2 && t.shape()[0] == t.shape()[1])
+          << "identity init needs a square matrix, got "
+          << shape_str(t.shape());
+      const size_t n = t.shape()[0];
+      for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+          t.at(i * n + j) = (i == j ? 1.0f : 0.0f) +
+                            static_cast<float>(rng.uniform(-0.01, 0.01));
+      break;
+    }
+  }
+}
+
+void conv_fans(const Shape& filter_shape, size_t& fan_in, size_t& fan_out) {
+  ALF_CHECK_EQ(filter_shape.size(), size_t{4});
+  const size_t co = filter_shape[0], ci = filter_shape[1];
+  const size_t kh = filter_shape[2], kw = filter_shape[3];
+  fan_in = ci * kh * kw;
+  fan_out = co * kh * kw;
+}
+
+}  // namespace alf

@@ -1,0 +1,38 @@
+// Weight initialization schemes.
+//
+// The paper's design-space exploration (Fig. 2a/2b) sweeps He vs Xavier vs
+// plain random initialization for the expansion layer and the autoencoder
+// weights; these are the exact schemes referenced there.
+#pragma once
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace alf {
+
+/// Initialization scheme identifiers used across the configuration sweeps.
+enum class Init {
+  kHe,      ///< He et al. 2015: N(0, sqrt(2 / fan_in))
+  kXavier,  ///< Glorot & Bengio 2010: U(+-sqrt(6 / (fan_in + fan_out)))
+  kRand,    ///< plain U(-0.05, 0.05)
+  /// Identity + small uniform noise; requires a square rank-2 tensor.
+  /// Used for the ALF autoencoder: near-identity encoders make the
+  /// straight-through estimator of Eq. 5 a valid descent direction
+  /// (see DESIGN.md "STE validity").
+  kIdentity,
+};
+
+/// Parses "he" / "xavier" / "rand"; throws CheckError otherwise.
+Init parse_init(const std::string& name);
+
+/// Name of a scheme ("he", "xavier", "rand").
+const char* init_name(Init init);
+
+/// Fills `t` in place. fan_in / fan_out must be > 0 for He / Xavier.
+void init_tensor(Tensor& t, Init scheme, size_t fan_in, size_t fan_out,
+                 Rng& rng);
+
+/// Fan-in/out for a conv filter bank [Co, Ci, K, K].
+void conv_fans(const Shape& filter_shape, size_t& fan_in, size_t& fan_out);
+
+}  // namespace alf

@@ -1,0 +1,192 @@
+#include "tensor/ops.hpp"
+
+#include <cstring>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+
+namespace alf {
+
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha, float beta) {
+  ALF_CHECK_EQ(a.rank(), size_t{2});
+  ALF_CHECK_EQ(b.rank(), size_t{2});
+  ALF_CHECK_EQ(c.rank(), size_t{2});
+  const size_t m = trans_a ? a.dim(1) : a.dim(0);
+  const size_t k = trans_a ? a.dim(0) : a.dim(1);
+  const size_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const size_t n = trans_b ? b.dim(0) : b.dim(1);
+  ALF_CHECK_EQ(k, kb) << "inner dims";
+  ALF_CHECK_EQ(c.dim(0), m);
+  ALF_CHECK_EQ(c.dim(1), n);
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const size_t lda = a.dim(1);
+  const size_t ldb = b.dim(1);
+
+  // Row-partitioned: each worker owns a contiguous block of C rows.
+  parallel_for_chunked(0, m, [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      float* crow = pc + i * n;
+      if (beta == 0.0f) {
+        std::memset(crow, 0, n * sizeof(float));
+      } else if (beta != 1.0f) {
+        for (size_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+      if (!trans_a && !trans_b) {
+        // C[i,:] += alpha * sum_k A[i,k] * B[k,:]  (streaming B rows)
+        for (size_t kk = 0; kk < k; ++kk) {
+          const float av = alpha * pa[i * lda + kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * ldb;
+          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      } else if (!trans_a && trans_b) {
+        // C[i,j] += alpha * dot(A[i,:], B[j,:])
+        const float* arow = pa + i * lda;
+        for (size_t j = 0; j < n; ++j) {
+          const float* brow = pb + j * ldb;
+          float acc = 0.0f;
+          for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] += alpha * acc;
+        }
+      } else if (trans_a && !trans_b) {
+        // C[i,:] += alpha * sum_k A[k,i] * B[k,:]
+        for (size_t kk = 0; kk < k; ++kk) {
+          const float av = alpha * pa[kk * lda + i];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * ldb;
+          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      } else {
+        // C[i,j] += alpha * sum_k A[k,i] * B[j,k]
+        for (size_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (size_t kk = 0; kk < k; ++kk)
+            acc += pa[kk * lda + i] * pb[j * ldb + kk];
+          crow[j] += alpha * acc;
+        }
+      }
+    }
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  const size_t m = trans_a ? a.dim(1) : a.dim(0);
+  const size_t n = trans_b ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  gemm(a, trans_a, b, trans_b, c);
+  return c;
+}
+
+void im2col(const Tensor& img, const ConvGeom& g, Tensor& col) {
+  ALF_CHECK_EQ(img.rank(), size_t{3});
+  ALF_CHECK_EQ(img.dim(0), g.in_c);
+  ALF_CHECK_EQ(img.dim(1), g.in_h);
+  ALF_CHECK_EQ(img.dim(2), g.in_w);
+  ALF_CHECK_EQ(col.dim(0), g.col_rows());
+  ALF_CHECK_EQ(col.dim(1), g.col_cols());
+
+  const size_t ho = g.out_h(), wo = g.out_w();
+  const float* src = img.data();
+  float* dst = col.data();
+  const size_t hw = g.in_h * g.in_w;
+  for (size_t c = 0; c < g.in_c; ++c) {
+    for (size_t kh = 0; kh < g.kernel; ++kh) {
+      for (size_t kw = 0; kw < g.kernel; ++kw) {
+        float* drow = dst + ((c * g.kernel + kh) * g.kernel + kw) * ho * wo;
+        for (size_t oh = 0; oh < ho; ++oh) {
+          const long ih = static_cast<long>(oh * g.stride + kh) -
+                          static_cast<long>(g.pad);
+          if (ih < 0 || ih >= static_cast<long>(g.in_h)) {
+            std::memset(drow + oh * wo, 0, wo * sizeof(float));
+            continue;
+          }
+          const float* srow = src + c * hw + static_cast<size_t>(ih) * g.in_w;
+          for (size_t ow = 0; ow < wo; ++ow) {
+            const long iw = static_cast<long>(ow * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            drow[oh * wo + ow] =
+                (iw < 0 || iw >= static_cast<long>(g.in_w))
+                    ? 0.0f
+                    : srow[static_cast<size_t>(iw)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& col, const ConvGeom& g, Tensor& img) {
+  ALF_CHECK_EQ(img.rank(), size_t{3});
+  ALF_CHECK_EQ(img.dim(0), g.in_c);
+  ALF_CHECK_EQ(col.dim(0), g.col_rows());
+  ALF_CHECK_EQ(col.dim(1), g.col_cols());
+
+  const size_t ho = g.out_h(), wo = g.out_w();
+  const float* src = col.data();
+  float* dst = img.data();
+  const size_t hw = g.in_h * g.in_w;
+  for (size_t c = 0; c < g.in_c; ++c) {
+    for (size_t kh = 0; kh < g.kernel; ++kh) {
+      for (size_t kw = 0; kw < g.kernel; ++kw) {
+        const float* srow =
+            src + ((c * g.kernel + kh) * g.kernel + kw) * ho * wo;
+        for (size_t oh = 0; oh < ho; ++oh) {
+          const long ih = static_cast<long>(oh * g.stride + kh) -
+                          static_cast<long>(g.pad);
+          if (ih < 0 || ih >= static_cast<long>(g.in_h)) continue;
+          float* drow = dst + c * hw + static_cast<size_t>(ih) * g.in_w;
+          for (size_t ow = 0; ow < wo; ++ow) {
+            const long iw = static_cast<long>(ow * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            if (iw < 0 || iw >= static_cast<long>(g.in_w)) continue;
+            drow[static_cast<size_t>(iw)] += srow[oh * wo + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  ALF_CHECK(same_shape(a, b));
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  ALF_CHECK(same_shape(x, y));
+  const float* px = x.data();
+  float* py = y.data();
+  for (size_t i = 0; i < x.numel(); ++i) py[i] += alpha * px[i];
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  ALF_CHECK(same_shape(a, b));
+  ALF_CHECK(a.numel() > 0);
+  double s = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(a.numel());
+}
+
+Tensor transpose2d(const Tensor& a) {
+  ALF_CHECK_EQ(a.rank(), size_t{2});
+  Tensor out({a.dim(1), a.dim(0)});
+  for (size_t i = 0; i < a.dim(0); ++i)
+    for (size_t j = 0; j < a.dim(1); ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+}  // namespace alf

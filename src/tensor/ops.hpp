@@ -1,0 +1,57 @@
+// Tensor kernels: GEMM, im2col/col2im, elementwise helpers.
+//
+// These are the computational substrate of the NN framework. GEMM is
+// parallelized over output rows with deterministic partitioning (each output
+// element is written by exactly one thread), so results are bit-stable.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace alf {
+
+/// C = alpha * op(A) * op(B) + beta * C, with op(X) = X or X^T.
+/// A is [M, K] (or [K, M] when trans_a), B is [K, N] (or [N, K] when
+/// trans_b), C must be preallocated to [M, N].
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha = 1.0f, float beta = 0.0f);
+
+/// Convenience: returns op(A)*op(B) as a fresh [M, N] tensor.
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// Geometry of a convolution used by im2col/col2im and the Conv2d layer.
+struct ConvGeom {
+  size_t in_c = 0, in_h = 0, in_w = 0;
+  size_t kernel = 1;
+  size_t stride = 1;
+  size_t pad = 0;
+
+  size_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  size_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the im2col matrix = Ci * K * K.
+  size_t col_rows() const { return in_c * kernel * kernel; }
+  /// Columns of the im2col matrix = Ho * Wo.
+  size_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Unfolds one image `img` [Ci, H, W] into `col` [Ci*K*K, Ho*Wo].
+/// `col` must be preallocated; zero-padding is materialized as zeros.
+void im2col(const Tensor& img, const ConvGeom& g, Tensor& col);
+
+/// Accumulates the columns of `col` [Ci*K*K, Ho*Wo] back into image
+/// gradient `img` [Ci, H, W] (adds into img; caller zeroes it first).
+void col2im(const Tensor& col, const ConvGeom& g, Tensor& img);
+
+/// out[i] = a[i] * b[i]; shapes must match.
+Tensor hadamard(const Tensor& a, const Tensor& b);
+
+/// axpy: y += alpha * x.
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/// Mean squared error between two same-shape tensors.
+double mse(const Tensor& a, const Tensor& b);
+
+/// Transposes a rank-2 tensor.
+Tensor transpose2d(const Tensor& a);
+
+}  // namespace alf

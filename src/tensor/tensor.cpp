@@ -1,0 +1,134 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/check.hpp"
+
+namespace alf {
+
+size_t shape_numel(const Shape& shape) {
+  if (shape.empty()) return 0;
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  ALF_CHECK_EQ(data_.size(), shape_numel(shape_)) << shape_str(shape_);
+}
+
+size_t Tensor::dim(size_t d) const {
+  ALF_CHECK(d < shape_.size()) << "dim " << d << " of " << shape_str(shape_);
+  return shape_[d];
+}
+
+float& Tensor::at(size_t i) {
+  ALF_CHECK(i < data_.size());
+  return data_[i];
+}
+
+float Tensor::at(size_t i) const {
+  ALF_CHECK(i < data_.size());
+  return data_[i];
+}
+
+float& Tensor::at(size_t r, size_t c) {
+  ALF_CHECK_EQ(rank(), size_t{2});
+  ALF_CHECK(r < shape_[0] && c < shape_[1]);
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(size_t r, size_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+float& Tensor::at4(size_t a, size_t b, size_t c, size_t d) {
+  ALF_CHECK_EQ(rank(), size_t{4});
+  ALF_CHECK(a < shape_[0] && b < shape_[1] && c < shape_[2] && d < shape_[3]);
+  return data_[((a * shape_[1] + b) * shape_[2] + c) * shape_[3] + d];
+}
+
+float Tensor::at4(size_t a, size_t b, size_t c, size_t d) const {
+  return const_cast<Tensor*>(this)->at4(a, b, c, d);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor out = *this;
+  out.reshape_inplace(std::move(new_shape));
+  return out;
+}
+
+void Tensor::reshape_inplace(Shape new_shape) {
+  ALF_CHECK_EQ(shape_numel(new_shape), data_.size())
+      << "reshape " << shape_str(shape_) << " -> " << shape_str(new_shape);
+  shape_ = std::move(new_shape);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  ALF_CHECK(same_shape(*this, other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  ALF_CHECK(same_shape(*this, other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::mean() const {
+  ALF_CHECK(!data_.empty());
+  return sum() / static_cast<double>(data_.size());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Tensor::l2_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+bool same_shape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace alf

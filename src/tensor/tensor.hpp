@@ -1,0 +1,98 @@
+// Dense float32 tensor.
+//
+// The whole library standardizes on contiguous, row-major float tensors.
+// Feature maps use NCHW layout; convolution filter banks use [Co, Ci, K, K];
+// the ALF autoencoder views a filter bank as the matrix [K*K*Ci, Co].
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace alf {
+
+/// Shape of a tensor; empty shape denotes an empty tensor.
+using Shape = std::vector<size_t>;
+
+/// Returns the element count of a shape (1 for rank-0 is not used; empty -> 0).
+size_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form.
+std::string shape_str(const Shape& shape);
+
+/// Contiguous row-major float32 tensor with value semantics.
+///
+/// Copies are deep; moves are cheap. All indexing is bounds-checked in debug
+/// flavor via ALF_CHECK in at(); hot loops use data() pointers.
+class Tensor {
+ public:
+  /// Empty tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor from explicit data; data.size() must equal shape_numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  const Shape& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Size of dimension `d`; checked.
+  size_t dim(size_t d) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Bounds-checked flat element access.
+  float& at(size_t i);
+  float at(size_t i) const;
+
+  /// Bounds-checked 2-D access; requires rank()==2.
+  float& at(size_t r, size_t c);
+  float at(size_t r, size_t c) const;
+
+  /// Bounds-checked 4-D access; requires rank()==4.
+  float& at4(size_t a, size_t b, size_t c, size_t d);
+  float at4(size_t a, size_t b, size_t c, size_t d) const;
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Returns a copy with a new shape of identical numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reshape (no data movement); numel must match.
+  void reshape_inplace(Shape new_shape);
+
+  /// Elementwise in-place operations.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  /// Sum of all elements (double accumulator).
+  double sum() const;
+
+  /// Mean of all elements; requires numel() > 0.
+  double mean() const;
+
+  /// Max absolute element; 0 for empty tensors.
+  float abs_max() const;
+
+  /// L2 norm (double accumulator).
+  double l2_norm() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// True if both tensors have identical shape.
+bool same_shape(const Tensor& a, const Tensor& b);
+
+}  // namespace alf

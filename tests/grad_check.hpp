@@ -1,0 +1,92 @@
+// Finite-difference gradient checking for Layer implementations.
+//
+// Builds the scalar loss L = sum_i coeff_i * layer(x)_i with fixed random
+// coefficients, computes analytic gradients through Layer::backward, and
+// compares against central finite differences for both the input and every
+// parameter.
+#pragma once
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace alf::testing {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;   ///< max |analytic - numeric|
+  double max_rel_err = 0.0;   ///< max error relative to max(1e-3, |numeric|)
+};
+
+/// Loss coefficients for a given output shape.
+inline Tensor random_coeffs(const Shape& shape, Rng& rng) {
+  Tensor c(shape);
+  for (size_t i = 0; i < c.numel(); ++i)
+    c.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return c;
+}
+
+inline double weighted_sum(const Tensor& y, const Tensor& coeff) {
+  double s = 0.0;
+  for (size_t i = 0; i < y.numel(); ++i)
+    s += static_cast<double>(y.at(i)) * coeff.at(i);
+  return s;
+}
+
+/// Checks dL/dx and dL/dparam for `layer` at input `x`.
+/// `eps` is the finite-difference step; returns the worst errors seen.
+inline GradCheckResult grad_check(Layer& layer, const Tensor& x, Rng& rng,
+                                  float eps = 1e-2f) {
+  GradCheckResult res;
+  Tensor input = x;
+  Tensor y = layer.forward(input, /*train=*/true);
+  const Tensor coeff = random_coeffs(y.shape(), rng);
+
+  layer.zero_grad();
+  Tensor grad_x = layer.backward(coeff);
+
+  auto update = [&res](double analytic, double numeric) {
+    const double abs_err = std::abs(analytic - numeric);
+    res.max_abs_err = std::max(res.max_abs_err, abs_err);
+    const double denom = std::max(1e-3, std::abs(numeric));
+    res.max_rel_err = std::max(res.max_rel_err, abs_err / denom);
+  };
+
+  // Input gradient.
+  for (size_t i = 0; i < input.numel(); ++i) {
+    const float orig = input.at(i);
+    input.at(i) = orig + eps;
+    const double lp = weighted_sum(layer.forward(input, true), coeff);
+    input.at(i) = orig - eps;
+    const double lm = weighted_sum(layer.forward(input, true), coeff);
+    input.at(i) = orig;
+    update(grad_x.at(i), (lp - lm) / (2.0 * eps));
+  }
+
+  // Parameter gradients (analytic grads were accumulated above; a fresh
+  // forward pass uses the unchanged parameter values).
+  for (Param* p : layer.params()) {
+    for (size_t i = 0; i < p->value.numel(); ++i) {
+      const float orig = p->value.at(i);
+      p->value.at(i) = orig + eps;
+      const double lp = weighted_sum(layer.forward(input, true), coeff);
+      p->value.at(i) = orig - eps;
+      const double lm = weighted_sum(layer.forward(input, true), coeff);
+      p->value.at(i) = orig;
+      update(p->grad.at(i), (lp - lm) / (2.0 * eps));
+    }
+  }
+  // Restore caches to a consistent state.
+  layer.forward(input, true);
+  return res;
+}
+
+/// Random NCHW tensor in [-1, 1].
+inline Tensor random_input(Shape shape, Rng& rng) {
+  Tensor x(std::move(shape));
+  for (size_t i = 0; i < x.numel(); ++i)
+    x.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+}  // namespace alf::testing

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alf/alf_conv.hpp"
+#include "alf/deploy.hpp"
+#include "grad_check.hpp"
+#include "models/zoo.hpp"
+#include "tensor/ops.hpp"
+
+namespace alf {
+namespace {
+
+using testing::random_input;
+
+AlfConfig default_cfg() { return AlfConfig{}; }
+
+TEST(AlfConv, ForwardShapeMatchesPlainConv) {
+  Rng rng(1);
+  AlfConv block("b", 3, 8, 3, 2, 1, default_cfg(), rng);
+  Tensor x = random_input({2, 3, 9, 9}, rng);
+  Tensor y = block.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 5, 5}));
+  EXPECT_EQ(block.last_out_h(), 5u);
+}
+
+TEST(AlfConv, CcodeMaxMatchesEq2) {
+  Rng rng(2);
+  // Eq. 2 example: Ci=16, Co=32, K=3 -> floor(16*32*9 / (16*9 + 32)) = 26.
+  AlfConv block("b", 16, 32, 3, 1, 1, default_cfg(), rng);
+  EXPECT_EQ(block.ccode_max(), (16u * 32 * 9) / (16 * 9 + 32));
+  EXPECT_EQ(block.ccode_max(), 26u);
+  EXPECT_LT(block.ccode_max(), 32u);  // bound is strictly below Co
+}
+
+TEST(AlfConv, MaskStartsFullyActive) {
+  Rng rng(3);
+  AlfConv block("b", 4, 6, 3, 1, 1, default_cfg(), rng);
+  EXPECT_EQ(block.zero_filters(), 0u);
+  EXPECT_DOUBLE_EQ(block.remaining_fraction(), 1.0);
+}
+
+TEST(AlfConv, ClippingZeroesSubThresholdMaskEntries) {
+  Rng rng(4);
+  AlfConfig cfg = default_cfg();
+  cfg.threshold = 0.5f;
+  AlfConv block("b", 2, 4, 3, 1, 1, cfg, rng);
+  block.mask() = Tensor({4}, {1.0f, 0.4f, -0.6f, 0.49f});
+  Tensor mp = block.compute_mprune();
+  EXPECT_FLOAT_EQ(mp.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(mp.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(mp.at(2), -0.6f);  // clip keeps the signed value
+  EXPECT_FLOAT_EQ(mp.at(3), 0.0f);
+  EXPECT_EQ(block.zero_filters(), 2u);
+}
+
+TEST(AlfConv, MaskRecoveryIsPossible) {
+  // A clipped entry is not dead: the stored mask value keeps training and
+  // can re-cross the threshold (the paper's "recover a channel" property).
+  Rng rng(5);
+  AlfConfig cfg = default_cfg();
+  cfg.threshold = 0.5f;
+  AlfConv block("b", 2, 4, 3, 1, 1, cfg, rng);
+  block.mask() = Tensor({4}, {1.0f, 0.4f, 1.0f, 1.0f});
+  EXPECT_EQ(block.zero_filters(), 1u);
+  block.mask().at(1) = 0.7f;  // e.g. an optimizer update
+  EXPECT_EQ(block.zero_filters(), 0u);
+}
+
+TEST(AlfConv, ZeroedFilterProducesZeroCodeRow) {
+  Rng rng(6);
+  AlfConfig cfg = default_cfg();
+  cfg.threshold = 0.5f;
+  AlfConv block("b", 2, 4, 3, 1, 1, cfg, rng);
+  block.mask() = Tensor({4}, {1.0f, 0.1f, 1.0f, 1.0f});
+  Tensor wcode = block.compute_wcode();
+  const size_t cols = wcode.dim(1);
+  for (size_t j = 0; j < cols; ++j)
+    EXPECT_FLOAT_EQ(wcode.at(1 * cols + j), 0.0f);  // tanh(0) = 0
+}
+
+TEST(AlfConv, DisabledMaskPrunesNothing) {
+  Rng rng(7);
+  AlfConfig cfg = default_cfg();
+  cfg.mask_enabled = false;
+  AlfConv block("b", 2, 4, 3, 1, 1, cfg, rng);
+  block.mask() = Tensor({4}, {0.0f, 0.0f, 0.0f, 0.0f});
+  EXPECT_EQ(block.zero_filters(), 0u);
+}
+
+TEST(AlfConv, TaskParamsExcludeAutoencoder) {
+  Rng rng(8);
+  AlfConv block("b", 2, 4, 3, 1, 1, default_cfg(), rng);
+  auto params = block.params();
+  ASSERT_EQ(params.size(), 2u);  // W, Wexp
+  EXPECT_FALSE(params[0]->decay);  // no regularization on W (Sec. III-B)
+}
+
+TEST(AlfConv, SteGradientEqualsConvGradWrtWcode) {
+  // With STE the gradient reaching W must be exactly dL/dWcode: perturbing
+  // Wcode directly (finite differences through the conv only) must match
+  // block.backward's accumulated w().grad.
+  Rng rng(9);
+  AlfConfig cfg = default_cfg();
+  AlfConv block("b", 2, 3, 3, 1, 1, cfg, rng);
+  Tensor x = random_input({1, 2, 4, 4}, rng);
+  Tensor y = block.forward(x, true);
+  Tensor coeff = testing::random_coeffs(y.shape(), rng);
+  block.zero_grad();
+  block.backward(coeff);
+
+  const Tensor wcode = block.compute_wcode();
+  const ConvGeom g{2, 4, 4, 3, 1, 1};
+  const float eps = 1e-2f;
+  Tensor wc = wcode;
+  for (size_t i = 0; i < wc.numel(); i += 7) {  // sample positions
+    const float orig = wc.at(i);
+    wc.at(i) = orig + eps;
+    const double lp = testing::weighted_sum(
+        conv2d_forward(
+            act_forward(cfg.sigma_inter,
+                        conv2d_forward(x, wc, g, 3)),
+            block.wexp().value, ConvGeom{3, 4, 4, 1, 1, 0}, 3),
+        coeff);
+    wc.at(i) = orig - eps;
+    const double lm = testing::weighted_sum(
+        conv2d_forward(
+            act_forward(cfg.sigma_inter,
+                        conv2d_forward(x, wc, g, 3)),
+            block.wexp().value, ConvGeom{3, 4, 4, 1, 1, 0}, 3),
+        coeff);
+    wc.at(i) = orig;
+    EXPECT_NEAR(block.w().grad.at(i), (lp - lm) / (2 * eps), 5e-2) << i;
+  }
+}
+
+TEST(AlfConv, NonSteGradientMatchesFiniteDifference) {
+  // With use_ste=false the full chain is differentiated, so a standard
+  // end-to-end gradient check through W must pass.
+  Rng rng(10);
+  AlfConfig cfg = default_cfg();
+  cfg.use_ste = false;
+  AlfConv block("b", 2, 3, 3, 1, 1, cfg, rng);
+  Tensor x = random_input({1, 2, 4, 4}, rng);
+  auto res = testing::grad_check(block, x, rng);
+  EXPECT_LT(res.max_rel_err, 6e-2);
+}
+
+TEST(AlfConv, ExpansionGradientMatchesFiniteDifference) {
+  // Wexp is a plain task parameter in both STE modes.
+  Rng rng(11);
+  AlfConv block("b", 2, 3, 3, 1, 1, default_cfg(), rng);
+  Tensor x = random_input({1, 2, 4, 4}, rng);
+  Tensor y = block.forward(x, true);
+  Tensor coeff = testing::random_coeffs(y.shape(), rng);
+  block.zero_grad();
+  block.backward(coeff);
+  const float eps = 1e-2f;
+  for (size_t i = 0; i < block.wexp().value.numel(); i += 3) {
+    const float orig = block.wexp().value.at(i);
+    block.wexp().value.at(i) = orig + eps;
+    const double lp = testing::weighted_sum(block.forward(x, true), coeff);
+    block.wexp().value.at(i) = orig - eps;
+    const double lm = testing::weighted_sum(block.forward(x, true), coeff);
+    block.wexp().value.at(i) = orig;
+    EXPECT_NEAR(block.wexp().grad.at(i), (lp - lm) / (2 * eps), 5e-2);
+  }
+}
+
+TEST(AlfConv, AutoencoderStepReducesReconstruction) {
+  Rng rng(12);
+  AlfConfig cfg = default_cfg();
+  cfg.mask_enabled = false;  // isolate the reconstruction objective
+  cfg.lr_ae = 5e-2f;
+  AlfConv block("b", 4, 8, 3, 1, 1, cfg, rng);
+  const double first = block.autoencoder_step().l_rec;
+  double last = first;
+  for (int i = 0; i < 800; ++i) last = block.autoencoder_step().l_rec;
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(AlfConv, PruningPressureDrivesMaskDown) {
+  Rng rng(13);
+  AlfConfig cfg = default_cfg();
+  cfg.lr_ae = 5e-2f;
+  cfg.threshold = 0.3f;
+  AlfConv block("b", 4, 8, 3, 1, 1, cfg, rng);
+  for (int i = 0; i < 400; ++i) block.autoencoder_step();
+  EXPECT_GT(block.zero_filters(), 0u);
+}
+
+TEST(AlfConv, NuPruneDecaysWithSparsity) {
+  Rng rng(14);
+  AlfConfig cfg = default_cfg();
+  AlfConv block("b", 2, 10, 3, 1, 1, cfg, rng);
+  // theta = 0 -> nu = 1 - exp(-m*pr_max), close to 1.
+  AeStepStats s0 = block.autoencoder_step();
+  EXPECT_NEAR(s0.nu_prune, 1.0 - std::exp(8.0 * (0.0 - 0.85)), 1e-9);
+  // Force high sparsity: zero out 9 of 10 mask entries.
+  for (size_t i = 1; i < 10; ++i) block.mask().at(i) = 0.0f;
+  AeStepStats s1 = block.autoencoder_step();
+  EXPECT_LT(s1.nu_prune, s0.nu_prune);
+  // At theta >= pr_max the pressure vanishes entirely.
+  EXPECT_NEAR(s1.nu_prune, std::max(0.0, 1.0 - std::exp(8.0 * (0.9 - 0.85))),
+              1e-9);
+  EXPECT_EQ(s1.nu_prune, 0.0);
+}
+
+TEST(AlfConv, MaskWarmupFreezesMaskOnly) {
+  Rng rng(21);
+  AlfConfig cfg = default_cfg();
+  cfg.lr_ae = 5e-2f;
+  cfg.mask_warmup_steps = 50;
+  AlfConv block("b", 4, 8, 3, 1, 1, cfg, rng);
+  const Tensor mask_before = block.mask();
+  const Tensor enc_before = block.wenc();
+  for (int i = 0; i < 20; ++i) block.autoencoder_step();
+  // Encoder trained, mask untouched during warmup.
+  EXPECT_GT((block.wenc().l2_norm() != enc_before.l2_norm()), 0);
+  for (size_t i = 0; i < 8; ++i)
+    EXPECT_FLOAT_EQ(block.mask().at(i), mask_before.at(i));
+  // After warmup the mask moves.
+  for (int i = 0; i < 60; ++i) block.autoencoder_step();
+  bool moved = false;
+  for (size_t i = 0; i < 8; ++i)
+    moved |= block.mask().at(i) != mask_before.at(i);
+  EXPECT_TRUE(moved);
+}
+
+TEST(AlfConv, MaskLrMultiplierAcceleratesPruning) {
+  auto run = [](float mult) {
+    Rng rng(22);
+    AlfConfig cfg;
+    cfg.lr_ae = 1e-3f;
+    cfg.lr_mask_mult = mult;
+    AlfConv block("b", 4, 8, 3, 1, 1, cfg, rng);
+    for (int i = 0; i < 100; ++i) block.autoencoder_step();
+    double sum = 0.0;
+    for (size_t i = 0; i < 8; ++i) sum += std::abs(block.mask().at(i));
+    return sum / 8.0;  // mean |m| after identical step counts
+  };
+  // Higher mask lr drives |m| down faster under the same L1 pressure.
+  EXPECT_LT(run(100.0f), run(1.0f));
+}
+
+TEST(AlfConv, IdentityInitCodeApproximatesW) {
+  // With near-identity encoder and tanh in its linear region, the initial
+  // code is close to the raw filter bank — the precondition for the STE.
+  Rng rng(23);
+  AlfConfig cfg = default_cfg();
+  cfg.wae_init = Init::kIdentity;
+  AlfConv block("b", 4, 8, 3, 1, 1, cfg, rng);
+  const Tensor wmat =
+      block.w().value.reshaped({8, 4 * 9});
+  const Tensor wcode = block.compute_wcode();
+  // tanh compresses slightly; correlation must be near 1.
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < wmat.numel(); ++i) {
+    dot += static_cast<double>(wmat.at(i)) * wcode.at(i);
+    na += static_cast<double>(wmat.at(i)) * wmat.at(i);
+    nb += static_cast<double>(wcode.at(i)) * wcode.at(i);
+  }
+  EXPECT_GT(dot / std::sqrt(na * nb), 0.99);
+}
+
+TEST(Deploy, DescribeBlockFields) {
+  Rng rng(15);
+  AlfConv block("conv31", 8, 16, 3, 2, 1, default_cfg(), rng);
+  const CompressedConvDesc d = describe_block(block);
+  EXPECT_EQ(d.name, "conv31");
+  EXPECT_EQ(d.ci, 8u);
+  EXPECT_EQ(d.co, 16u);
+  EXPECT_EQ(d.ccode, 16u);  // nothing pruned yet
+  EXPECT_EQ(d.stride, 2u);
+  EXPECT_EQ(d.ccode_max, block.ccode_max());
+}
+
+TEST(Deploy, DeployedUnitMatchesBlockExactly) {
+  Rng rng(16);
+  AlfConfig cfg = default_cfg();
+  cfg.threshold = 0.5f;
+  AlfConv block("b", 3, 6, 3, 1, 1, cfg, rng);
+  // Prune half the filters.
+  block.mask() = Tensor({6}, {1.0f, 0.1f, -0.8f, 0.2f, 0.6f, 0.0f});
+  Tensor x = random_input({2, 3, 7, 7}, rng);
+  const float err = deployment_error(block, x, rng);
+  EXPECT_LT(err, 1e-5f);
+}
+
+TEST(Deploy, DeployedUnitWithSigmaInter) {
+  Rng rng(17);
+  AlfConfig cfg = default_cfg();
+  cfg.sigma_inter = Act::kRelu;
+  cfg.threshold = 0.5f;
+  AlfConv block("b", 2, 4, 3, 1, 1, cfg, rng);
+  block.mask() = Tensor({4}, {1.0f, 0.2f, 0.9f, 1.0f});
+  Tensor x = random_input({1, 2, 5, 5}, rng);
+  EXPECT_LT(deployment_error(block, x, rng), 1e-5f);
+}
+
+TEST(Deploy, AllPrunedKeepsOneFilter) {
+  Rng rng(18);
+  AlfConfig cfg = default_cfg();
+  cfg.threshold = 0.5f;
+  AlfConv block("b", 2, 4, 3, 1, 1, cfg, rng);
+  block.mask() = Tensor({4}, {0.1f, 0.2f, 0.3f, 0.05f});
+  EXPECT_EQ(block.zero_filters(), 4u);
+  LayerPtr unit = make_deployed_unit(block, rng);
+  Tensor x = random_input({1, 2, 5, 5}, rng);
+  Tensor y = unit->forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 5, 5}));
+}
+
+TEST(Deploy, CompressionCostMath) {
+  ModelCost vanilla;
+  vanilla.name = "v";
+  CostBuilder b("v", 3, 8, 8);
+  b.conv("c1", 16, 3, 1, 1);
+  vanilla = b.finish();
+  const ModelCost comp =
+      apply_alf_compression(vanilla, {{"c1", 4}}, "v-alf");
+  ASSERT_EQ(comp.layers.size(), 2u);
+  EXPECT_EQ(comp.layers[0].params, 3ull * 4 * 9);
+  EXPECT_EQ(comp.layers[1].params, 4ull * 16);
+  // ccode=4 < ccode_max -> cheaper than vanilla.
+  EXPECT_LT(comp.total_macs(), vanilla.total_macs());
+}
+
+TEST(Deploy, Eq2BoundaryOnCost) {
+  // At ccode == ccode_max the ALF pair should not exceed the vanilla conv
+  // MACs; above it, it should.
+  CostBuilder b("v", 16, 8, 8);
+  b.conv("c", 32, 3, 1, 1);
+  const ModelCost vanilla = b.finish();
+  const size_t ccode_max = (16 * 32 * 9) / (16 * 9 + 32);  // Eq. 2
+  const ModelCost at =
+      apply_alf_compression(vanilla, {{"c", ccode_max}}, "at");
+  EXPECT_LE(at.total_macs(), vanilla.total_macs());
+  const ModelCost above =
+      apply_alf_compression(vanilla, {{"c", ccode_max + 1}}, "above");
+  EXPECT_GT(above.total_macs(), vanilla.total_macs());
+}
+
+TEST(Deploy, FractionsApplyToMatchingLayers) {
+  CostBuilder b("v", 3, 8, 8);
+  b.conv("c1", 16, 3, 1, 1);
+  b.conv("c2", 32, 3, 1, 1);
+  const ModelCost vanilla = b.finish();
+  const ModelCost comp =
+      apply_alf_fractions(vanilla, {{"c1", 0.5}}, "half");
+  ASSERT_EQ(comp.layers.size(), 3u);  // c1 pair + untouched c2
+  EXPECT_EQ(comp.layers[0].co, 8u);
+  EXPECT_EQ(comp.layers[2].name, "c2");
+  EXPECT_EQ(comp.layers[2].params, vanilla.layers[1].params);
+}
+
+TEST(Deploy, MakerRegistersBlocks) {
+  Rng rng(19);
+  std::vector<AlfConv*> registry;
+  ModelConfig cfg;
+  cfg.base_width = 4;
+  auto maker = make_alf_conv_maker(default_cfg(), &rng, &registry);
+  auto model = build_plain20(cfg, rng, maker);
+  EXPECT_EQ(registry.size(), 19u);
+  EXPECT_EQ(collect_alf_convs(*model).size(), 19u);
+  // Forward works end to end.
+  Tensor x({1, 3, 32, 32});
+  EXPECT_EQ(model->forward(x, false).shape(), (Shape{1, 10}));
+}
+
+}  // namespace
+}  // namespace alf

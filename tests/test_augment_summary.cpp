@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "alf/alf_conv.hpp"
+#include "core/check.hpp"
+#include "data/augment.hpp"
+#include "models/summary.hpp"
+#include "models/zoo.hpp"
+
+namespace alf {
+namespace {
+
+Tensor ramp_batch(size_t n, size_t c, size_t h, size_t w) {
+  Tensor x({n, c, h, w});
+  for (size_t i = 0; i < x.numel(); ++i) x.at(i) = static_cast<float>(i);
+  return x;
+}
+
+TEST(Augment, HflipReversesRows) {
+  Tensor x = ramp_batch(2, 1, 2, 3);
+  hflip_image(x, 0);
+  // First image rows reversed.
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 1, 0), 5.0f);
+  // Second image untouched.
+  EXPECT_FLOAT_EQ(x.at4(1, 0, 0, 0), 6.0f);
+}
+
+TEST(Augment, HflipTwiceIsIdentity) {
+  Tensor x = ramp_batch(1, 3, 4, 5);
+  Tensor orig = x;
+  hflip_image(x, 0);
+  hflip_image(x, 0);
+  for (size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.at(i), orig.at(i));
+}
+
+TEST(Augment, ShiftMovesAndZeroFills) {
+  Tensor x = ramp_batch(1, 1, 3, 3);
+  shift_image(x, 0, 1, 0);  // down by one row
+  // New top row is zero padding.
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 0, 2), 0.0f);
+  // Old row 0 moved to row 1.
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 1, 0), 0.0f + 0.0f);  // was value 0
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 2, 2), 5.0f);
+}
+
+TEST(Augment, ShiftZeroIsNoop) {
+  Tensor x = ramp_batch(1, 2, 3, 3);
+  Tensor orig = x;
+  shift_image(x, 0, 0, 0);
+  for (size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.at(i), orig.at(i));
+}
+
+TEST(Augment, NegativeShiftOppositeDirection) {
+  Tensor x = ramp_batch(1, 1, 3, 3);
+  shift_image(x, 0, 0, -1);  // left
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x.at4(0, 0, 0, 2), 0.0f);  // right column padded
+}
+
+TEST(Augment, BatchAugmentDeterministic) {
+  Tensor a = ramp_batch(4, 3, 8, 8);
+  Tensor b = a;
+  AugmentConfig cfg;
+  Rng r1(5), r2(5);
+  augment_batch(a, cfg, r1);
+  augment_batch(b, cfg, r2);
+  for (size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Augment, RespectsMaxShiftBound) {
+  // With max_shift = 0 and no flip the batch is unchanged.
+  Tensor x = ramp_batch(3, 1, 4, 4);
+  Tensor orig = x;
+  AugmentConfig cfg;
+  cfg.hflip = false;
+  cfg.max_shift = 0;
+  Rng rng(7);
+  augment_batch(x, cfg, rng);
+  for (size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.at(i), orig.at(i));
+}
+
+TEST(Summary, CountsMatchParams) {
+  Rng rng(1);
+  ModelConfig mc;
+  mc.base_width = 4;
+  auto model = build_plain20(mc, rng, standard_conv_maker(mc.init, &rng));
+  EXPECT_EQ(count_parameters(*model), [&] {
+    size_t t = 0;
+    for (Param* p : model->params()) t += p->value.numel();
+    return t;
+  }());
+  const auto rows = summarize(*model);
+  size_t sum = 0;
+  for (const auto& r : rows) sum += r.param_count;
+  EXPECT_EQ(sum, count_parameters(*model));
+}
+
+TEST(Summary, ListsConvAndBnAndFc) {
+  Rng rng(2);
+  ModelConfig mc;
+  mc.base_width = 4;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  const auto rows = summarize(*model);
+  size_t convs = 0, bns = 0, fcs = 0;
+  for (const auto& r : rows) {
+    if (r.kind == "conv") ++convs;
+    if (r.kind == "bn") ++bns;
+    if (r.kind == "linear") ++fcs;
+  }
+  EXPECT_EQ(convs, 21u);  // 19 + 2 projections
+  EXPECT_EQ(bns, 21u);
+  EXPECT_EQ(fcs, 1u);
+}
+
+TEST(Summary, TableRendersTotals) {
+  Rng rng(3);
+  Sequential model("tiny");
+  model.emplace<Conv2d>("c", 1, 2, 3, 1, 1, Init::kHe, rng);
+  const std::string s = summary_table(model);
+  EXPECT_NE(s.find("tiny"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+  EXPECT_NE(s.find("18"), std::string::npos);  // 2*1*3*3 params
+  EXPECT_NE(s.find("2x1x3x3"), std::string::npos);
+}
+
+TEST(Summary, AlfBlockCounted) {
+  Rng rng(4);
+  AlfConfig cfg;
+  Sequential model("alfm");
+  std::vector<AlfConv*> blocks;
+  auto maker = make_alf_conv_maker(cfg, &rng, &blocks);
+  model.add(maker("a1", 2, 4, 3, 1, 1));
+  const auto rows = summarize(model);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].kind, std::string("alf_conv"));
+  // W (4*2*3*3) + Wexp (4*4).
+  EXPECT_EQ(rows[0].param_count, 72u + 16u);
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "alf/checkpoint.hpp"
+#include "alf/trainer.hpp"
+#include "core/check.hpp"
+#include "models/zoo.hpp"
+
+namespace alf {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Small model with every stateful layer kind: conv, BN, ALF block, FC.
+std::unique_ptr<Sequential> make_model(uint64_t seed,
+                                       std::vector<AlfConv*>* blocks) {
+  Rng rng(seed);
+  AlfConfig acfg;
+  acfg.wae_init = Init::kIdentity;
+  auto model = std::make_unique<Sequential>("ckpt");
+  model->emplace<Conv2d>("c1", 3, 6, 3, 1, 1, Init::kHe, rng);
+  model->emplace<BatchNorm2d>("c1_bn", 6);
+  model->emplace<Activation>("c1_relu", Act::kRelu);
+  auto maker = make_alf_conv_maker(acfg, &rng, blocks);
+  model->add(maker("c2", 6, 8, 3, 2, 1));
+  model->emplace<BatchNorm2d>("c2_bn", 8);
+  model->emplace<GlobalAvgPool>("gap");
+  model->emplace<Flatten>("fl");
+  model->emplace<Linear>("fc", 8, 4, Init::kXavier, rng);
+  return model;
+}
+
+TEST(Checkpoint, StateDictCoversAllState) {
+  std::vector<AlfConv*> blocks;
+  auto model = make_model(1, &blocks);
+  const auto refs = state_dict(*model);
+  std::set<std::string> names;
+  for (const auto& r : refs) names.insert(r.name);
+  EXPECT_EQ(names.size(), refs.size());  // unique names
+  EXPECT_TRUE(names.count("c1.w"));
+  EXPECT_TRUE(names.count("c1_bn.gamma"));
+  EXPECT_TRUE(names.count("c1_bn.running_mean"));
+  EXPECT_TRUE(names.count("c2.w"));
+  EXPECT_TRUE(names.count("c2.wexp"));
+  EXPECT_TRUE(names.count("c2.wenc"));
+  EXPECT_TRUE(names.count("c2.wdec"));
+  EXPECT_TRUE(names.count("c2.mask"));
+  EXPECT_TRUE(names.count("fc.w"));
+  EXPECT_TRUE(names.count("fc.b"));
+}
+
+TEST(Checkpoint, SaveLoadRoundTripBitExact) {
+  const std::string path = temp_path("alf_ckpt_roundtrip.bin");
+  std::vector<AlfConv*> blocks_a;
+  auto a = make_model(7, &blocks_a);
+
+  // Perturb state so defaults do not mask bugs: train-ish mutations.
+  Rng rng(99);
+  for (const auto& r : state_dict(*a))
+    for (size_t i = 0; i < r.tensor->numel(); ++i)
+      r.tensor->at(i) += static_cast<float>(rng.uniform(-0.1, 0.1));
+
+  ASSERT_TRUE(save_checkpoint(*a, path));
+
+  std::vector<AlfConv*> blocks_b;
+  auto b = make_model(8, &blocks_b);  // different seed => different weights
+  load_checkpoint(*b, path);
+
+  const auto ra = state_dict(*a);
+  const auto rb = state_dict(*b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].name, rb[i].name);
+    for (size_t j = 0; j < ra[i].tensor->numel(); ++j)
+      ASSERT_EQ(ra[i].tensor->at(j), rb[i].tensor->at(j)) << ra[i].name;
+  }
+  // Identical forward outputs.
+  Tensor x({2, 3, 8, 8}, 0.5f);
+  Tensor ya = a->forward(x, false);
+  Tensor yb = b->forward(x, false);
+  for (size_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya.at(i), yb.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  const std::string path = temp_path("alf_ckpt_mismatch.bin");
+  std::vector<AlfConv*> blocks;
+  auto a = make_model(1, &blocks);
+  ASSERT_TRUE(save_checkpoint(*a, path));
+
+  Rng rng(2);
+  Sequential other("other");
+  other.emplace<Conv2d>("weird", 3, 6, 3, 1, 1, Init::kHe, rng);
+  EXPECT_THROW(load_checkpoint(other, path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptFile) {
+  const std::string path = temp_path("alf_ckpt_corrupt.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTACKPT-garbage";
+  }
+  std::vector<AlfConv*> blocks;
+  auto model = make_model(1, &blocks);
+  EXPECT_THROW(load_checkpoint(*model, path), CheckError);
+  EXPECT_THROW(load_checkpoint(*model, temp_path("does_not_exist.bin")),
+               CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumedTrainingMatchesUninterrupted) {
+  // Train 4 epochs straight vs 2 epochs + checkpoint round-trip + 2 epochs:
+  // the restored run must produce identical evaluation (full state saved).
+  DataConfig task;
+  task.classes = 4;
+  task.height = task.width = 8;
+  SyntheticImageDataset train(task, 64, 1), test(task, 32, 2);
+  const std::string path = temp_path("alf_ckpt_resume.bin");
+
+  auto train_epochs = [&](Sequential& m, size_t epochs, uint64_t seed) {
+    TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batch_size = 16;
+    cfg.seed = seed;
+    Trainer(m, train, test, cfg).run();
+  };
+
+  std::vector<AlfConv*> b1;
+  auto straight = make_model(5, &b1);
+  train_epochs(*straight, 2, 100);
+
+  std::vector<AlfConv*> b2;
+  auto resumed = make_model(6, &b2);
+  {
+    std::vector<AlfConv*> btmp;
+    auto first_half = make_model(5, &btmp);
+    train_epochs(*first_half, 2, 100);
+    ASSERT_TRUE(save_checkpoint(*first_half, path));
+  }
+  load_checkpoint(*resumed, path);
+
+  const double acc_a = Trainer::evaluate(*straight, test);
+  const double acc_b = Trainer::evaluate(*resumed, test);
+  EXPECT_DOUBLE_EQ(acc_a, acc_b);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+
+namespace alf {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    ALF_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(ALF_CHECK(true));
+  EXPECT_NO_THROW(ALF_CHECK_EQ(3, 3));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAll) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(23);
+  const auto perm = rng.permutation(50);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> counts(5000);
+  parallel_for(0, counts.size(), [&counts](size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, ChunkedCoversRange) {
+  std::vector<std::atomic<int>> counts(4097);
+  parallel_for_chunked(0, counts.size(), [&counts](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) counts[i]++;
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ThreadOverrideRestores) {
+  set_parallel_threads(2);
+  EXPECT_EQ(parallel_threads(), 2);
+  set_parallel_threads(0);
+  EXPECT_GE(parallel_threads(), 1);
+}
+
+TEST(Table, AlignsAndFormats) {
+  Table t("demo");
+  t.set_header({"a", "bbbb"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("bbbb"), std::string::npos);
+  EXPECT_NE(s.find("yy"), std::string::npos);
+}
+
+TEST(Table, CsvRoundtrip) {
+  Table t;
+  t.set_header({"col1", "col2"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "col1,col2\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+  EXPECT_EQ(Table::fmt_pct(0.125, 1), "12.5%");
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "data/synthetic.hpp"
+
+namespace alf {
+namespace {
+
+TEST(Dataset, SizesAndLabels) {
+  DataConfig cfg = DataConfig::cifar_like();
+  SyntheticImageDataset ds(cfg, 100, /*split_seed=*/1);
+  EXPECT_EQ(ds.size(), 100u);
+  std::map<int, int> counts;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_GE(ds.label(i), 0);
+    EXPECT_LT(ds.label(i), static_cast<int>(cfg.classes));
+    counts[ds.label(i)]++;
+  }
+  // Round-robin labelling keeps classes balanced.
+  for (const auto& [label, count] : counts) EXPECT_EQ(count, 10);
+}
+
+TEST(Dataset, DeterministicForSameSeeds) {
+  DataConfig cfg = DataConfig::cifar_like();
+  SyntheticImageDataset a(cfg, 20, 5), b(cfg, 20, 5);
+  Tensor xa, xb;
+  std::vector<int> ya, yb;
+  a.full_batch(xa, ya);
+  b.full_batch(xb, yb);
+  EXPECT_EQ(ya, yb);
+  for (size_t i = 0; i < xa.numel(); ++i) EXPECT_EQ(xa.at(i), xb.at(i));
+}
+
+TEST(Dataset, SplitSeedChangesSamplesNotTask) {
+  DataConfig cfg = DataConfig::cifar_like();
+  SyntheticImageDataset train(cfg, 20, 5), test(cfg, 20, 6);
+  Tensor xa, xb;
+  std::vector<int> ya, yb;
+  train.full_batch(xa, ya);
+  test.full_batch(xb, yb);
+  EXPECT_EQ(ya, yb);  // same round-robin labels
+  bool differs = false;
+  for (size_t i = 0; i < xa.numel() && !differs; ++i)
+    differs = xa.at(i) != xb.at(i);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Dataset, PixelsBounded) {
+  DataConfig cfg = DataConfig::cifar_like();
+  SyntheticImageDataset ds(cfg, 10, 3);
+  Tensor x;
+  std::vector<int> y;
+  ds.full_batch(x, y);
+  EXPECT_EQ(x.shape(), (Shape{10, 3, 32, 32}));
+  for (size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_GE(x.at(i), -2.0f);
+    EXPECT_LE(x.at(i), 2.0f);
+  }
+}
+
+TEST(Dataset, ClassesAreSeparable) {
+  // Same-class images correlate more with each other than cross-class —
+  // the minimal condition for the task to be learnable.
+  DataConfig cfg = DataConfig::cifar_like();
+  cfg.noise_std = 0.1f;
+  cfg.max_shift = 0;
+  SyntheticImageDataset ds(cfg, 40, 7);
+  Tensor x;
+  std::vector<int> y;
+  ds.full_batch(x, y);
+  const size_t numel = 3 * 32 * 32;
+  auto corr = [&](size_t a, size_t b) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    const float* pa = x.data() + a * numel;
+    const float* pb = x.data() + b * numel;
+    for (size_t i = 0; i < numel; ++i) {
+      dot += static_cast<double>(pa[i]) * pb[i];
+      na += static_cast<double>(pa[i]) * pa[i];
+      nb += static_cast<double>(pb[i]) * pb[i];
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (size_t a = 0; a < 40; ++a) {
+    for (size_t b = a + 1; b < 40; ++b) {
+      if (y[a] == y[b]) {
+        same += corr(a, b);
+        ++same_n;
+      } else {
+        cross += corr(a, b);
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.1);
+}
+
+TEST(BatchIterator, CoversDatasetOncePerEpoch) {
+  DataConfig cfg = DataConfig::cifar_like();
+  SyntheticImageDataset ds(cfg, 25, 1);
+  BatchIterator it(ds, 8, /*seed=*/3);
+  Tensor x;
+  std::vector<int> y;
+  size_t total = 0, batches = 0;
+  while (it.next(x, y)) {
+    total += y.size();
+    ++batches;
+  }
+  EXPECT_EQ(total, 25u);
+  EXPECT_EQ(batches, 4u);  // 8+8+8+1
+  EXPECT_EQ(it.batches_per_epoch(), 4u);
+}
+
+TEST(BatchIterator, ShuffleChangesOrderAcrossEpochs) {
+  DataConfig cfg = DataConfig::cifar_like();
+  cfg.classes = 5;
+  SyntheticImageDataset ds(cfg, 30, 1);
+  BatchIterator it(ds, 30, /*seed=*/3);
+  Tensor x;
+  std::vector<int> y1, y2;
+  it.next(x, y1);
+  it.reset();
+  it.next(x, y2);
+  EXPECT_NE(y1, y2);
+}
+
+TEST(BatchIterator, NoShuffleKeepsOrder) {
+  DataConfig cfg = DataConfig::cifar_like();
+  SyntheticImageDataset ds(cfg, 12, 1);
+  BatchIterator it(ds, 12, /*seed=*/3, /*shuffle=*/false);
+  Tensor x;
+  std::vector<int> y;
+  it.next(x, y);
+  for (size_t i = 0; i < y.size(); ++i)
+    EXPECT_EQ(y[i], ds.label(i));
+}
+
+TEST(DataConfig, ImagenetLikeHasMoreClasses) {
+  const DataConfig c = DataConfig::cifar_like();
+  const DataConfig i = DataConfig::imagenet_like();
+  EXPECT_GT(i.classes, c.classes);
+}
+
+}  // namespace
+}  // namespace alf

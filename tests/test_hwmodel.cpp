@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "core/check.hpp"
+#include "hwmodel/mapper.hpp"
+#include "models/cost.hpp"
+
+namespace alf {
+namespace {
+
+ConvWorkload small_layer() {
+  ConvWorkload w;
+  w.name = "test";
+  w.r = w.s = 3;
+  w.p = w.q = 8;
+  w.c = 8;
+  w.m = 16;
+  w.n = 2;
+  w.stride = 1;
+  return w;
+}
+
+TEST(Workload, DerivedSizes) {
+  ConvWorkload w = small_layer();
+  EXPECT_EQ(w.in_h(), 10u);  // (8-1)*1 + 3
+  EXPECT_EQ(w.ifmap_words(), 2ull * 8 * 10 * 10);
+  EXPECT_EQ(w.weight_words(), 16ull * 8 * 9);
+  EXPECT_EQ(w.ofmap_words(), 2ull * 16 * 8 * 8);
+  EXPECT_EQ(w.macs(), 2ull * 16 * 8 * 8 * 8 * 9);
+}
+
+TEST(Workload, FromCostLayer) {
+  CostBuilder b("m", 3, 32, 32);
+  b.conv("c1", 16, 3, 2, 1);
+  const ModelCost cost = b.finish();
+  const ConvWorkload w = workload_from_cost(cost.layers[0], 4);
+  EXPECT_EQ(w.p, 16u);
+  EXPECT_EQ(w.stride, 2u);
+  EXPECT_EQ(w.n, 4u);
+  EXPECT_EQ(w.macs(), 4 * cost.layers[0].macs);
+}
+
+TEST(Workload, FcLayersSkipped) {
+  CostBuilder b("m", 3, 8, 8);
+  b.conv("c1", 4, 3, 1, 1);
+  b.global_pool();
+  b.fc("fc", 10);
+  const auto ws = workloads_from_model(b.finish(), 1);
+  EXPECT_EQ(ws.size(), 1u);
+}
+
+TEST(Mapping, TrivialMappingValid) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  Mapping map;  // everything 1 spatially, tiles of 1
+  map.t2 = {16, 8, 8, 8, 2};  // all iteration at DRAM
+  EXPECT_TRUE(mapping_valid(w, arch, map));
+}
+
+TEST(Mapping, RejectsUndersizedCoverage) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  Mapping map;
+  map.t2 = {16, 8, 8, 8, 1};  // batch not covered
+  EXPECT_FALSE(mapping_valid(w, arch, map));
+}
+
+TEST(Mapping, RejectsRfOverflow) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  arch.rf_words_per_pe = 8;  // tiny RF
+  Mapping map;
+  map.t0.q = 8;  // ifmap row segment alone needs (8-1)+3 = 10 words
+  map.t2 = {16, 8, 8, 1, 2};
+  EXPECT_FALSE(mapping_valid(w, arch, map));
+}
+
+TEST(Mapping, RejectsGbOverflow) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  arch.gb_words = 16;
+  Mapping map;
+  map.t1 = {1, 1, 8, 8, 2};  // whole fmap tiles in GB
+  map.t2 = {16, 8, 1, 1, 1};
+  EXPECT_FALSE(mapping_valid(w, arch, map));
+}
+
+TEST(Mapping, RejectsArrayOverflow) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  Mapping map;
+  map.e = 8;
+  map.ms = 16;  // 3*8 set, 16 sets > (16/3)*(16/8) = 10
+  map.t2 = {1, 8, 1, 8, 2};
+  EXPECT_FALSE(mapping_valid(w, arch, map));
+}
+
+TEST(Evaluate, EnergyAndCyclesPositive) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  Mapping map;
+  map.t2 = {16, 8, 8, 8, 2};
+  const LayerEval ev = evaluate_mapping(w, arch, map);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_GT(ev.e_rf, 0.0);
+  EXPECT_GT(ev.e_gb, 0.0);
+  EXPECT_GT(ev.e_dram, 0.0);
+  EXPECT_GT(ev.cycles, 0.0);
+  EXPECT_GT(ev.utilization, 0.0);
+  EXPECT_LE(ev.utilization, 1.0);
+}
+
+TEST(Evaluate, RfEnergyAtLeastFourPerMac) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  Mapping map;
+  map.t2 = {16, 8, 8, 8, 2};
+  const LayerEval ev = evaluate_mapping(w, arch, map);
+  EXPECT_GE(ev.e_rf, 4.0 * static_cast<double>(w.macs()));
+}
+
+TEST(Evaluate, SpatialReuseReducesWeightTraffic) {
+  // Iterating P in time (t1.p) without ifmap residency forces weight
+  // refetches; holding more work spatially (e) amortizes them.
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  Mapping serial;
+  serial.t1 = {1, 1, 1, 1, 1};
+  serial.t2 = {16, 8, 8, 8, 2};
+  Mapping spatial = serial;
+  spatial.e = 8;
+  spatial.t2 = {16, 8, 1, 8, 2};
+  const LayerEval a = evaluate_mapping(w, arch, serial);
+  const LayerEval b = evaluate_mapping(w, arch, spatial);
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_LT(b.cycles, a.cycles);  // more PEs -> fewer cycles
+}
+
+TEST(Evaluate, ChannelSpillCostsDramTraffic) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  Mapping nospill;
+  nospill.t1 = {1, 8, 1, 1, 1};  // C resident within GB level
+  nospill.t2 = {16, 1, 8, 8, 2};
+  Mapping spill;
+  spill.t1 = {1, 1, 1, 1, 1};
+  spill.t2 = {16, 8, 8, 8, 2};  // C iterated at DRAM -> psum spills
+  const LayerEval a = evaluate_mapping(w, arch, nospill);
+  const LayerEval b = evaluate_mapping(w, arch, spill);
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_GT(b.dram_words, a.dram_words);
+}
+
+TEST(Mapper, FindsValidMapping) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  MapperConfig cfg;
+  MapperStats stats;
+  const LayerEval best = map_layer(w, arch, cfg, &stats);
+  EXPECT_TRUE(best.valid);
+  EXPECT_GT(stats.valid, 0u);
+  EXPECT_GT(stats.evaluated, stats.valid / 2);
+}
+
+TEST(Mapper, BeatsTrivialMapping) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  Mapping trivial;
+  trivial.t2 = {16, 8, 8, 8, 2};
+  const LayerEval base = evaluate_mapping(w, arch, trivial);
+  const LayerEval best = map_layer(w, arch, MapperConfig{});
+  EXPECT_LT(best.energy() * best.cycles, base.energy() * base.cycles);
+}
+
+TEST(Mapper, Deterministic) {
+  ConvWorkload w = small_layer();
+  EyerissConfig arch;
+  const LayerEval a = map_layer(w, arch, MapperConfig{});
+  const LayerEval b = map_layer(w, arch, MapperConfig{});
+  EXPECT_EQ(a.energy(), b.energy());
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Mapper, CompressedLayerCheaper) {
+  // Same geometry, fewer output channels (the ALF code conv) must map to
+  // lower energy and latency.
+  ConvWorkload big = small_layer();
+  ConvWorkload small = big;
+  small.m = 6;
+  EyerissConfig arch;
+  const LayerEval a = map_layer(big, arch, MapperConfig{});
+  const LayerEval b = map_layer(small, arch, MapperConfig{});
+  EXPECT_LT(b.energy(), a.energy());
+  EXPECT_LE(b.cycles, a.cycles);
+}
+
+TEST(Mapper, ModelMappingCoversConvLayers) {
+  const ModelCost cost = cost_plain20(10, 8);  // narrow for speed
+  EyerissConfig arch;
+  MapperConfig cfg;
+  cfg.max_iterations = 20000;
+  const auto evals = map_model(cost, 2, arch, cfg);
+  size_t convs = 0;
+  for (const auto& l : cost.layers)
+    if (l.kind != "fc") ++convs;
+  EXPECT_EQ(evals.size(), convs);
+  for (const auto& ev : evals) EXPECT_TRUE(ev.valid);
+}
+
+TEST(Mapper, KernelTallerThanArrayThrows) {
+  ConvWorkload w = small_layer();
+  w.r = 20;
+  EyerissConfig arch;
+  EXPECT_THROW(map_layer(w, arch, MapperConfig{}), CheckError);
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "models/cost.hpp"
+#include "models/zoo.hpp"
+
+namespace alf {
+namespace {
+
+TEST(Cost, ConvLayerMath) {
+  CostBuilder b("m", 3, 32, 32);
+  b.conv("c1", 16, 3, 1, 1);
+  const ModelCost cost = b.finish();
+  ASSERT_EQ(cost.layers.size(), 1u);
+  const LayerCost& l = cost.layers[0];
+  EXPECT_EQ(l.params, 3ull * 16 * 9);
+  EXPECT_EQ(l.out_h, 32u);
+  EXPECT_EQ(l.macs, l.params * 32 * 32);
+  EXPECT_EQ(cost.total_ops(), 2 * cost.total_macs());
+}
+
+TEST(Cost, StridedConvShape) {
+  CostBuilder b("m", 8, 33, 33);
+  b.conv("c", 4, 3, 2, 1);
+  EXPECT_EQ(b.cur_h(), 17u);
+  b.pool(3, 2, 1);
+  EXPECT_EQ(b.cur_h(), 9u);
+  b.global_pool();
+  EXPECT_EQ(b.cur_h(), 1u);
+}
+
+TEST(Cost, AlfConvPair) {
+  CostBuilder b("m", 16, 8, 8);
+  b.alf_conv("c", 10, 32, 3, 1, 1);
+  const ModelCost cost = b.finish();
+  ASSERT_EQ(cost.layers.size(), 2u);
+  EXPECT_EQ(cost.layers[0].kind, "conv_code");
+  EXPECT_EQ(cost.layers[0].params, 16ull * 10 * 9);
+  EXPECT_EQ(cost.layers[1].kind, "conv_exp");
+  EXPECT_EQ(cost.layers[1].params, 10ull * 32);
+  EXPECT_EQ(cost.layers[1].out_h, 8u);
+}
+
+TEST(Cost, Plain20MatchesPaperScale) {
+  const ModelCost c = cost_plain20();
+  // Paper Table II: 0.27M params, 81.1 MOPs (conv layers only convention;
+  // our count includes the tiny FC head).
+  EXPECT_NEAR(static_cast<double>(c.total_params()), 0.27e6, 0.02e6);
+  EXPECT_NEAR(static_cast<double>(c.total_ops()), 81.1e6, 2e6);
+  // 19 conv layers + FC.
+  size_t convs = 0;
+  for (const auto& l : c.layers)
+    if (l.kind == "conv") ++convs;
+  EXPECT_EQ(convs, 19u);
+}
+
+TEST(Cost, ResNet20AddsProjections) {
+  const ModelCost r = cost_resnet20();
+  const ModelCost p = cost_plain20();
+  EXPECT_GT(r.total_params(), p.total_params());
+  size_t shortcuts = 0;
+  for (const auto& l : r.layers)
+    if (l.name.find("shortcut") != std::string::npos) ++shortcuts;
+  EXPECT_EQ(shortcuts, 2u);
+  // Still ~0.27M/81.1 MOPs at paper precision.
+  EXPECT_NEAR(static_cast<double>(r.total_ops()), 81.1e6, 3e6);
+}
+
+TEST(Cost, ResNet18ImagenetMatchesPaper) {
+  const ModelCost c = cost_resnet18_imagenet();
+  // Paper Table III: 11.83M params, 3743 MOPs.
+  EXPECT_NEAR(static_cast<double>(c.total_params()), 11.83e6, 0.4e6);
+  EXPECT_NEAR(static_cast<double>(c.total_ops()), 3743e6, 200e6);
+}
+
+TEST(Cost, SqueezeNetMatchesPaper) {
+  const ModelCost c = cost_squeezenet_imagenet();
+  // Paper Table III: 1.23M params, 1722 MOPs.
+  EXPECT_NEAR(static_cast<double>(c.total_params()), 1.23e6, 0.15e6);
+  EXPECT_NEAR(static_cast<double>(c.total_ops()), 1722e6, 200e6);
+}
+
+TEST(Cost, GoogLeNetMatchesPaper) {
+  const ModelCost c = cost_googlenet_imagenet();
+  // Paper Table III: 6.80M params, 3004 MOPs.
+  EXPECT_NEAR(static_cast<double>(c.total_params()), 6.8e6, 0.5e6);
+  EXPECT_NEAR(static_cast<double>(c.total_ops()), 3004e6, 300e6);
+}
+
+TEST(Cost, ConvParamsExcludeFc) {
+  const ModelCost c = cost_plain20();
+  EXPECT_LT(c.conv_params(), c.total_params());
+}
+
+TEST(Zoo, Plain20ForwardShape) {
+  Rng rng(1);
+  ModelConfig cfg;
+  cfg.base_width = 4;  // narrow for test speed
+  auto model = build_plain20(cfg, rng, standard_conv_maker(cfg.init, &rng));
+  Tensor x({2, 3, 32, 32});
+  Tensor y = model->forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 10}));
+  EXPECT_EQ(collect_convs(*model).size(), 19u);
+}
+
+TEST(Zoo, ResNet20ForwardShape) {
+  Rng rng(2);
+  ModelConfig cfg;
+  cfg.base_width = 4;
+  auto model = build_resnet20(cfg, rng, standard_conv_maker(cfg.init, &rng));
+  Tensor x({1, 3, 32, 32});
+  Tensor y = model->forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 10}));
+  // 19 body convs + 2 projection shortcuts.
+  EXPECT_EQ(collect_convs(*model).size(), 21u);
+}
+
+TEST(Zoo, ResNet18ForwardShape) {
+  Rng rng(3);
+  ModelConfig cfg;
+  cfg.base_width = 4;
+  cfg.classes = 20;
+  auto model = build_resnet18(cfg, rng, standard_conv_maker(cfg.init, &rng));
+  Tensor x({1, 3, 32, 32});
+  Tensor y = model->forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 20}));
+  // 17 body convs + 3 projections.
+  EXPECT_EQ(collect_convs(*model).size(), 20u);
+}
+
+TEST(Zoo, ConvNamesMatchCostModel) {
+  Rng rng(4);
+  ModelConfig cfg;
+  cfg.base_width = 4;
+  auto model = build_plain20(cfg, rng, standard_conv_maker(cfg.init, &rng));
+  const ModelCost cost = cost_plain20(10, 4);
+  auto convs = collect_convs(*model);
+  size_t matched = 0;
+  for (Conv2d* c : convs) {
+    for (const auto& l : cost.layers) {
+      if (l.name == c->name()) {
+        EXPECT_EQ(l.ci, c->in_channels()) << l.name;
+        EXPECT_EQ(l.co, c->out_channels()) << l.name;
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(matched, convs.size());
+}
+
+TEST(Zoo, TrainEvalConsistentShapes) {
+  Rng rng(5);
+  ModelConfig cfg;
+  cfg.base_width = 4;
+  auto model = build_resnet20(cfg, rng, standard_conv_maker(cfg.init, &rng));
+  Tensor x({2, 3, 32, 32});
+  Tensor yt = model->forward(x, true);
+  Tensor ye = model->forward(x, false);
+  EXPECT_EQ(yt.shape(), ye.shape());
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "nn/linear.hpp"
+#include "optim/sgd.hpp"
+
+namespace alf {
+namespace {
+
+Param make_param(const std::string& name, std::vector<float> value,
+                 std::vector<float> grad, bool decay = true) {
+  Param p(name, {value.size()}, decay);
+  for (size_t i = 0; i < value.size(); ++i) {
+    p.value.at(i) = value[i];
+    p.grad.at(i) = grad[i];
+  }
+  return p;
+}
+
+TEST(Sgd, PlainStepWithoutMomentum) {
+  Param p = make_param("w", {1.0f, -2.0f}, {0.5f, 0.25f});
+  p.decay = false;
+  SgdConfig cfg{0.1f, 0.0f, 0.0f};
+  Sgd opt({&p}, cfg);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value.at(1), -2.0f - 0.1f * 0.25f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p = make_param("w", {0.0f}, {1.0f});
+  p.decay = false;
+  SgdConfig cfg{1.0f, 0.5f, 0.0f};
+  Sgd opt({&p}, cfg);
+  opt.step();  // v = 1, w = -1
+  EXPECT_FLOAT_EQ(p.value.at(0), -1.0f);
+  p.grad.at(0) = 1.0f;
+  opt.step();  // v = 0.5 + 1 = 1.5, w = -2.5
+  EXPECT_FLOAT_EQ(p.value.at(0), -2.5f);
+}
+
+TEST(Sgd, WeightDecayOnlyOnDecayParams) {
+  Param decayed = make_param("w", {2.0f}, {0.0f}, /*decay=*/true);
+  Param plain = make_param("m", {2.0f}, {0.0f}, /*decay=*/false);
+  SgdConfig cfg{0.1f, 0.0f, 0.5f};
+  Sgd opt({&decayed, &plain}, cfg);
+  opt.step();
+  EXPECT_FLOAT_EQ(decayed.value.at(0), 2.0f - 0.1f * (0.5f * 2.0f));
+  EXPECT_FLOAT_EQ(plain.value.at(0), 2.0f);
+}
+
+TEST(Sgd, ZeroGradClearsAll) {
+  Param a = make_param("a", {1.0f}, {3.0f});
+  Param b = make_param("b", {1.0f}, {4.0f});
+  Sgd opt({&a, &b}, SgdConfig{});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(b.grad.at(0), 0.0f);
+}
+
+TEST(Sgd, SetLrTakesEffect) {
+  Param p = make_param("w", {0.0f}, {1.0f});
+  p.decay = false;
+  SgdConfig cfg{0.1f, 0.0f, 0.0f};
+  Sgd opt({&p}, cfg);
+  opt.set_lr(0.5f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), -0.5f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by feeding grad = 2(w - 3).
+  Param p = make_param("w", {0.0f}, {0.0f});
+  p.decay = false;
+  SgdConfig cfg{0.1f, 0.9f, 0.0f};
+  Sgd opt({&p}, cfg);
+  for (int i = 0; i < 200; ++i) {
+    p.grad.at(0) = 2.0f * (p.value.at(0) - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 1e-3);
+}
+
+TEST(StepLrSchedule, PiecewiseConstant) {
+  StepLrSchedule sched(1.0f, {10, 20}, 0.1f);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 1.0f);
+  EXPECT_FLOAT_EQ(sched.lr_at(9), 1.0f);
+  EXPECT_FLOAT_EQ(sched.lr_at(10), 0.1f);
+  EXPECT_FLOAT_EQ(sched.lr_at(19), 0.1f);
+  EXPECT_NEAR(sched.lr_at(20), 0.01f, 1e-7);
+  EXPECT_NEAR(sched.lr_at(100), 0.01f, 1e-7);
+}
+
+TEST(StepLrSchedule, NoMilestonesConstant) {
+  StepLrSchedule sched(0.05f, {});
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.05f);
+  EXPECT_FLOAT_EQ(sched.lr_at(1000), 0.05f);
+}
+
+TEST(Sgd, TrainsLinearRegression) {
+  // End-to-end sanity: fit y = 2x + 1 with a Linear layer.
+  Rng rng(3);
+  Linear fc("fc", 1, 1, Init::kXavier, rng);
+  SgdConfig cfg{0.05f, 0.9f, 0.0f};
+  Sgd opt(fc.params(), cfg);
+  for (int it = 0; it < 500; ++it) {
+    const float xv = static_cast<float>(rng.uniform(-1.0, 1.0));
+    Tensor x({1, 1}, {xv});
+    Tensor y = fc.forward(x, true);
+    const float target = 2.0f * xv + 1.0f;
+    Tensor grad({1, 1}, {2.0f * (y.at(0) - target)});
+    opt.zero_grad();
+    fc.backward(grad);
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().value.at(0), 2.0f, 0.05f);
+  EXPECT_NEAR(fc.bias().value.at(0), 1.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "prune/lcnn.hpp"
+#include "prune/structured.hpp"
+
+namespace alf {
+namespace {
+
+Tensor make_filter_bank(std::vector<std::vector<float>> filters, size_t ci,
+                        size_t k) {
+  const size_t co = filters.size();
+  Tensor w({co, ci, k, k});
+  for (size_t f = 0; f < co; ++f)
+    for (size_t j = 0; j < ci * k * k; ++j)
+      w.at(f * ci * k * k + j) = filters[f][j];
+  return w;
+}
+
+TEST(Saliency, MagnitudeOrdersByL1) {
+  Tensor w = make_filter_bank({{1, 1, 1, 1},   // L1 = 4
+                               {0, 0, 0, 0.5}, // L1 = 0.5
+                               {2, -2, 2, -2}},// L1 = 8
+                              1, 2);
+  auto sal = filter_saliency(w, PruneRule::kMagnitude);
+  EXPECT_GT(sal[2], sal[0]);
+  EXPECT_GT(sal[0], sal[1]);
+}
+
+TEST(Saliency, FpgmPrunesNearGeometricMedian) {
+  // Three filters: two extremes and one in the middle — the middle one has
+  // the smallest total distance and must be pruned first.
+  Tensor w = make_filter_bank({{0, 0, 0, 0},
+                               {1, 1, 1, 1},
+                               {2, 2, 2, 2}},
+                              1, 2);
+  auto sal = filter_saliency(w, PruneRule::kFpgm);
+  EXPECT_LT(sal[1], sal[0]);
+  EXPECT_LT(sal[1], sal[2]);
+  auto keep = select_filters(w, 2.0 / 3.0, PruneRule::kFpgm);
+  EXPECT_TRUE(keep[0]);
+  EXPECT_FALSE(keep[1]);  // the median filter goes
+  EXPECT_TRUE(keep[2]);
+}
+
+TEST(SelectFilters, KeepsAtLeastOne) {
+  Rng rng(1);
+  Tensor w({4, 2, 3, 3});
+  for (size_t i = 0; i < w.numel(); ++i)
+    w.at(i) = static_cast<float>(rng.uniform(-1, 1));
+  auto keep = select_filters(w, 0.0, PruneRule::kMagnitude);
+  size_t kept = 0;
+  for (bool b : keep) kept += b;
+  EXPECT_EQ(kept, 1u);
+}
+
+TEST(SelectFilters, KeepFractionRounding) {
+  Rng rng(2);
+  Tensor w({10, 1, 3, 3});
+  for (size_t i = 0; i < w.numel(); ++i)
+    w.at(i) = static_cast<float>(rng.uniform(-1, 1));
+  auto keep = select_filters(w, 0.55, PruneRule::kMagnitude);
+  size_t kept = 0;
+  for (bool b : keep) kept += b;
+  EXPECT_EQ(kept, 6u);  // ceil(5.5)
+}
+
+TEST(ZeroPrunedFilters, ZeroesExactlyPruned) {
+  Rng rng(3);
+  Conv2d conv("c", 2, 3, 3, 1, 1, Init::kHe, rng);
+  zero_pruned_filters(conv, {true, false, true});
+  const Tensor& w = conv.weight().value;
+  const size_t fsize = 2 * 9;
+  for (size_t j = 0; j < fsize; ++j) {
+    EXPECT_FLOAT_EQ(w.at(1 * fsize + j), 0.0f);
+    EXPECT_NE(w.at(0 * fsize + j), 0.0f);
+  }
+}
+
+TEST(PrunePlan, KeptFraction) {
+  PrunePlan plan;
+  plan.keep.push_back({true, true, false, false});
+  plan.keep.push_back({true, false});
+  EXPECT_DOUBLE_EQ(plan.kept_fraction(), 3.0 / 6.0);
+}
+
+TEST(UniformPlan, SkipsFirstLayer) {
+  Rng rng(4);
+  Conv2d c1("c1", 3, 8, 3, 1, 1, Init::kHe, rng);
+  Conv2d c2("c2", 8, 8, 3, 1, 1, Init::kHe, rng);
+  std::vector<Conv2d*> convs{&c1, &c2};
+  PrunePlan plan = uniform_plan(convs, 0.5, PruneRule::kMagnitude, true);
+  size_t kept0 = 0;
+  for (bool b : plan.keep[0]) kept0 += b;
+  EXPECT_EQ(kept0, 8u);  // first conv untouched
+  size_t kept1 = 0;
+  for (bool b : plan.keep[1]) kept1 += b;
+  EXPECT_EQ(kept1, 4u);
+}
+
+TEST(FilterPruningCost, ChainsChannelReduction) {
+  CostBuilder b("v", 3, 8, 8);
+  b.conv("c1", 16, 3, 1, 1);
+  b.conv("c2", 32, 3, 1, 1);
+  b.global_pool();
+  b.fc("fc", 10);
+  const ModelCost vanilla = b.finish();
+  const ModelCost pruned = apply_filter_pruning(
+      vanilla, {{"c1", 0.5}, {"c2", 0.5}}, "pruned");
+  // c1: 3 -> 8 filters; c2 input channels follow: 8 -> 16 filters.
+  EXPECT_EQ(pruned.layers[0].co, 8u);
+  EXPECT_EQ(pruned.layers[1].ci, 8u);
+  EXPECT_EQ(pruned.layers[1].co, 16u);
+  // FC input shrinks with the last conv.
+  EXPECT_EQ(pruned.layers[2].ci, 16u);
+  EXPECT_LT(pruned.total_ops(), vanilla.total_ops());
+}
+
+TEST(FilterPruningCost, UnmatchedLayersKeepCost) {
+  CostBuilder b("v", 3, 8, 8);
+  b.conv("c1", 16, 3, 1, 1);
+  const ModelCost vanilla = b.finish();
+  const ModelCost same = apply_filter_pruning(vanilla, {}, "same");
+  EXPECT_EQ(same.total_params(), vanilla.total_params());
+}
+
+TEST(Lcnn, ReconstructsClusteredFiltersExactly) {
+  // Filters already form two tight clusters: k-means with D=2 must assign
+  // them correctly and reconstruction error must be tiny.
+  Tensor w = make_filter_bank({{1, 1, 1, 1},
+                               {1.01f, 1, 1, 0.99f},
+                               {-1, -1, -1, -1},
+                               {-1, -1.01f, -0.99f, -1}},
+                              1, 2);
+  LcnnConfig cfg;
+  cfg.dict_frac = 0.5;  // D = 2
+  Rng rng(5);
+  const LcnnLayerResult res = lcnn_compress_layer(w, cfg, rng);
+  EXPECT_EQ(res.dictionary.dim(0), 2u);
+  EXPECT_EQ(res.assignment[0], res.assignment[1]);
+  EXPECT_EQ(res.assignment[2], res.assignment[3]);
+  EXPECT_NE(res.assignment[0], res.assignment[2]);
+  EXPECT_LT(res.recon_mse, 1e-3);
+}
+
+TEST(Lcnn, ApplySharesWeights) {
+  Rng rng(6);
+  Conv2d conv("c", 1, 4, 2, 1, 0, Init::kHe, rng);
+  LcnnConfig cfg;
+  cfg.dict_frac = 0.5;
+  const LcnnLayerResult res =
+      lcnn_compress_layer(conv.weight().value, cfg, rng);
+  lcnn_apply(conv, res);
+  // After sharing, filters with the same assignment are identical.
+  const Tensor& w = conv.weight().value;
+  const size_t fsize = 4;
+  for (size_t a = 0; a < 4; ++a)
+    for (size_t b = a + 1; b < 4; ++b) {
+      if (res.assignment[a] != res.assignment[b]) continue;
+      for (size_t j = 0; j < fsize; ++j)
+        EXPECT_FLOAT_EQ(w.at(a * fsize + j), w.at(b * fsize + j));
+    }
+}
+
+TEST(Lcnn, CostModelReflectsDictionary) {
+  CostBuilder b("v", 16, 8, 8);
+  b.conv("c", 64, 3, 1, 1);
+  const ModelCost vanilla = b.finish();
+  const ModelCost lc = apply_lcnn_cost(vanilla, {{"c", 16}}, 1, "lcnn");
+  ASSERT_EQ(lc.layers.size(), 2u);
+  EXPECT_EQ(lc.layers[0].params, 16ull * 16 * 9);
+  EXPECT_EQ(lc.layers[1].params, 64ull);  // one lookup term per channel
+  EXPECT_LT(lc.total_macs(), vanilla.total_macs());
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "alf/trainer.hpp"
+#include "core/check.hpp"
+#include "models/zoo.hpp"
+#include "quant/quantize.hpp"
+
+namespace alf {
+namespace {
+
+TEST(Quant, CalibrateScalesToMaxAbs) {
+  Tensor t({4}, {0.5f, -1.0f, 0.25f, 0.75f});
+  const QuantParams p = calibrate_quant(t, 8);
+  EXPECT_EQ(p.bits, 8);
+  EXPECT_FLOAT_EQ(p.scale, 1.0f / 127.0f);
+  EXPECT_FLOAT_EQ(p.max_value(), 1.0f);
+}
+
+TEST(Quant, CalibrateRejectsBadBits) {
+  Tensor t({1}, {1.0f});
+  EXPECT_THROW(calibrate_quant(t, 1), CheckError);
+  EXPECT_THROW(calibrate_quant(t, 17), CheckError);
+}
+
+TEST(Quant, ZeroTensorSafe) {
+  Tensor t({3});
+  const QuantParams p = calibrate_quant(t, 8);
+  EXPECT_GT(p.scale, 0.0f);
+  Tensor t2 = t;
+  EXPECT_DOUBLE_EQ(quantize_dequantize(t2, p), 0.0);
+}
+
+TEST(Quant, RoundTripExactOnGrid) {
+  QuantParams p;
+  p.bits = 8;
+  p.scale = 0.1f;
+  Tensor t({3}, {0.1f, -0.5f, 1.2f});  // all multiples of scale
+  const double err = quantize_dequantize(t, p);
+  EXPECT_LT(err, 1e-12);
+  EXPECT_FLOAT_EQ(t.at(1), -0.5f);
+}
+
+TEST(Quant, ErrorBoundedByHalfStep) {
+  Rng rng(5);
+  Tensor t({1000});
+  for (size_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const QuantParams p = calibrate_quant(t, 8);
+  Tensor q = t;
+  quantize_dequantize(q, p);
+  for (size_t i = 0; i < t.numel(); ++i)
+    EXPECT_LE(std::abs(q.at(i) - t.at(i)), 0.5f * p.scale + 1e-7f);
+}
+
+TEST(Quant, ValueCountRespectsBits) {
+  Rng rng(6);
+  Tensor t({4096});
+  for (size_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const QuantParams p = calibrate_quant(t, 4);
+  quantize_dequantize(t, p);
+  std::set<float> distinct(t.data(), t.data() + t.numel());
+  // 4 bits symmetric: at most 2*7+1 = 15 levels.
+  EXPECT_LE(distinct.size(), 15u);
+}
+
+TEST(Quant, FewerBitsMoreError) {
+  Rng rng(7);
+  Tensor t({2048});
+  for (size_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.normal(0.0, 0.3));
+  Tensor t8 = t, t4 = t;
+  const double e8 = quantize_dequantize(t8, calibrate_quant(t, 8));
+  const double e4 = quantize_dequantize(t4, calibrate_quant(t, 4));
+  EXPECT_LT(e8, e4);
+}
+
+TEST(Quant, ModelWeightsQuantizedBnSkipped) {
+  Rng rng(8);
+  ModelConfig mc;
+  mc.base_width = 4;
+  auto model = build_plain20(mc, rng, standard_conv_maker(mc.init, &rng));
+  const ModelQuantStats stats = quantize_model_weights(*model, 8);
+  EXPECT_GT(stats.tensors, 0u);
+  EXPECT_GT(stats.mean_sq_error, 0.0);
+  // Conv weights landed on the quantization grid.
+  auto convs = collect_convs(*model);
+  const QuantParams p = calibrate_quant(convs[0]->weight().value, 8);
+  Tensor copy = convs[0]->weight().value;
+  EXPECT_LT(quantize_dequantize(copy, p), 1e-10);
+}
+
+TEST(Quant, OrthogonalToAlf8BitKeepsAccuracy) {
+  // The paper's claim: quantization composes with ALF. Train a small ALF
+  // model, quantize the deployed weights to 8 bits, and verify accuracy is
+  // essentially unchanged (4-bit should hurt more).
+  DataConfig task;
+  task.classes = 4;
+  task.height = task.width = 16;
+  task.seed = 77;
+  SyntheticImageDataset train(task, 160, 1), test(task, 80, 2);
+  Rng rng(9);
+  AlfConfig acfg;
+  acfg.wae_init = Init::kIdentity;
+  acfg.lr_mask_mult = 150.0f;
+  acfg.threshold = 0.15f;
+  acfg.pr_max = 0.5f;
+  acfg.mask_warmup_steps = 16;
+  std::vector<AlfConv*> blocks;
+  Sequential model("q");
+  auto conv = make_alf_conv_maker(acfg, &rng, &blocks);
+  model.add(conv("c1", 3, 8, 3, 1, 1));
+  model.emplace<BatchNorm2d>("c1_bn", 8);
+  model.emplace<Activation>("c1_relu", Act::kRelu);
+  model.add(conv("c2", 8, 16, 3, 2, 1));
+  model.emplace<BatchNorm2d>("c2_bn", 16);
+  model.emplace<Activation>("c2_relu", Act::kRelu);
+  model.emplace<GlobalAvgPool>("gap");
+  model.emplace<Flatten>("fl");
+  model.emplace<Linear>("fc", 16, task.classes, Init::kXavier, rng);
+
+  TrainConfig tcfg;
+  tcfg.epochs = 6;
+  tcfg.batch_size = 16;
+  tcfg.ae_steps_per_batch = 2;
+  Trainer(model, train, test, tcfg).run();
+  bn_recalibrate(model, train);
+  const double acc_fp = Trainer::evaluate(model, test);
+
+  quantize_model_weights(model, 8);
+  bn_recalibrate(model, train);
+  const double acc_q8 = Trainer::evaluate(model, test);
+  EXPECT_GT(acc_fp, 0.5);             // the model actually learned
+  EXPECT_GT(acc_q8, acc_fp - 0.08);   // 8-bit costs almost nothing
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace alf {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng, double lo = -1.0,
+                     double hi = 1.0) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+/// Naive reference GEMM.
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const size_t m = ta ? a.dim(1) : a.dim(0);
+  const size_t k = ta ? a.dim(0) : a.dim(1);
+  const size_t n = tb ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  for (size_t i = 0; i < m; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a.at(kk, i) : a.at(i, kk);
+        const float bv = tb ? b.at(j, kk) : b.at(kk, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+TEST(Tensor, ShapeAndFill) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(1), 3u);
+  t.fill(2.5f);
+  EXPECT_FLOAT_EQ(t.at(13), 2.5f);
+  EXPECT_DOUBLE_EQ(t.sum(), 24 * 2.5);
+  EXPECT_DOUBLE_EQ(t.mean(), 2.5);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t.at(1, 2) = 7.0f;
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_FLOAT_EQ(r.at(2, 0), 7.0f);  // flat index 8
+  EXPECT_THROW(t.reshaped({5, 5}), CheckError);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}, {1.0f, 2.0f, 3.0f});
+  Tensor b({3}, {10.0f, 20.0f, 30.0f});
+  a += b;
+  EXPECT_FLOAT_EQ(a.at(2), 33.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a.at(2), 3.0f);
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 2.0f);
+}
+
+TEST(Tensor, NormsAndAbsMax) {
+  Tensor t({2}, {3.0f, -4.0f});
+  EXPECT_DOUBLE_EQ(t.l2_norm(), 5.0);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t.at(t.numel() - 1), 9.0f);
+  EXPECT_THROW(t.at4(2, 0, 0, 0), CheckError);
+}
+
+struct GemmCase {
+  size_t m, k, n;
+  bool ta, tb;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const GemmCase& c = GetParam();
+  Rng rng(c.m * 31 + c.k * 7 + c.n + (c.ta ? 1000 : 0) + (c.tb ? 2000 : 0));
+  Tensor a = c.ta ? random_tensor({c.k, c.m}, rng)
+                  : random_tensor({c.m, c.k}, rng);
+  Tensor b = c.tb ? random_tensor({c.n, c.k}, rng)
+                  : random_tensor({c.k, c.n}, rng);
+  Tensor got = matmul(a, b, c.ta, c.tb);
+  Tensor want = naive_matmul(a, b, c.ta, c.tb);
+  for (size_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got.at(i), want.at(i), 1e-4) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, GemmTest,
+    ::testing::Values(GemmCase{4, 5, 6, false, false},
+                      GemmCase{4, 5, 6, false, true},
+                      GemmCase{4, 5, 6, true, false},
+                      GemmCase{4, 5, 6, true, true},
+                      GemmCase{1, 1, 1, false, false},
+                      GemmCase{17, 33, 9, false, false},
+                      GemmCase{17, 33, 9, true, true},
+                      GemmCase{64, 128, 32, false, false},
+                      GemmCase{300, 7, 5, false, true}));
+
+TEST(Gemm, AlphaBetaAccumulate) {
+  Rng rng(3);
+  Tensor a = random_tensor({3, 4}, rng);
+  Tensor b = random_tensor({4, 2}, rng);
+  Tensor c({3, 2}, 1.0f);
+  gemm(a, false, b, false, c, 2.0f, 0.5f);
+  Tensor want = naive_matmul(a, b, false, false);
+  for (size_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c.at(i), 2.0f * want.at(i) + 0.5f, 1e-4);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({4, 5});
+  Tensor c({2, 5});
+  EXPECT_THROW(gemm(a, false, b, false, c), CheckError);
+}
+
+TEST(Im2col, IdentityKernelReproducesImage) {
+  // 1x1 kernel, stride 1, no padding: col equals the flattened image.
+  Rng rng(5);
+  Tensor img = random_tensor({2, 3, 4}, rng);
+  const ConvGeom g{2, 3, 4, 1, 1, 0};
+  Tensor col({g.col_rows(), g.col_cols()});
+  im2col(img, g, col);
+  for (size_t i = 0; i < img.numel(); ++i)
+    EXPECT_FLOAT_EQ(col.at(i), img.at(i));
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  Tensor img({1, 2, 2}, 1.0f);
+  const ConvGeom g{1, 2, 2, 3, 1, 1};
+  Tensor col({g.col_rows(), g.col_cols()});
+  im2col(img, g, col);
+  // Top-left kernel position at output (0,0) reads the padded corner.
+  EXPECT_FLOAT_EQ(col.at(0, 0), 0.0f);
+  // Center kernel tap (kh=1,kw=1) at output (0,0) reads img(0,0).
+  EXPECT_FLOAT_EQ(col.at(4, 0), 1.0f);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property that
+  // makes conv backward correct.
+  Rng rng(9);
+  const ConvGeom g{3, 6, 5, 3, 2, 1};
+  Tensor x = random_tensor({3, 6, 5}, rng);
+  Tensor y = random_tensor({g.col_rows(), g.col_cols()}, rng);
+  Tensor colx({g.col_rows(), g.col_cols()});
+  im2col(x, g, colx);
+  double lhs = 0.0;
+  for (size_t i = 0; i < colx.numel(); ++i)
+    lhs += static_cast<double>(colx.at(i)) * y.at(i);
+  Tensor xback({3, 6, 5});
+  col2im(y, g, xback);
+  double rhs = 0.0;
+  for (size_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x.at(i)) * xback.at(i);
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, HadamardAndAxpy) {
+  Tensor a({3}, {1.0f, 2.0f, 3.0f});
+  Tensor b({3}, {4.0f, 5.0f, 6.0f});
+  Tensor h = hadamard(a, b);
+  EXPECT_FLOAT_EQ(h.at(1), 10.0f);
+  axpy(2.0f, a, b);
+  EXPECT_FLOAT_EQ(b.at(2), 12.0f);
+}
+
+TEST(Ops, MseIsMeanSquaredError) {
+  Tensor a({2}, {1.0f, 3.0f});
+  Tensor b({2}, {2.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(mse(a, b), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Ops, Transpose2d) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose2d(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(Init, ParseAndNames) {
+  EXPECT_EQ(parse_init("he"), Init::kHe);
+  EXPECT_EQ(parse_init("xavier"), Init::kXavier);
+  EXPECT_EQ(parse_init("rand"), Init::kRand);
+  EXPECT_THROW(parse_init("bogus"), CheckError);
+  EXPECT_STREQ(init_name(Init::kXavier), "xavier");
+}
+
+TEST(Init, HeVarianceMatchesFanIn) {
+  Rng rng(31);
+  Tensor t({64, 16, 3, 3});
+  size_t fan_in = 0, fan_out = 0;
+  conv_fans(t.shape(), fan_in, fan_out);
+  EXPECT_EQ(fan_in, 16u * 9u);
+  EXPECT_EQ(fan_out, 64u * 9u);
+  init_tensor(t, Init::kHe, fan_in, fan_out, rng);
+  double sq = 0.0;
+  for (size_t i = 0; i < t.numel(); ++i)
+    sq += static_cast<double>(t.at(i)) * t.at(i);
+  const double var = sq / t.numel();
+  EXPECT_NEAR(var, 2.0 / fan_in, 0.3 * 2.0 / fan_in);
+}
+
+TEST(Init, XavierBounded) {
+  Rng rng(37);
+  Tensor t({100, 100});
+  init_tensor(t, Init::kXavier, 100, 100, rng);
+  const double limit = std::sqrt(6.0 / 200.0);
+  EXPECT_LE(t.abs_max(), limit + 1e-6);
+  EXPECT_GT(t.abs_max(), 0.5 * limit);  // actually spreads out
+}
+
+TEST(Init, IdentityIsNearIdentity) {
+  Rng rng(41);
+  Tensor t({16, 16});
+  init_tensor(t, Init::kIdentity, 16, 16, rng);
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t j = 0; j < 16; ++j) {
+      const float v = t.at(i, j);
+      if (i == j) {
+        EXPECT_NEAR(v, 1.0f, 0.011f);
+      } else {
+        EXPECT_NEAR(v, 0.0f, 0.011f);
+        EXPECT_NE(v, 0.0f);  // noise actually applied
+      }
+    }
+  }
+}
+
+TEST(Init, IdentityRequiresSquareMatrix) {
+  Rng rng(43);
+  Tensor rect({4, 5});
+  EXPECT_THROW(init_tensor(rect, Init::kIdentity, 4, 5, rng), CheckError);
+  Tensor cube({3, 3, 3});
+  EXPECT_THROW(init_tensor(cube, Init::kIdentity, 9, 3, rng), CheckError);
+}
+
+TEST(Init, ParseIdentity) {
+  EXPECT_EQ(parse_init("identity"), Init::kIdentity);
+  EXPECT_STREQ(init_name(Init::kIdentity), "identity");
+}
+
+}  // namespace
+}  // namespace alf

@@ -1,0 +1,239 @@
+// End-to-end training integration tests on a reduced-scale task: the
+// two-player ALF scheme must simultaneously learn the task and prune
+// filters, and the baselines (fine-tuning, AMC search) must run end to end.
+#include <gtest/gtest.h>
+
+#include "alf/deploy.hpp"
+#include "alf/trainer.hpp"
+#include "models/zoo.hpp"
+#include "prune/amc.hpp"
+#include "prune/finetune.hpp"
+
+namespace alf {
+namespace {
+
+DataConfig tiny_task() {
+  DataConfig cfg;
+  cfg.classes = 4;
+  cfg.height = 16;
+  cfg.width = 16;
+  cfg.noise_std = 0.25f;
+  cfg.max_shift = 1;
+  cfg.seed = 77;
+  return cfg;
+}
+
+/// Small 4-conv CNN for fast integration tests.
+std::unique_ptr<Sequential> tiny_cnn(const ConvMaker& make_conv, Rng& rng,
+                                     size_t classes) {
+  auto seq = std::make_unique<Sequential>("tiny");
+  auto add = [&](const std::string& name, size_t ci, size_t co,
+                 size_t stride) {
+    seq->add(make_conv(name, ci, co, 3, stride, 1));
+    seq->emplace<BatchNorm2d>(name + "_bn", co);
+    seq->emplace<Activation>(name + "_relu", Act::kRelu);
+  };
+  add("c1", 3, 8, 1);
+  add("c2", 8, 8, 2);
+  add("c3", 8, 16, 2);
+  add("c4", 16, 16, 1);
+  seq->emplace<GlobalAvgPool>("gap");
+  seq->emplace<Flatten>("flat");
+  seq->emplace<Linear>("fc", 16, classes, Init::kXavier, rng);
+  return seq;
+}
+
+TEST(Trainer, VanillaModelLearnsAboveChance) {
+  const DataConfig task = tiny_task();
+  SyntheticImageDataset train(task, 160, 1), test(task, 80, 2);
+  Rng rng(5);
+  auto model = tiny_cnn(standard_conv_maker(Init::kHe, &rng), rng,
+                        task.classes);
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 16;
+  cfg.task.lr = 0.05f;
+  auto hist = Trainer(*model, train, test, cfg).run();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_GT(hist.back().test_acc, 0.5);  // chance = 0.25
+  EXPECT_LT(hist.back().train_loss, hist.front().train_loss);
+  EXPECT_DOUBLE_EQ(hist.back().remaining_filters, 1.0);  // no ALF blocks
+}
+
+TEST(Trainer, AlfModelLearnsAndPrunes) {
+  const DataConfig task = tiny_task();
+  SyntheticImageDataset train(task, 160, 1), test(task, 80, 2);
+  Rng rng(6);
+  // Scaled-task hyper-parameters: the few optimizer steps of a unit test
+  // need a faster mask descent than the paper's 200-epoch schedule, and a
+  // lower pruning ceiling keeps the narrow test layers functional.
+  AlfConfig acfg;
+  acfg.lr_ae = 3e-2f;
+  acfg.threshold = 0.5f;
+  acfg.pr_max = 0.5f;
+  std::vector<AlfConv*> blocks;
+  auto model =
+      tiny_cnn(make_alf_conv_maker(acfg, &rng, &blocks), rng, task.classes);
+  ASSERT_EQ(blocks.size(), 4u);
+
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 16;
+  cfg.task.lr = 0.05f;
+  cfg.ae_steps_per_batch = 3;
+  auto hist = Trainer(*model, train, test, cfg).run();
+  EXPECT_GT(hist.back().test_acc, 0.4);
+  // The sparsity trajectory must be monotonically non-increasing per epoch
+  // snapshot... not strictly (recovery is allowed), but must end pruned.
+  EXPECT_LT(hist.back().remaining_filters, 1.0);
+  EXPECT_GT(hist.back().remaining_filters, 0.0);
+  // Autoencoder telemetry populated.
+  EXPECT_GT(hist.front().mean_nu_prune, 0.0);
+}
+
+TEST(Trainer, AlfDeploymentConsistentAfterTraining) {
+  const DataConfig task = tiny_task();
+  SyntheticImageDataset train(task, 80, 1), test(task, 40, 2);
+  Rng rng(7);
+  AlfConfig acfg;
+  acfg.lr_ae = 1e-2f;
+  std::vector<AlfConv*> blocks;
+  auto model =
+      tiny_cnn(make_alf_conv_maker(acfg, &rng, &blocks), rng, task.classes);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  Trainer(*model, train, test, cfg).run();
+  // Every trained block deploys to an equivalent dense unit.
+  Tensor x;
+  std::vector<int> y;
+  test.fill_batch({0, 1}, x, y);
+  Tensor cur = x;
+  for (AlfConv* b : blocks) {
+    Tensor probe({2, b->in_channels(), 8, 8});
+    Rng prng(17);
+    for (size_t i = 0; i < probe.numel(); ++i)
+      probe.at(i) = static_cast<float>(prng.uniform(-1, 1));
+    EXPECT_LT(deployment_error(*b, probe, rng), 1e-4f) << b->name();
+  }
+}
+
+TEST(Trainer, BnRecalibrateTracksWeightChange) {
+  const DataConfig task = tiny_task();
+  SyntheticImageDataset train(task, 80, 1), test(task, 80, 2);
+  Rng rng(12);
+  auto model = tiny_cnn(standard_conv_maker(Init::kHe, &rng), rng,
+                        task.classes);
+  // Populate running stats, then rescale all conv weights: eval-mode outputs
+  // now disagree with train-mode until recalibration.
+  bn_recalibrate(*model, train);
+  for (Conv2d* c : collect_convs(*model)) c->weight().value *= 3.0f;
+  Tensor x;
+  std::vector<int> y;
+  train.fill_batch({0, 1, 2, 3}, x, y);
+  Tensor stale = model->forward(x, /*train=*/false);
+  bn_recalibrate(*model, train);
+  Tensor fresh_eval = model->forward(x, /*train=*/false);
+  Tensor train_mode = model->forward(x, /*train=*/true);
+  // After recalibration eval is much closer to train-mode behaviour.
+  double err_stale = 0.0, err_fresh = 0.0;
+  for (size_t i = 0; i < stale.numel(); ++i) {
+    err_stale += std::abs(stale.at(i) - train_mode.at(i));
+    err_fresh += std::abs(fresh_eval.at(i) - train_mode.at(i));
+  }
+  EXPECT_LT(err_fresh, err_stale);
+}
+
+TEST(Trainer, BnRecalibrateNoopWithoutBn) {
+  const DataConfig task = tiny_task();
+  SyntheticImageDataset train(task, 40, 1);
+  Rng rng(13);
+  Sequential model("nobn");
+  model.emplace<Conv2d>("c", 3, 4, 3, 1, 1, Init::kHe, rng);
+  model.emplace<GlobalAvgPool>("gap");
+  model.emplace<Flatten>("fl");
+  model.emplace<Linear>("fc", 4, task.classes, Init::kXavier, rng);
+  EXPECT_NO_THROW(bn_recalibrate(model, train));
+}
+
+TEST(Trainer, EvaluateIsDeterministic) {
+  const DataConfig task = tiny_task();
+  SyntheticImageDataset train(task, 40, 1), test(task, 40, 2);
+  Rng rng(8);
+  auto model = tiny_cnn(standard_conv_maker(Init::kHe, &rng), rng,
+                        task.classes);
+  const double a = Trainer::evaluate(*model, test);
+  const double b = Trainer::evaluate(*model, test);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Finetune, RecoversAccuracyAndKeepsZeros) {
+  const DataConfig task = tiny_task();
+  SyntheticImageDataset train(task, 160, 1), test(task, 80, 2);
+  Rng rng(9);
+  auto model = tiny_cnn(standard_conv_maker(Init::kHe, &rng), rng,
+                        task.classes);
+  TrainConfig tcfg;
+  tcfg.epochs = 4;
+  tcfg.batch_size = 16;
+  Trainer(*model, train, test, tcfg).run();
+
+  auto convs = collect_convs(*model);
+  PrunePlan plan = uniform_plan(convs, 0.6, PruneRule::kFpgm);
+  FinetuneConfig fcfg;
+  fcfg.epochs = 2;
+  fcfg.batch_size = 16;
+  const double acc = finetune_pruned(*model, convs, plan, train, test, fcfg);
+  EXPECT_GT(acc, 0.4);
+  // Pruned filters stayed zero through fine-tuning.
+  for (size_t i = 0; i < convs.size(); ++i) {
+    const Tensor& w = convs[i]->weight().value;
+    const size_t fsize = w.numel() / w.dim(0);
+    for (size_t f = 0; f < plan.keep[i].size(); ++f) {
+      if (plan.keep[i][f]) continue;
+      for (size_t j = 0; j < fsize; ++j)
+        ASSERT_FLOAT_EQ(w.at(f * fsize + j), 0.0f);
+    }
+  }
+}
+
+TEST(Amc, SearchProducesValidPolicy) {
+  const DataConfig task = tiny_task();
+  SyntheticImageDataset train(task, 120, 1), test(task, 60, 2);
+  Rng rng(10);
+  auto model = tiny_cnn(standard_conv_maker(Init::kHe, &rng), rng,
+                        task.classes);
+  TrainConfig tcfg;
+  tcfg.epochs = 3;
+  tcfg.batch_size = 16;
+  Trainer(*model, train, test, tcfg).run();
+
+  auto convs = collect_convs(*model);
+  // Matching analytic cost for the tiny CNN.
+  CostBuilder b("tiny", 3, 16, 16);
+  b.conv("c1", 8, 3, 1, 1).conv("c2", 8, 3, 2, 1).conv("c3", 16, 3, 2, 1);
+  b.conv("c4", 16, 3, 1, 1);
+  b.global_pool();
+  b.fc("fc", task.classes);
+  const ModelCost cost = b.finish();
+
+  AmcConfig acfg;
+  acfg.population = 6;
+  acfg.iterations = 2;
+  acfg.eval_samples = 60;
+  acfg.target_ops_frac = 0.6;
+  const AmcResult res = amc_search(*model, convs, cost, test, acfg);
+  ASSERT_EQ(res.keep_fracs.size(), convs.size());
+  for (double f : res.keep_fracs) {
+    EXPECT_GE(f, acfg.min_keep);
+    EXPECT_LE(f, 1.0);
+  }
+  EXPECT_GT(res.accuracy, 0.0);
+  // Weights restored after the search (candidates were non-destructive).
+  double nonzero = 0.0;
+  for (Conv2d* c : convs) nonzero += c->weight().value.l2_norm();
+  EXPECT_GT(nonzero, 0.0);
+}
+
+}  // namespace
+}  // namespace alf
