@@ -33,7 +33,24 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
                           n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Serial textbook triple loop — the checked-in baseline the blocked
+// parallel kernel is measured against.
+void BM_GemmNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = random_tensor({n, n}, rng);
+  Tensor b = random_tensor({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm_naive(a, false, b, false, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Im2col(benchmark::State& state) {
   Rng rng(2);

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/check.hpp"
 
 namespace alf {
 namespace {
@@ -14,6 +19,152 @@ int default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(std::clamp(hw, 1u, 16u));
 }
+
+// True while this thread is inside a parallel region (as a pool worker or as
+// the dispatching caller). Nested parallel_for calls run inline instead of
+// re-entering the pool, which would deadlock the single-job dispatch.
+thread_local bool t_in_parallel_region = false;
+
+// Hard cap on spawned workers regardless of set_parallel_threads(). Chunks
+// beyond the pool size still execute (workers and the caller claim chunks
+// from a shared counter), just with less physical parallelism.
+constexpr size_t kMaxPoolThreads = 64;
+
+// Persistent worker pool. Threads are spawned lazily on the first parallel
+// dispatch and then parked on a condition variable between jobs, so steady
+// state costs one notify + one wait per parallel region instead of a
+// thread-create/join per call.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs fn over `nchunks` chunks of size `chunk` tiling [begin, end).
+  // Blocks until every chunk has executed. The caller participates in the
+  // work, so a pool of N-1 threads serves N-way parallelism.
+  void run(size_t begin, size_t end, size_t chunk, size_t nchunks,
+           const std::function<void(size_t, size_t)>& fn) {
+    // One job at a time; concurrent top-level callers serialize here.
+    std::lock_guard<std::mutex> job_lock(job_mutex_);
+    uint64_t my_epoch;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ensure_workers_locked(std::min(nchunks - 1, kMaxPoolThreads));
+      job_begin_ = begin;
+      job_end_ = end;
+      job_chunk_ = chunk;
+      job_nchunks_ = nchunks;
+      job_fn_ = &fn;
+      remaining_.store(nchunks, std::memory_order_relaxed);
+      my_epoch = ++epoch_;
+      // Epoch-tagged claim word holding the count of unclaimed chunks,
+      // release-published after the job fields. The claim protocol reads
+      // ONLY this word before committing (acquire + epoch check make the
+      // fields visible afterwards): a drained job leaves (tag, 0) behind,
+      // so a worker that slept through this job's completion bounces off
+      // the zero count — or, once this store lands, off the tag — and can
+      // never claim a chunk of a job it wasn't woken for.
+      claim_.store(((my_epoch & kChunkMask) << kChunkBits) | nchunks,
+                   std::memory_order_release);
+    }
+    wake_cv_.notify_all();
+    work_on_job(my_epoch);
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  ThreadPool() = default;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void ensure_workers_locked(size_t n) {
+    while (workers_.size() < n) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  // Claims and executes chunks of the job published as `my_epoch`. noexcept
+  // enforces the documented contract (an exception escaping fn terminates):
+  // letting one propagate would abandon chunks mid-job and dangle job_fn_.
+  void work_on_job(uint64_t my_epoch) noexcept {
+    // The claim word carries the epoch's low 32 bits; a tag collision would
+    // need a worker to sleep through exactly 2^32 jobs.
+    const uint64_t tag = my_epoch & kChunkMask;
+    while (true) {
+      uint64_t cur = claim_.load(std::memory_order_acquire);
+      if ((cur >> kChunkBits) != tag) return;  // superseded by a later job
+      const size_t left = static_cast<size_t>(cur & kChunkMask);
+      if (left == 0) return;  // job fully claimed (possibly long ago)
+      if (!claim_.compare_exchange_weak(cur, cur - 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        continue;
+      }
+      // Chunks are handed out from the back; `left` came from the claim
+      // word itself, so no job field is read before the CAS commits.
+      const size_t c = left - 1;
+      const size_t lo = job_begin_ + c * job_chunk_;
+      const size_t hi = std::min(job_end_, lo + job_chunk_);
+      (*job_fn_)(lo, hi);
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last chunk done: lock pairs with the dispatcher's predicate check
+        // so the notification cannot be missed.
+        std::lock_guard<std::mutex> lk(m_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    t_in_parallel_region = true;
+    uint64_t seen_epoch = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    while (true) {
+      wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      lk.unlock();
+      work_on_job(seen_epoch);
+      lk.lock();
+    }
+  }
+
+  std::mutex job_mutex_;  // serializes whole jobs
+  std::mutex m_;          // guards epoch_/stop_/workers_ and the cv pair
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  uint64_t epoch_ = 0;
+
+  // (epoch-tag << kChunkBits) | unclaimed-chunk-count. nchunks <=
+  // parallel_threads() (an int), so the count always fits in 32 bits.
+  static constexpr int kChunkBits = 32;
+  static constexpr uint64_t kChunkMask = (uint64_t{1} << kChunkBits) - 1;
+
+  size_t job_begin_ = 0;
+  size_t job_end_ = 0;
+  size_t job_chunk_ = 0;
+  size_t job_nchunks_ = 0;
+  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+  std::atomic<uint64_t> claim_{0};
+  std::atomic<size_t> remaining_{0};
+};
 
 }  // namespace
 
@@ -31,22 +182,22 @@ void parallel_for_chunked(size_t begin, size_t end,
                           size_t min_per_worker) {
   if (begin >= end) return;
   const size_t total = end - begin;
-  const int workers =
-      static_cast<int>(std::min<size_t>(total, parallel_threads()));
-  if (workers <= 1 || total < std::max<size_t>(2, min_per_worker)) {
+  const size_t workers = std::min<size_t>(total, parallel_threads());
+  if (t_in_parallel_region || workers <= 1 ||
+      total < std::max<size_t>(2, min_per_worker)) {
     fn(begin, end);
     return;
   }
   const size_t chunk = (total + workers - 1) / workers;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (int w = 0; w < workers; ++w) {
-    const size_t lo = begin + w * chunk;
-    if (lo >= end) break;
-    const size_t hi = std::min(end, lo + chunk);
-    pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
-  }
-  for (auto& t : pool) t.join();
+  const size_t nchunks = (total + chunk - 1) / chunk;
+  // The chunk grid must tile [begin, end) exactly with no empty slots: the
+  // last chunk starts inside the range and the grid reaches the end.
+  ALF_CHECK(nchunks >= 2 && nchunks <= workers);
+  ALF_CHECK((nchunks - 1) * chunk < total);
+  ALF_CHECK(nchunks * chunk >= total);
+  t_in_parallel_region = true;
+  ThreadPool::instance().run(begin, end, chunk, nchunks, fn);
+  t_in_parallel_region = false;
 }
 
 void parallel_for(size_t begin, size_t end,

@@ -27,6 +27,7 @@ void parallel_for(size_t begin, size_t end,
 /// for tight loops since fn amortizes call cost over the whole chunk.
 /// `min_per_worker` is the serial cutoff: ranges smaller than this run
 /// inline. Pass 1 for coarse-grained items (e.g. images of a batch).
+/// fn must not throw; exceptions escaping fn terminate the program.
 void parallel_for_chunked(size_t begin, size_t end,
                           const std::function<void(size_t, size_t)>& fn,
                           size_t min_per_worker = 256);

@@ -58,9 +58,12 @@ double Rng::normal() {
     has_cached_normal_ = false;
     return cached_normal_;
   }
-  // Box–Muller transform.
+  // Box–Muller transform. uniform() draws from [0, 1) on a 2^-53 grid, so
+  // the only degenerate value is exactly 0.0 — std::log(0.0) is -inf and
+  // would poison the whole downstream computation. Redraw until nonzero;
+  // every other grid point (>= 2^-53) keeps log() finite.
   double u1 = uniform();
-  while (u1 <= 1e-300) u1 = uniform();
+  while (u1 == 0.0) u1 = uniform();
   const double u2 = uniform();
   const double r = std::sqrt(-2.0 * std::log(u1));
   const double theta = 2.0 * std::numbers::pi * u2;

@@ -1,5 +1,6 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "core/check.hpp"
@@ -7,8 +8,23 @@
 
 namespace alf {
 
-void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
-          Tensor& c, float alpha, float beta) {
+namespace {
+
+// Cache-block sizes: one (kBlockK x kBlockN) tile of B is ~256 KB and stays
+// resident in L2 while every row of the current row-block consumes it.
+constexpr size_t kBlockK = 128;
+constexpr size_t kBlockN = 512;
+
+// Target multiply-adds per worker chunk; row-blocks smaller than this are
+// not worth a task handoff.
+constexpr size_t kMaddsPerWorker = size_t{1} << 16;
+
+struct GemmShape {
+  size_t m, k, n;
+};
+
+GemmShape gemm_check(const Tensor& a, bool trans_a, const Tensor& b,
+                     bool trans_b, const Tensor& c) {
   ALF_CHECK_EQ(a.rank(), size_t{2});
   ALF_CHECK_EQ(b.rank(), size_t{2});
   ALF_CHECK_EQ(c.rank(), size_t{2});
@@ -19,6 +35,14 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   ALF_CHECK_EQ(k, kb) << "inner dims";
   ALF_CHECK_EQ(c.dim(0), m);
   ALF_CHECK_EQ(c.dim(1), n);
+  return {m, k, n};
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha, float beta) {
+  const auto [m, k, n] = gemm_check(a, trans_a, b, trans_b, c);
 
   const float* pa = a.data();
   const float* pb = b.data();
@@ -26,8 +50,11 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   const size_t lda = a.dim(1);
   const size_t ldb = b.dim(1);
 
-  // Row-partitioned: each worker owns a contiguous block of C rows.
-  parallel_for_chunked(0, m, [&](size_t r0, size_t r1) {
+  // Each worker owns a contiguous block of C rows; inside a row-block the
+  // (k, n) loop nest is tiled so the active B tile stays in cache. The
+  // k-block grid is global (not per-thread), so every C element sees the
+  // same accumulation order regardless of where the row partition falls.
+  const auto process_rows = [&](size_t r0, size_t r1) {
     for (size_t i = r0; i < r1; ++i) {
       float* crow = pc + i * n;
       if (beta == 0.0f) {
@@ -35,42 +62,82 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
       } else if (beta != 1.0f) {
         for (size_t j = 0; j < n; ++j) crow[j] *= beta;
       }
-      if (!trans_a && !trans_b) {
-        // C[i,:] += alpha * sum_k A[i,k] * B[k,:]  (streaming B rows)
-        for (size_t kk = 0; kk < k; ++kk) {
-          const float av = alpha * pa[i * lda + kk];
-          if (av == 0.0f) continue;
-          const float* brow = pb + kk * ldb;
-          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      } else if (!trans_a && trans_b) {
-        // C[i,j] += alpha * dot(A[i,:], B[j,:])
-        const float* arow = pa + i * lda;
-        for (size_t j = 0; j < n; ++j) {
-          const float* brow = pb + j * ldb;
-          float acc = 0.0f;
-          for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-          crow[j] += alpha * acc;
-        }
-      } else if (trans_a && !trans_b) {
-        // C[i,:] += alpha * sum_k A[k,i] * B[k,:]
-        for (size_t kk = 0; kk < k; ++kk) {
-          const float av = alpha * pa[kk * lda + i];
-          if (av == 0.0f) continue;
-          const float* brow = pb + kk * ldb;
-          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      } else {
-        // C[i,j] += alpha * sum_k A[k,i] * B[j,k]
-        for (size_t j = 0; j < n; ++j) {
-          float acc = 0.0f;
-          for (size_t kk = 0; kk < k; ++kk)
-            acc += pa[kk * lda + i] * pb[j * ldb + kk];
-          crow[j] += alpha * acc;
+    }
+    for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const size_t k1 = std::min(k, k0 + kBlockK);
+      for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const size_t j1 = std::min(n, j0 + kBlockN);
+        for (size_t i = r0; i < r1; ++i) {
+          float* crow = pc + i * n;
+          if (!trans_a && !trans_b) {
+            // C[i,j0:j1] += alpha * sum_k A[i,k] * B[k,j0:j1]
+            const float* arow = pa + i * lda;
+            for (size_t kk = k0; kk < k1; ++kk) {
+              const float av = alpha * arow[kk];
+              if (av == 0.0f) continue;
+              const float* brow = pb + kk * ldb;
+              for (size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+            }
+          } else if (!trans_a && trans_b) {
+            // C[i,j] += alpha * dot(A[i,k0:k1], B[j,k0:k1])
+            const float* arow = pa + i * lda;
+            for (size_t j = j0; j < j1; ++j) {
+              const float* brow = pb + j * ldb;
+              float acc = 0.0f;
+              for (size_t kk = k0; kk < k1; ++kk) acc += arow[kk] * brow[kk];
+              crow[j] += alpha * acc;
+            }
+          } else if (trans_a && !trans_b) {
+            // C[i,j0:j1] += alpha * sum_k A[k,i] * B[k,j0:j1]
+            for (size_t kk = k0; kk < k1; ++kk) {
+              const float av = alpha * pa[kk * lda + i];
+              if (av == 0.0f) continue;
+              const float* brow = pb + kk * ldb;
+              for (size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+            }
+          } else {
+            // C[i,j] += alpha * sum_k A[k,i] * B[j,k]
+            for (size_t j = j0; j < j1; ++j) {
+              float acc = 0.0f;
+              for (size_t kk = k0; kk < k1; ++kk)
+                acc += pa[kk * lda + i] * pb[j * ldb + kk];
+              crow[j] += alpha * acc;
+            }
+          }
         }
       }
     }
-  });
+  };
+
+  // Hand a worker at least kMaddsPerWorker of arithmetic; small products
+  // (and any gemm issued from inside a parallel region, e.g. the per-image
+  // conv GEMMs) run inline.
+  const size_t madds_per_row = std::max<size_t>(1, k * n);
+  const size_t min_rows =
+      std::max<size_t>(1, kMaddsPerWorker / madds_per_row);
+  parallel_for_chunked(0, m, process_rows, min_rows);
+}
+
+void gemm_naive(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+                Tensor& c, float alpha, float beta) {
+  const auto [m, k, n] = gemm_check(a, trans_a, b, trans_b, c);
+  const size_t lda = a.dim(1);
+  const size_t ldb = b.dim(1);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
+        const float bv = trans_b ? pb[j * ldb + kk] : pb[kk * ldb + j];
+        acc += av * bv;
+      }
+      pc[i * n + j] =
+          alpha * acc + (beta == 0.0f ? 0.0f : beta * pc[i * n + j]);
+    }
+  }
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {

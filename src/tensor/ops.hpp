@@ -12,8 +12,19 @@ namespace alf {
 /// C = alpha * op(A) * op(B) + beta * C, with op(X) = X or X^T.
 /// A is [M, K] (or [K, M] when trans_a), B is [K, N] (or [N, K] when
 /// trans_b), C must be preallocated to [M, N].
+///
+/// Cache-blocked over (k, n) and parallelized over blocks of C rows for
+/// large shapes. Per output element the accumulation order is fixed by the
+/// k-block grid (never by the thread partition), so results are
+/// bit-identical for any thread count.
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           Tensor& c, float alpha = 1.0f, float beta = 0.0f);
+
+/// Reference GEMM: serial textbook triple loop, no blocking, no threading.
+/// Kept as the oracle for tests and the baseline for bench_micro; do not
+/// use on hot paths.
+void gemm_naive(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+                Tensor& c, float alpha = 1.0f, float beta = 0.0f);
 
 /// Convenience: returns op(A)*op(B) as a fresh [M, N] tensor.
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,

@@ -99,6 +99,21 @@ TEST(Rng, ForkIndependent) {
   EXPECT_NE(a.next_u64(), child.next_u64());
 }
 
+// Regression: Box–Muller must redraw when uniform() returns exactly 0.0 —
+// std::log(0.0) is -inf and one bad draw would poison e.g. a whole weight
+// init. Hammer many independent streams and require every sample finite and
+// well inside the theoretical tail for this many draws.
+TEST(Rng, NormalNeverProducesInfOrNan) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    for (int i = 0; i < 10000; ++i) {
+      const double v = rng.normal();
+      ASSERT_TRUE(std::isfinite(v)) << "seed=" << seed << " i=" << i;
+      ASSERT_LT(std::abs(v), 9.0) << "seed=" << seed << " i=" << i;
+    }
+  }
+}
+
 TEST(Parallel, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> counts(5000);
   parallel_for(0, counts.size(), [&counts](size_t i) { counts[i]++; });
@@ -124,6 +139,112 @@ TEST(Parallel, ThreadOverrideRestores) {
   EXPECT_EQ(parallel_threads(), 2);
   set_parallel_threads(0);
   EXPECT_GE(parallel_threads(), 1);
+}
+
+TEST(Parallel, ChunkedEmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for_chunked(
+      9, 9, [&called](size_t, size_t) { called = true; }, 1);
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ChunkedRangeOfOne) {
+  set_parallel_threads(8);
+  std::atomic<int> calls{0};
+  size_t got_lo = 99, got_hi = 0;
+  parallel_for_chunked(
+      7, 8,
+      [&](size_t lo, size_t hi) {
+        calls++;
+        got_lo = lo;
+        got_hi = hi;
+      },
+      1);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(got_lo, 7u);
+  EXPECT_EQ(got_hi, 8u);
+  set_parallel_threads(0);
+}
+
+TEST(Parallel, MinPerWorkerBoundary) {
+  set_parallel_threads(4);
+  // total < min_per_worker: exactly one inline call over the whole range.
+  {
+    std::atomic<int> calls{0};
+    std::vector<std::atomic<int>> counts(7);
+    parallel_for_chunked(
+        0, counts.size(),
+        [&](size_t lo, size_t hi) {
+          calls++;
+          for (size_t i = lo; i < hi; ++i) counts[i]++;
+        },
+        /*min_per_worker=*/8);
+    EXPECT_EQ(calls.load(), 1);
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  }
+  // total == min_per_worker: eligible for the pool; coverage stays exact.
+  {
+    std::vector<std::atomic<int>> counts(8);
+    parallel_for_chunked(
+        0, counts.size(),
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) counts[i]++;
+        },
+        /*min_per_worker=*/8);
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  }
+  set_parallel_threads(0);
+}
+
+// set_parallel_threads() larger than the range must clamp: every index is
+// still covered exactly once with no empty chunk ever dispatched.
+TEST(Parallel, MoreThreadsThanItems) {
+  set_parallel_threads(32);
+  std::vector<std::atomic<int>> counts(10);
+  parallel_for_chunked(
+      0, counts.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) counts[i]++;
+      },
+      /*min_per_worker=*/1);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  set_parallel_threads(0);
+}
+
+// A parallel_for issued from inside a worker (the conv2d pattern: batch
+// parallelism outside, GEMMs inside) must run inline instead of deadlocking
+// the pool's single-job dispatch.
+TEST(Parallel, NestedParallelRunsInline) {
+  set_parallel_threads(4);
+  std::atomic<int> total{0};
+  parallel_for_chunked(
+      0, 8,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          parallel_for(0, 100, [&](size_t) { total++; });
+        }
+      },
+      /*min_per_worker=*/1);
+  EXPECT_EQ(total.load(), 800);
+  set_parallel_threads(0);
+}
+
+// The pool is persistent: back-to-back regions with varying thread counts
+// must each cover their range exactly (stale chunk state from a previous
+// job must never leak into the next).
+TEST(Parallel, RepeatedJobsStayExact) {
+  for (int round = 0; round < 50; ++round) {
+    set_parallel_threads(1 + round % 5);
+    std::vector<std::atomic<int>> counts(997);
+    parallel_for_chunked(
+        0, counts.size(),
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) counts[i]++;
+        },
+        /*min_per_worker=*/1);
+    for (const auto& c : counts) ASSERT_EQ(c.load(), 1) << "round " << round;
+  }
+  set_parallel_threads(0);
 }
 
 TEST(Table, AlignsAndFormats) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
@@ -128,6 +129,83 @@ TEST(Gemm, AlphaBetaAccumulate) {
   Tensor want = naive_matmul(a, b, false, false);
   for (size_t i = 0; i < c.numel(); ++i)
     EXPECT_NEAR(c.at(i), 2.0f * want.at(i) + 0.5f, 1e-4);
+}
+
+// The blocked kernel must agree with the serial reference on shapes that
+// straddle the (k, n) block boundaries, for every transpose combination and
+// a beta != 0 accumulate.
+TEST(Gemm, BlockedMatchesNaiveReferenceOddShapes) {
+  struct Case {
+    size_t m, k, n;
+    bool ta, tb;
+  };
+  const Case cases[] = {
+      {3, 129, 513, false, false},  // one past both block edges
+      {5, 127, 511, false, true},   // one short of both block edges
+      {17, 200, 650, true, false},  // straddles interior block boundaries
+      {9, 130, 30, true, true},
+      {1, 300, 1, false, false},    // degenerate vector shapes
+      {33, 1, 77, false, true},
+  };
+  for (const Case& cs : cases) {
+    Rng rng(cs.m * 131 + cs.k * 17 + cs.n);
+    Tensor a = cs.ta ? random_tensor({cs.k, cs.m}, rng)
+                     : random_tensor({cs.m, cs.k}, rng);
+    Tensor b = cs.tb ? random_tensor({cs.n, cs.k}, rng)
+                     : random_tensor({cs.k, cs.n}, rng);
+    Tensor got = random_tensor({cs.m, cs.n}, rng);
+    Tensor want = got;  // identical beta source
+    gemm(a, cs.ta, b, cs.tb, got, 1.5f, 0.25f);
+    gemm_naive(a, cs.ta, b, cs.tb, want, 1.5f, 0.25f);
+    for (size_t i = 0; i < got.numel(); ++i)
+      ASSERT_NEAR(got.at(i), want.at(i), 2e-3)
+          << "m=" << cs.m << " k=" << cs.k << " n=" << cs.n
+          << " ta=" << cs.ta << " tb=" << cs.tb << " i=" << i;
+  }
+}
+
+TEST(Gemm, BetaAccumulateNonSquare) {
+  Rng rng(11);
+  Tensor a = random_tensor({7, 13}, rng);
+  Tensor b = random_tensor({13, 5}, rng);
+  Tensor init = random_tensor({7, 5}, rng);
+  Tensor c = init;
+  gemm(a, false, b, false, c, 1.5f, 0.25f);
+  Tensor want = naive_matmul(a, b, false, false);
+  for (size_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c.at(i), 1.5f * want.at(i) + 0.25f * init.at(i), 1e-4);
+}
+
+TEST(Gemm, BetaOneLeavesExistingSum) {
+  Rng rng(13);
+  Tensor a = random_tensor({3, 9}, rng);
+  Tensor b = random_tensor({9, 4}, rng);
+  Tensor c({3, 4}, 2.0f);
+  gemm(a, false, b, false, c, 1.0f, 1.0f);
+  Tensor want = naive_matmul(a, b, false, false);
+  for (size_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c.at(i), want.at(i) + 2.0f, 1e-4);
+}
+
+// The row partition feeds a persistent thread pool; per output element the
+// accumulation order is fixed by the global k-block grid, so 1-thread and
+// N-thread runs must be bit-identical (the determinism contract the trainer
+// tests rely on).
+TEST(Gemm, BitIdenticalAcrossThreadCounts) {
+  Rng rng(29);
+  Tensor a = random_tensor({97, 161}, rng);
+  Tensor b = random_tensor({161, 45}, rng);
+  set_parallel_threads(1);
+  Tensor c1 = matmul(a, b);
+  set_parallel_threads(8);
+  Tensor c8 = matmul(a, b);
+  set_parallel_threads(3);
+  Tensor c3 = matmul(a, b);
+  set_parallel_threads(0);
+  for (size_t i = 0; i < c1.numel(); ++i) {
+    ASSERT_EQ(c1.at(i), c8.at(i)) << "i=" << i;
+    ASSERT_EQ(c1.at(i), c3.at(i)) << "i=" << i;
+  }
 }
 
 TEST(Gemm, ShapeMismatchThrows) {
