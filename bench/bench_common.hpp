@@ -10,8 +10,12 @@
 // the analytic cost models; only *training* runs are scaled.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "alf/deploy.hpp"
 #include "alf/trainer.hpp"
@@ -20,6 +24,87 @@
 #include "models/zoo.hpp"
 
 namespace alf::bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark emission (--json <path>). Every harness prints
+// human tables; with --json it additionally writes a BENCH_*.json record so
+// the perf trajectory is diffable per-PR (see ROADMAP).
+// ---------------------------------------------------------------------------
+
+/// One benchmark measurement. NaN columns are omitted from the JSON.
+struct BenchRow {
+  std::string name;
+  double wall_ms = std::nan("");
+  double gmadds_per_s = std::nan("");
+  double accuracy = std::nan("");     ///< fraction in [0, 1]
+  double compression = std::nan("");  ///< remaining-parameter fraction
+  std::map<std::string, double> extra;
+};
+
+/// Collects rows and writes `{"bench":..., "scale":..., "rows":[...]}`.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, std::string scale)
+      : bench_(std::move(bench)), scale_(std::move(scale)) {}
+
+  /// Appends a row and returns it for field assignment.
+  BenchRow& row(std::string name) {
+    rows_.push_back(BenchRow{});
+    rows_.back().name = std::move(name);
+    return rows_.back();
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+  /// Writes the JSON file; returns false on I/O failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\"bench\": \"%s\", \"scale\": \"%s\", \"rows\": [",
+                 bench_.c_str(), scale_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const BenchRow& r = rows_[i];
+      std::fprintf(f, "%s\n  {\"name\": \"%s\"", i == 0 ? "" : ",",
+                   r.name.c_str());
+      const auto field = [f](const char* key, double v) {
+        if (!std::isnan(v)) std::fprintf(f, ", \"%s\": %.6g", key, v);
+      };
+      field("wall_ms", r.wall_ms);
+      field("gmadds_per_s", r.gmadds_per_s);
+      field("accuracy", r.accuracy);
+      field("compression", r.compression);
+      for (const auto& [key, v] : r.extra) field(key.c_str(), v);
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::string bench_, scale_;
+  std::vector<BenchRow> rows_;
+};
+
+/// Returns the value of `--json <path>` (empty if absent).
+inline std::string parse_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  return "";
+}
+
+/// Like parse_json_path, but also removes the flag pair from argv — needed
+/// by bench_micro, whose remaining flags go to google-benchmark.
+inline std::string take_json_flag(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return "";
+}
 
 /// Experiment scale selected by command-line flags.
 struct Scale {

@@ -1,9 +1,14 @@
 // Microbenchmarks (google-benchmark) of the computational substrates:
 // GEMM, im2col, convolution forward/backward, ALF block forward and
 // autoencoder step, Eyeriss mapper search, dataset synthesis.
+//
+// `--json <path>` additionally writes the per-benchmark wall time and
+// G madds/s (from SetItemsProcessed) in the shared BENCH_*.json schema;
+// all other flags go to google-benchmark untouched.
 #include <benchmark/benchmark.h>
 
 #include "alf/alf_conv.hpp"
+#include "bench_common.hpp"
 #include "data/synthetic.hpp"
 #include "hwmodel/mapper.hpp"
 #include "nn/conv2d.hpp"
@@ -138,6 +143,44 @@ void BM_DatasetSynthesis(benchmark::State& state) {
 }
 BENCHMARK(BM_DatasetSynthesis);
 
+// Console reporter that also collects rows for the --json record.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollector(bench::BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.iterations <= 0) continue;
+      bench::BenchRow& row = json_->row(run.benchmark_name());
+      row.wall_ms = 1000.0 * run.real_accumulated_time /
+                    static_cast<double>(run.iterations);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end())
+        row.gmadds_per_s = it->second.value / 1e9;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJson* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = alf::bench::take_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  alf::bench::BenchJson json("bench_micro", "default");
+  JsonCollector reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !json.empty()) {
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

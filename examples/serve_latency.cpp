@@ -1,0 +1,121 @@
+// Serving-latency sketch: what the batched inference server's hot loop
+// will look like once it wraps Engine::run (see ROADMAP).
+//
+// Compiles ResNet-20 once for the maximum batch, then replays a stream of
+// requests with varying batch sizes through the same plan — no per-request
+// allocation, no recompilation — and reports latency percentiles and
+// throughput against the layer-tree eval path.
+//
+//   ./serve_latency [--quick|--full] [--requests N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/table.hpp"
+#include "engine/engine.hpp"
+#include "models/zoo.hpp"
+
+using namespace alf;
+
+namespace {
+
+Tensor random_input(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+double percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t hw = 16, width = 8, requests = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) requests = 40;
+    if (std::strcmp(argv[i], "--full") == 0) {
+      hw = 32;
+      width = 16;
+      requests = 400;
+    }
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+      requests = static_cast<size_t>(std::max(1L, std::atol(argv[++i])));
+  }
+  const size_t max_batch = 32;
+
+  Rng rng(23);
+  ModelConfig mc;
+  mc.base_width = width;
+  mc.in_hw = hw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  // A couple of training-mode passes so BN statistics are realistic.
+  for (int i = 0; i < 2; ++i) {
+    Tensor x = random_input({8, mc.in_channels, hw, hw}, rng);
+    model->forward(x, true);
+  }
+
+  Engine eng = Engine::compile(*model, max_batch, mc.in_channels, hw, hw);
+  std::printf("%s\n", eng.plan_str().c_str());
+
+  // Request stream: batch sizes mimic a bursty queue (mostly small, some
+  // full batches after a backlog).
+  std::vector<size_t> sizes(requests);
+  for (size_t i = 0; i < requests; ++i) {
+    const double u = rng.uniform();
+    sizes[i] = u < 0.5 ? 1 + rng.uniform_index(4)
+                       : (u < 0.85 ? 8 + rng.uniform_index(8) : max_batch);
+  }
+  Tensor x = random_input({max_batch, mc.in_channels, hw, hw}, rng);
+  // Output tensors preallocated per batch size outside the serving loop —
+  // the engine request path itself performs no allocations.
+  std::vector<Tensor> outs(max_batch + 1);
+  for (const size_t n : sizes)
+    if (outs[n].empty()) outs[n] = Tensor({n, eng.classes()});
+
+  Table table("ResNet-20 serving latency over " +
+              std::to_string(requests) + " requests (ms)");
+  table.set_header({"path", "p50", "p95", "p99", "images/s"});
+  for (const bool use_engine : {false, true}) {
+    std::vector<double> lat;
+    lat.reserve(requests);
+    size_t images = 0;
+    const auto t_begin = std::chrono::steady_clock::now();
+    for (const size_t n : sizes) {
+      Tensor req({n, mc.in_channels, hw, hw});
+      std::copy(x.data(), x.data() + req.numel(), req.data());
+      const auto t0 = std::chrono::steady_clock::now();
+      if (use_engine) {
+        eng.run(req, outs[n]);
+      } else {
+        model->forward(req, false);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      lat.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      images += n;
+    }
+    const double total_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_begin)
+            .count();
+    table.add_row({use_engine ? "engine" : "layer tree",
+                   Table::fmt(percentile(lat, 0.50), 3),
+                   Table::fmt(percentile(lat, 0.95), 3),
+                   Table::fmt(percentile(lat, 0.99), 3),
+                   Table::fmt(static_cast<double>(images) / total_s, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nThe batched server (ROADMAP) wraps the engine path: dynamic "
+      "batching fills `x` up to batch %zu, one Engine::run per tick.\n",
+      max_batch);
+  return 0;
+}

@@ -112,11 +112,15 @@ class AlfConv : public Layer {
 
   /// Raw parameter access (used by deployment and tests).
   Param& w() { return w_; }
+  const Param& w() const { return w_; }
   Param& wexp() { return wexp_; }
+  const Param& wexp() const { return wexp_; }
   Tensor& wenc() { return wenc_; }
   Tensor& wdec() { return wdec_; }
   Tensor& mask() { return mask_; }
+  const Tensor& mask() const { return mask_; }
   BatchNorm2d* bn_inter() { return bn_inter_ ? &*bn_inter_ : nullptr; }
+  const BatchNorm2d* bn_inter() const { return bn_inter_ ? &*bn_inter_ : nullptr; }
 
   /// Spatial geometry observed at the last forward (for cost accounting).
   size_t last_out_h() const { return last_out_h_; }

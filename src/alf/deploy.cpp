@@ -27,12 +27,8 @@ std::vector<CompressedConvDesc> collect_compressed_descs(Sequential& model) {
   return out;
 }
 
-namespace {
-
-/// Indices of code filters kept at deployment (non-zero mask entries, or the
-/// single largest-|m| filter if everything was pruned).
-std::vector<size_t> kept_filters(const AlfConv& block) {
-  const Tensor mprune = const_cast<AlfConv&>(block).compute_mprune();
+std::vector<size_t> deployed_filters(const AlfConv& block) {
+  const Tensor mprune = block.compute_mprune();
   std::vector<size_t> kept;
   for (size_t i = 0; i < mprune.numel(); ++i)
     if (mprune.at(i) != 0.0f) kept.push_back(i);
@@ -40,7 +36,7 @@ std::vector<size_t> kept_filters(const AlfConv& block) {
     // Degenerate case: keep the strongest filter so the layer still works.
     size_t best = 0;
     float best_val = 0.0f;
-    const Tensor& mask = const_cast<AlfConv&>(block).mask();
+    const Tensor& mask = block.mask();
     for (size_t i = 0; i < mask.numel(); ++i) {
       if (std::abs(mask.at(i)) >= best_val) {
         best_val = std::abs(mask.at(i));
@@ -52,12 +48,10 @@ std::vector<size_t> kept_filters(const AlfConv& block) {
   return kept;
 }
 
-}  // namespace
-
 LayerPtr make_deployed_unit(AlfConv& block, Rng& rng) {
   ALF_CHECK(block.bn_inter() == nullptr)
       << block.name() << ": BN_inter blocks are a training-only config";
-  const std::vector<size_t> kept = kept_filters(block);
+  const std::vector<size_t> kept = deployed_filters(block);
   const size_t ccode = kept.size();
   const size_t ci = block.in_channels(), co = block.out_channels();
   const size_t k = block.kernel();
@@ -88,6 +82,11 @@ LayerPtr make_deployed_unit(AlfConv& block, Rng& rng) {
     for (size_t r = 0; r < ccode; ++r)
       exp_conv->weight().value.at(o * ccode + r) = wexp.at(o, kept[r]);
   return unit;
+}
+
+Engine compile_deployed(const Sequential& model, size_t batch, size_t in_c,
+                        size_t in_hw) {
+  return Engine::compile(model, batch, in_c, in_hw, in_hw);
 }
 
 float deployment_error(AlfConv& block, const Tensor& input, Rng& rng) {

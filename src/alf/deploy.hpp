@@ -12,6 +12,7 @@
 #include <map>
 
 #include "alf/alf_conv.hpp"
+#include "engine/engine.hpp"
 #include "models/cost.hpp"
 
 namespace alf {
@@ -34,12 +35,25 @@ CompressedConvDesc describe_block(const AlfConv& block);
 /// Descriptors of all ALF blocks of `model` in build order.
 std::vector<CompressedConvDesc> collect_compressed_descs(Sequential& model);
 
+/// Indices of the code filters kept at deployment: the non-zero entries of
+/// Mprune, or the single largest-|m| filter if everything was pruned (so
+/// the layer stays functional). Shared by make_deployed_unit and the
+/// engine's AlfConv lowering.
+std::vector<size_t> deployed_filters(const AlfConv& block);
+
 /// Builds the dense deployed unit: Conv(ci -> ccode') [+ sigma_inter]
 /// -> Conv1x1(ccode' -> co), with weights copied from the trained block.
 /// Blocks with BN_inter enabled are not exportable (training-only config).
 /// If every code filter was pruned, the single surviving filter with the
 /// largest |mask| is retained so the layer stays functional.
 LayerPtr make_deployed_unit(AlfConv& block, Rng& rng);
+
+/// Compiles a model for batched serving: every AlfConv is lowered to its
+/// deployed dense pair, BatchNorm is folded into the preceding conv, and
+/// the result is a flat plan executing against a preallocated arena (see
+/// engine/engine.hpp). The model may mix plain convs and ALF blocks.
+Engine compile_deployed(const Sequential& model, size_t batch, size_t in_c,
+                        size_t in_hw);
 
 /// Max |output(deployed) - output(block in eval mode)| over a test input —
 /// the structural-consistency check of the deployment stage.

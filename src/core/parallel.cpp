@@ -177,6 +177,8 @@ void set_parallel_threads(int n) {
   g_threads.store(n, std::memory_order_relaxed);
 }
 
+bool in_parallel_region() { return t_in_parallel_region; }
+
 void parallel_for_chunked(size_t begin, size_t end,
                           const std::function<void(size_t, size_t)>& fn,
                           size_t min_per_worker) {

@@ -17,6 +17,12 @@ int parallel_threads();
 /// Override the worker count (0 restores the default). Intended for tests.
 void set_parallel_threads(int n);
 
+/// True while the calling thread is inside a parallel region (pool worker
+/// or dispatching caller). Kernels use this to skip the dispatch machinery
+/// (std::function construction, chunk math) and run inline: nested regions
+/// run inline anyway, so the round trip is pure overhead.
+bool in_parallel_region();
+
 /// Runs fn(i) for every i in [begin, end), split into contiguous chunks
 /// across workers. Falls back to serial execution for small ranges.
 /// fn must not throw; exceptions escaping fn terminate the program.

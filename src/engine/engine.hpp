@@ -1,0 +1,152 @@
+// Plan-based inference engine: the deployment execution substrate.
+//
+// The training framework walks the Layer tree and allocates a fresh Tensor
+// per layer per call — right for autograd, wasteful for serving. The engine
+// instead compiles a model once into a flat plan:
+//
+//   Engine eng = Engine::compile(model, batch, in_c, h, w);
+//   eng.run(x, logits);   // zero heap allocations per call
+//
+// Compilation walks the model (descending into Sequential and
+// ResidualBlock, and lowering AlfConv blocks to their deployed dense
+// code-conv + 1x1-expansion pair), folds inference-mode BatchNorm into the
+// preceding conv/linear weights and bias, fuses trailing activations into
+// the kernel epilogues, and binds every step to a slot of one preallocated
+// workspace arena. Activation slots are reused by a linear-scan register
+// allocator (ping-pong for straight-line stretches, a third slot across
+// residual shortcuts); per-chunk im2col scratch lives at the end of the
+// arena so the batched conv steps never allocate.
+//
+// All kernels are the free functions the nn/ layers themselves forward
+// through (conv2d_image_forward, linear_forward_view, pooling views), so
+// there is no duplicated math. Results are bit-identical for any thread
+// count: the batch partition is fixed at compile time and each image is
+// written by exactly one worker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+
+namespace alf {
+
+/// Kernel selector of one compiled step.
+enum class OpKind {
+  kConv,          ///< im2col+GEMM conv, folded-BN bias + activation epilogue
+  kLinear,        ///< fully-connected, bias + activation epilogue
+  kGlobalAvgPool, ///< [N,C,H,W] -> [N,C]
+  kMaxPool,       ///< non-overlapping window max
+  kAdd,           ///< residual merge: out = act(out + in)
+  kScaleShift,    ///< per-channel affine (BatchNorm that could not be folded)
+  kActivation,    ///< standalone activation (could not be fused)
+};
+
+/// Printable kind tag.
+const char* op_kind_name(OpKind kind);
+
+/// One stateless kernel invocation. Weights are compile-time copies (with
+/// BN already folded in); activations are addressed by arena slot index.
+/// Slot 0 is the external input tensor of run() and is never written.
+struct Step {
+  OpKind kind = OpKind::kConv;
+  std::string name;      ///< source layer name(s), for plan dumps
+  size_t in = 0;         ///< arena slot holding the input activation
+  size_t out = 0;        ///< arena slot receiving the output activation
+  Act act = Act::kNone;  ///< fused epilogue activation
+
+  // Per-image element counts of the in/out activations.
+  size_t in_sz = 0;
+  size_t out_sz = 0;
+
+  // kConv / kMaxPool / kGlobalAvgPool / kScaleShift geometry.
+  ConvGeom geom;
+  size_t out_c = 0;
+  size_t window = 0;  ///< kMaxPool
+
+  // kLinear geometry.
+  size_t in_features = 0;
+  size_t out_features = 0;
+
+  Tensor w;     ///< [Co, Ci*K*K] (kConv) or [out, in] (kLinear)
+  Tensor bias;  ///< folded bias [Co]/[out]; empty = no bias
+  Tensor scale, shift;  ///< kScaleShift per-channel affine
+
+  /// Conv execution strategy, chosen at compile time per layer:
+  /// - shift_gemm (wide maps and all 1x1s): no im2col at all — K*K GEMMs of
+  ///   per-offset weight slices against shifted views of the input planes,
+  ///   then the `pad` border columns are recomputed directly. `w9` holds
+  ///   the compile-time repacking [K*K, Co, Ci] of `w` (empty for 1x1).
+  /// - chunk-batched im2col (narrow maps, strided convs): all images of a
+  ///   batch chunk unfold side by side into one [Ci*K*K, G*Ho*Wo] matrix,
+  ///   one GEMM computes the chunk, and the result scatters back to NCHW.
+  /// Both exploit what only a compiled plan has: pre-packed weights and
+  /// arena scratch sized once for the whole batch.
+  bool shift_gemm = false;
+  Tensor w9;
+};
+
+/// Compiled model: flat step list + workspace arena. Movable, not copyable
+/// (the arena is large and a compiled plan is cheap to rebuild).
+class Engine {
+ public:
+  /// Compiles `model` for inference at the given maximum batch size and
+  /// input geometry. The model is read, not mutated; weights are copied
+  /// (with BN folded), so the Engine outlives the model. Layers the engine
+  /// cannot lower (e.g. AlfConv with BN_inter) fail with a CheckError.
+  static Engine compile(const Sequential& model, size_t batch, size_t in_c,
+                        size_t in_h, size_t in_w);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes the plan on x [n, Ci, H, W] with n <= batch(); writes the
+  /// logits into `out` [n, classes] (preallocated by the caller). Performs
+  /// zero heap allocations when the batch runs as a single chunk (1-core
+  /// host, 1 compile-time thread, or n == 1); multi-chunk runs pay one
+  /// pool-dispatch closure per conv step.
+  void run(const Tensor& x, Tensor& out);
+
+  /// Convenience overload that allocates the output tensor.
+  Tensor run(const Tensor& x);
+
+  // --- Introspection --------------------------------------------------------
+
+  const std::vector<Step>& steps() const { return steps_; }
+  size_t batch() const { return batch_; }
+  size_t classes() const { return classes_; }
+  /// Total arena floats (activation slots + im2col scratch).
+  size_t workspace_floats() const { return workspace_.size(); }
+  /// Arena base pointer; stable across run() calls (tests assert no growth).
+  const float* workspace_data() const { return workspace_.data(); }
+  size_t activation_slots() const { return slots_; }
+
+  /// Human-readable plan: one line per step with fused ops and slots.
+  std::string plan_str() const;
+
+ private:
+  Engine() = default;
+
+  /// Executes one batched conv step (fixed compile-time chunk grid).
+  void run_conv(const Step& st, const float* in, float* out, size_t n);
+
+  std::vector<Step> steps_;
+  std::vector<float> workspace_;
+
+  size_t batch_ = 0;
+  size_t in_c_ = 0, in_h_ = 0, in_w_ = 0;
+  size_t classes_ = 0;
+  size_t slots_ = 0;        ///< number of activation slots
+  size_t slot_stride_ = 0;  ///< floats per activation slot
+  size_t col_off_ = 0;      ///< arena offset of the im2col scratch block
+  size_t col_sz_ = 0;       ///< floats per per-chunk im2col scratch slice
+  size_t res_off_ = 0;      ///< arena offset of the GEMM-result scratch
+  size_t res_sz_ = 0;       ///< floats per per-chunk result scratch slice
+  size_t nchunks_ = 0;      ///< fixed batch partition (determinism)
+};
+
+}  // namespace alf

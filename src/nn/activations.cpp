@@ -75,6 +75,35 @@ Tensor act_backward(Act act, const Tensor& y, const Tensor& grad_y) {
   return gx;
 }
 
+void act_inplace(Act act, float* data, size_t n) {
+  switch (act) {
+    case Act::kNone:
+      break;
+    case Act::kRelu:
+      for (size_t i = 0; i < n; ++i) data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+      break;
+    case Act::kTanh:
+      for (size_t i = 0; i < n; ++i) data[i] = std::tanh(data[i]);
+      break;
+    case Act::kSigmoid:
+      for (size_t i = 0; i < n; ++i)
+        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+      break;
+  }
+}
+
+void bias_act_inplace(float* data, size_t rows, size_t cols,
+                      const float* bias, Act act) {
+  if (bias != nullptr) {
+    for (size_t r = 0; r < rows; ++r) {
+      const float b = bias[r];
+      float* row = data + r * cols;
+      for (size_t j = 0; j < cols; ++j) row[j] += b;
+    }
+  }
+  act_inplace(act, data, rows * cols);
+}
+
 Tensor Activation::forward(const Tensor& x, bool train) {
   Tensor y = act_forward(act_, x);
   if (train) cached_y_ = y;

@@ -30,6 +30,16 @@ Tensor act_forward(Act act, const Tensor& x);
 /// *output* y, which all four supported activations allow).
 Tensor act_backward(Act act, const Tensor& y, const Tensor& grad_y);
 
+/// In-place kernel epilogue over a row-major [rows, cols] block:
+/// data[r, j] = act(data[r, j] + bias[r]). `bias` may be nullptr (no bias).
+/// This is how the engine fuses folded-BN bias and a trailing activation
+/// into the GEMM output of a conv/linear step without another pass.
+void bias_act_inplace(float* data, size_t rows, size_t cols,
+                      const float* bias, Act act);
+
+/// In-place elementwise activation over `n` floats.
+void act_inplace(Act act, float* data, size_t n);
+
 /// Generic activation layer.
 class Activation : public Layer {
  public:

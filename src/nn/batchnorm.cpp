@@ -90,6 +90,18 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   return out;
 }
 
+void bn_fold_scale_shift(const BatchNorm2d& bn, Tensor& scale, Tensor& shift) {
+  const size_t c = bn.channels();
+  scale = Tensor({c});
+  shift = Tensor({c});
+  for (size_t i = 0; i < c; ++i) {
+    const float s = bn.gamma().value.at(i) /
+                    std::sqrt(bn.running_var().at(i) + bn.eps());
+    scale.at(i) = s;
+    shift.at(i) = bn.beta().value.at(i) - bn.running_mean().at(i) * s;
+  }
+}
+
 Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   ALF_CHECK(!cached_xhat_.empty()) << "backward before forward(train)";
   const size_t n = cached_n_, hw = cached_h_ * cached_w_;

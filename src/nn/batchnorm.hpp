@@ -23,6 +23,11 @@ class BatchNorm2d : public Layer {
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
 
   size_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  Param& gamma() { return gamma_; }
+  const Param& gamma() const { return gamma_; }
+  Param& beta() { return beta_; }
+  const Param& beta() const { return beta_; }
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
   /// Mutable access for checkpoint restore.
@@ -46,5 +51,13 @@ class BatchNorm2d : public Layer {
   Tensor cached_inv_std_;  // 1/sqrt(var + eps), per channel
   size_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
 };
+
+/// Inference-mode BN expressed as a per-channel affine:
+///   scale[c] = gamma[c] / sqrt(running_var[c] + eps)
+///   shift[c] = beta[c] - running_mean[c] * scale[c]
+/// so that bn(x) == scale[c] * x + shift[c] in eval mode. This is the form
+/// the engine folds into the preceding conv's weights/bias at compile time;
+/// tests validate it numerically against the unfused layer.
+void bn_fold_scale_shift(const BatchNorm2d& bn, Tensor& scale, Tensor& shift);
 
 }  // namespace alf

@@ -21,6 +21,15 @@ Conv2d::Conv2d(std::string name, size_t in_c, size_t out_c, size_t kernel,
   init_tensor(w_.value, scheme, fan_in, fan_out, rng);
 }
 
+void conv2d_image_forward(const float* x_img, const float* w_mat,
+                          const float* bias, Act act, const ConvGeom& g,
+                          size_t out_c, float* col_scratch, float* out_img) {
+  im2col_view(x_img, g, col_scratch);
+  gemm_view(w_mat, g.col_rows(), false, col_scratch, g.col_cols(), false,
+            out_img, g.col_cols(), out_c, g.col_rows(), g.col_cols());
+  bias_act_inplace(out_img, out_c, g.col_cols(), bias, act);
+}
+
 Tensor conv2d_forward(const Tensor& x, const Tensor& w_mat, const ConvGeom& g,
                       size_t out_c) {
   ALF_CHECK_EQ(x.rank(), size_t{4});
@@ -35,20 +44,17 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w_mat, const ConvGeom& g,
   Tensor out({n, out_c, ho, wo});
   const size_t in_sz = g.in_c * g.in_h * g.in_w;
   const size_t out_sz = out_c * ho * wo;
-  // Data-parallel over the batch; each worker owns per-image scratch. The
+  // Data-parallel over the batch; each worker owns per-image im2col scratch
+  // and reads/writes the batch tensors in place (no staging copies). The
   // inner GEMMs stay serial (few rows), so there is no nested parallelism.
   parallel_for_chunked(
       0, n,
       [&](size_t lo, size_t hi) {
         Tensor col({g.col_rows(), g.col_cols()});
-        Tensor img({g.in_c, g.in_h, g.in_w});
-        Tensor res({out_c, ho * wo});
         for (size_t i = lo; i < hi; ++i) {
-          std::copy(x.data() + i * in_sz, x.data() + (i + 1) * in_sz,
-                    img.data());
-          im2col(img, g, col);
-          gemm(w_mat, false, col, false, res);
-          std::copy(res.data(), res.data() + out_sz, out.data() + i * out_sz);
+          conv2d_image_forward(x.data() + i * in_sz, w_mat.data(),
+                               /*bias=*/nullptr, Act::kNone, g, out_c,
+                               col.data(), out.data() + i * out_sz);
         }
       },
       /*min_per_worker=*/1);
@@ -66,7 +72,6 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& w_mat,
   ALF_CHECK_EQ(grad_out.dim(3), wo);
 
   Tensor grad_x(x.shape());
-  const size_t in_sz = g.in_c * g.in_h * g.in_w;
   const size_t out_sz = out_c * ho * wo;
 
   // Data-parallel over the batch; each worker accumulates its weight
@@ -76,27 +81,25 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& w_mat,
       0, n,
       [&](size_t lo, size_t hi) {
         Tensor col({g.col_rows(), g.col_cols()});
-        Tensor img({g.in_c, g.in_h, g.in_w});
         Tensor gcol({g.col_rows(), g.col_cols()});
-        Tensor gout_i({out_c, ho * wo});
         Tensor local_gw;
         if (grad_w != nullptr) local_gw = Tensor(grad_w->shape());
         for (size_t i = lo; i < hi; ++i) {
-          std::copy(x.data() + i * in_sz, x.data() + (i + 1) * in_sz,
-                    img.data());
-          im2col(img, g, col);
-          std::copy(grad_out.data() + i * out_sz,
-                    grad_out.data() + (i + 1) * out_sz, gout_i.data());
+          im2col(x, i, g, col);
+          // gout_i is read in place from the batch gradient.
+          const float* gout_i = grad_out.data() + i * out_sz;
           if (grad_w != nullptr) {
             // dW += gout_i [Co, HoWo] * col^T [HoWo, CiKK]
-            gemm(gout_i, false, col, true, local_gw, 1.0f, 1.0f);
+            gemm_view(gout_i, ho * wo, false, col.data(), g.col_cols(), true,
+                      local_gw.data(), g.col_rows(), out_c, ho * wo,
+                      g.col_rows(), 1.0f, 1.0f);
           }
           // dcol = W^T [CiKK, Co] * gout_i [Co, HoWo]
-          gemm(w_mat, true, gout_i, false, gcol);
-          img.fill(0.0f);
-          col2im(gcol, g, img);
-          std::copy(img.data(), img.data() + in_sz,
-                    grad_x.data() + i * in_sz);
+          gemm_view(w_mat.data(), g.col_rows(), true, gout_i, ho * wo, false,
+                    gcol.data(), ho * wo, g.col_rows(), out_c, ho * wo);
+          // grad_x is zero-initialized and each image slice is owned by
+          // exactly one worker, so col2im accumulates into it directly.
+          col2im(gcol, g, grad_x, i);
         }
         if (grad_w != nullptr) {
           const std::lock_guard<std::mutex> lock(grad_w_mutex);

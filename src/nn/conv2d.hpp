@@ -5,6 +5,7 @@
 // [Co, Ci, K, K]; viewed as the matrix Wmat [Co, Ci*K*K] for the GEMM.
 #pragma once
 
+#include "nn/activations.hpp"
 #include "nn/layer.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
@@ -47,6 +48,16 @@ class Conv2d : public Layer {
 /// x: [N, Ci, H, W]; w viewed as [Co, Ci*K*K]; returns [N, Co, Ho, Wo].
 Tensor conv2d_forward(const Tensor& x, const Tensor& w_mat, const ConvGeom& g,
                       size_t out_c);
+
+/// Single-image fused conv kernel: unfolds `x_img` (Ci*H*W floats) into
+/// `col_scratch` (col_rows()*col_cols() floats), multiplies by `w_mat`
+/// [Co, Ci*K*K], then applies the epilogue out = act(out + bias) in place.
+/// `bias` may be nullptr. Stateless and allocation-free — this is the
+/// kernel both the layer path (bias=nullptr, act=kNone) and the engine's
+/// fused conv+BN+ReLU steps run.
+void conv2d_image_forward(const float* x_img, const float* w_mat,
+                          const float* bias, Act act, const ConvGeom& g,
+                          size_t out_c, float* col_scratch, float* out_img);
 
 /// Gradients of conv2d_forward. Accumulates into grad_w (shape of w_mat);
 /// returns dL/dx. Pass grad_w = nullptr to skip the weight gradient.

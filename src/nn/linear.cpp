@@ -15,14 +15,28 @@ Linear::Linear(std::string name, size_t in_features, size_t out_features,
   init_tensor(w_.value, scheme, in_, out_, rng);
 }
 
+void linear_forward_view(const float* x, size_t n, size_t in_features,
+                         const float* w, size_t out_features, const float* b,
+                         Act act, float* y) {
+  // y = x [n, in] * W^T [in, out]
+  gemm_view(x, in_features, false, w, in_features, true, y, out_features, n,
+            in_features, out_features);
+  if (b != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      float* row = y + i * out_features;
+      for (size_t j = 0; j < out_features; ++j) row[j] += b[j];
+    }
+  }
+  act_inplace(act, y, n * out_features);
+}
+
 Tensor Linear::forward(const Tensor& x, bool train) {
   ALF_CHECK_EQ(x.rank(), size_t{2});
   ALF_CHECK_EQ(x.dim(1), in_);
   if (train) cached_x_ = x;
-  Tensor y = matmul(x, w_.value, false, true);  // [N, out]
-  const size_t n = x.dim(0);
-  for (size_t i = 0; i < n; ++i)
-    for (size_t j = 0; j < out_; ++j) y.at(i, j) += b_.value.at(j);
+  Tensor y({x.dim(0), out_});
+  linear_forward_view(x.data(), x.dim(0), in_, w_.value.data(), out_,
+                      b_.value.data(), Act::kNone, y.data());
   return y;
 }
 

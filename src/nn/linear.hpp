@@ -1,10 +1,18 @@
 // Fully-connected layer (with bias) — used as the classifier head.
 #pragma once
 
+#include "nn/activations.hpp"
 #include "nn/layer.hpp"
 #include "tensor/init.hpp"
 
 namespace alf {
+
+/// Free fully-connected kernel used by Linear::forward and the engine:
+/// y = act(x * W^T + b) with x [n, in], W [out, in], b [out] (may be
+/// nullptr), y [n, out]. Allocation-free; y may alias an arena slot.
+void linear_forward_view(const float* x, size_t n, size_t in_features,
+                         const float* w, size_t out_features, const float* b,
+                         Act act, float* y);
 
 /// y = x * W^T + b, x: [N, in], W: [out, in], b: [out].
 class Linear : public Layer {
@@ -22,7 +30,9 @@ class Linear : public Layer {
   size_t in_features() const { return in_; }
   size_t out_features() const { return out_; }
   Param& weight() { return w_; }
+  const Param& weight() const { return w_; }
   Param& bias() { return b_; }
+  const Param& bias() const { return b_; }
 
  private:
   std::string name_;

@@ -4,20 +4,25 @@
 
 namespace alf {
 
+void global_avg_pool_view(const float* x, size_t n, size_t c, size_t hw,
+                          float* y) {
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t ch = 0; ch < c; ++ch) {
+      const float* p = x + (i * c + ch) * hw;
+      double s = 0.0;
+      for (size_t j = 0; j < hw; ++j) s += p[j];
+      y[i * c + ch] = static_cast<float>(s / static_cast<double>(hw));
+    }
+  }
+}
+
 Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
   ALF_CHECK_EQ(x.rank(), size_t{4});
   if (train) cached_shape_ = x.shape();
   const size_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
   ALF_CHECK(hw > 0);
   Tensor out({n, c, 1, 1});
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t ch = 0; ch < c; ++ch) {
-      const float* p = x.data() + (i * c + ch) * hw;
-      double s = 0.0;
-      for (size_t j = 0; j < hw; ++j) s += p[j];
-      out.at4(i, ch, 0, 0) = static_cast<float>(s / static_cast<double>(hw));
-    }
-  }
+  global_avg_pool_view(x.data(), n, c, hw, out.data());
   return out;
 }
 
@@ -37,6 +42,34 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   return grad_x;
 }
 
+void maxpool_view(const float* x, size_t n, size_t c, size_t h, size_t w,
+                  size_t window, float* y, size_t* argmax) {
+  const size_t ho = h / window, wo = w / window;
+  size_t oidx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x + (i * c + ch) * h * w;
+      for (size_t oh = 0; oh < ho; ++oh) {
+        for (size_t ow = 0; ow < wo; ++ow, ++oidx) {
+          float best = plane[oh * window * w + ow * window];
+          size_t best_idx = oh * window * w + ow * window;
+          for (size_t kh = 0; kh < window; ++kh) {
+            for (size_t kw = 0; kw < window; ++kw) {
+              const size_t idx = (oh * window + kh) * w + ow * window + kw;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[oidx] = best;
+          if (argmax != nullptr) argmax[oidx] = (i * c + ch) * h * w + best_idx;
+        }
+      }
+    }
+  }
+}
+
 Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   ALF_CHECK_EQ(x.rank(), size_t{4});
   const size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
@@ -48,29 +81,8 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
     cached_shape_ = x.shape();
     argmax_.assign(n * c * ho * wo, 0);
   }
-  size_t oidx = 0;
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t ch = 0; ch < c; ++ch) {
-      const float* plane = x.data() + (i * c + ch) * h * w;
-      for (size_t oh = 0; oh < ho; ++oh) {
-        for (size_t ow = 0; ow < wo; ++ow, ++oidx) {
-          float best = plane[oh * window_ * w + ow * window_];
-          size_t best_idx = oh * window_ * w + ow * window_;
-          for (size_t kh = 0; kh < window_; ++kh) {
-            for (size_t kw = 0; kw < window_; ++kw) {
-              const size_t idx = (oh * window_ + kh) * w + ow * window_ + kw;
-              if (plane[idx] > best) {
-                best = plane[idx];
-                best_idx = idx;
-              }
-            }
-          }
-          out.at(oidx) = best;
-          if (train) argmax_[oidx] = (i * c + ch) * h * w + best_idx;
-        }
-      }
-    }
-  }
+  maxpool_view(x.data(), n, c, h, w, window_, out.data(),
+               train ? argmax_.data() : nullptr);
   return out;
 }
 

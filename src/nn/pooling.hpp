@@ -5,6 +5,17 @@
 
 namespace alf {
 
+/// Free global-average-pool kernel: x [n, c, hw] -> y [n, c] (double
+/// accumulator per channel). Used by GlobalAvgPool::forward and the engine.
+void global_avg_pool_view(const float* x, size_t n, size_t c, size_t hw,
+                          float* y);
+
+/// Free non-overlapping max-pool kernel: x [n, c, h, w] -> y with window ==
+/// stride. `argmax` (flat input index per output element) may be nullptr
+/// (inference). Used by MaxPool2d::forward and the engine.
+void maxpool_view(const float* x, size_t n, size_t c, size_t h, size_t w,
+                  size_t window, float* y, size_t* argmax);
+
 /// Global average pooling: [N, C, H, W] -> [N, C, 1, 1].
 class GlobalAvgPool : public Layer {
  public:
@@ -29,6 +40,7 @@ class MaxPool2d : public Layer {
 
   const char* kind() const override { return "maxpool"; }
   const std::string& name() const override { return name_; }
+  size_t window() const { return window_; }
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;

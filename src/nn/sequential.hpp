@@ -64,7 +64,9 @@ class ResidualBlock : public Layer {
   std::vector<Param*> params() override;
 
   Sequential& body() { return *body_; }
+  const Sequential& body() const { return *body_; }
   Sequential* shortcut() { return shortcut_.get(); }
+  const Sequential* shortcut() const { return shortcut_.get(); }
 
  private:
   std::string name_;

@@ -43,20 +43,20 @@ GemmShape gemm_check(const Tensor& a, bool trans_a, const Tensor& b,
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           Tensor& c, float alpha, float beta) {
   const auto [m, k, n] = gemm_check(a, trans_a, b, trans_b, c);
+  gemm_view(a.data(), a.dim(1), trans_a, b.data(), b.dim(1), trans_b,
+            c.data(), n, m, k, n, alpha, beta);
+}
 
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  const size_t lda = a.dim(1);
-  const size_t ldb = b.dim(1);
-
+void gemm_view(const float* pa, size_t lda, bool trans_a, const float* pb,
+               size_t ldb, bool trans_b, float* pc, size_t ldc, size_t m,
+               size_t k, size_t n, float alpha, float beta) {
   // Each worker owns a contiguous block of C rows; inside a row-block the
   // (k, n) loop nest is tiled so the active B tile stays in cache. The
   // k-block grid is global (not per-thread), so every C element sees the
   // same accumulation order regardless of where the row partition falls.
   const auto process_rows = [&](size_t r0, size_t r1) {
     for (size_t i = r0; i < r1; ++i) {
-      float* crow = pc + i * n;
+      float* crow = pc + i * ldc;
       if (beta == 0.0f) {
         std::memset(crow, 0, n * sizeof(float));
       } else if (beta != 1.0f) {
@@ -68,7 +68,7 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
       for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
         const size_t j1 = std::min(n, j0 + kBlockN);
         for (size_t i = r0; i < r1; ++i) {
-          float* crow = pc + i * n;
+          float* crow = pc + i * ldc;
           if (!trans_a && !trans_b) {
             // C[i,j0:j1] += alpha * sum_k A[i,k] * B[k,j0:j1]
             const float* arow = pa + i * lda;
@@ -111,10 +111,16 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
 
   // Hand a worker at least kMaddsPerWorker of arithmetic; small products
   // (and any gemm issued from inside a parallel region, e.g. the per-image
-  // conv GEMMs) run inline.
+  // conv GEMMs) run inline — without even the dispatch round trip, which
+  // costs a std::function allocation per call and dominates the many small
+  // GEMMs the engine's shifted convolutions issue.
   const size_t madds_per_row = std::max<size_t>(1, k * n);
   const size_t min_rows =
       std::max<size_t>(1, kMaddsPerWorker / madds_per_row);
+  if (in_parallel_region() || m <= min_rows || parallel_threads() <= 1) {
+    process_rows(0, m);
+    return;
+  }
   parallel_for_chunked(0, m, process_rows, min_rows);
 }
 
@@ -155,15 +161,32 @@ void im2col(const Tensor& img, const ConvGeom& g, Tensor& col) {
   ALF_CHECK_EQ(img.dim(2), g.in_w);
   ALF_CHECK_EQ(col.dim(0), g.col_rows());
   ALF_CHECK_EQ(col.dim(1), g.col_cols());
+  im2col_view(img.data(), g, col.data());
+}
 
+void im2col(const Tensor& x, size_t image, const ConvGeom& g, Tensor& col) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  ALF_CHECK(image < x.dim(0));
+  ALF_CHECK_EQ(x.dim(1), g.in_c);
+  ALF_CHECK_EQ(x.dim(2), g.in_h);
+  ALF_CHECK_EQ(x.dim(3), g.in_w);
+  ALF_CHECK_EQ(col.dim(0), g.col_rows());
+  ALF_CHECK_EQ(col.dim(1), g.col_cols());
+  im2col_view(x.data() + image * g.in_c * g.in_h * g.in_w, g, col.data());
+}
+
+void im2col_view(const float* src, const ConvGeom& g, float* dst) {
+  im2col_view(src, g, dst, g.col_cols());
+}
+
+void im2col_view(const float* src, const ConvGeom& g, float* dst,
+                 size_t ld_col) {
   const size_t ho = g.out_h(), wo = g.out_w();
-  const float* src = img.data();
-  float* dst = col.data();
   const size_t hw = g.in_h * g.in_w;
   for (size_t c = 0; c < g.in_c; ++c) {
     for (size_t kh = 0; kh < g.kernel; ++kh) {
       for (size_t kw = 0; kw < g.kernel; ++kw) {
-        float* drow = dst + ((c * g.kernel + kh) * g.kernel + kw) * ho * wo;
+        float* drow = dst + ((c * g.kernel + kh) * g.kernel + kw) * ld_col;
         for (size_t oh = 0; oh < ho; ++oh) {
           const long ih = static_cast<long>(oh * g.stride + kh) -
                           static_cast<long>(g.pad);
@@ -191,10 +214,20 @@ void col2im(const Tensor& col, const ConvGeom& g, Tensor& img) {
   ALF_CHECK_EQ(img.dim(0), g.in_c);
   ALF_CHECK_EQ(col.dim(0), g.col_rows());
   ALF_CHECK_EQ(col.dim(1), g.col_cols());
+  col2im_view(col.data(), g, img.data());
+}
 
+void col2im(const Tensor& col, const ConvGeom& g, Tensor& x, size_t image) {
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  ALF_CHECK(image < x.dim(0));
+  ALF_CHECK_EQ(x.dim(1), g.in_c);
+  ALF_CHECK_EQ(col.dim(0), g.col_rows());
+  ALF_CHECK_EQ(col.dim(1), g.col_cols());
+  col2im_view(col.data(), g, x.data() + image * g.in_c * g.in_h * g.in_w);
+}
+
+void col2im_view(const float* src, const ConvGeom& g, float* dst) {
   const size_t ho = g.out_h(), wo = g.out_w();
-  const float* src = col.data();
-  float* dst = img.data();
   const size_t hw = g.in_h * g.in_w;
   for (size_t c = 0; c < g.in_c; ++c) {
     for (size_t kh = 0; kh < g.kernel; ++kh) {

@@ -20,6 +20,17 @@ namespace alf {
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           Tensor& c, float alpha = 1.0f, float beta = 0.0f);
 
+/// Raw-pointer core of gemm() over row-major views: op(A) is [M, K] with
+/// leading dimension lda, op(B) is [K, N] with leading dimension ldb, C is
+/// an [M, N] block with leading dimension ldc (ldc >= n; pass n for a dense
+/// result). Lets callers target slices of a larger buffer — one image of a
+/// batch tensor, an engine arena slot, or a column window of an output map
+/// (the engine's shifted-GEMM convolutions rely on ldc > n). Same
+/// blocking/threading/determinism as the Tensor form.
+void gemm_view(const float* a, size_t lda, bool trans_a, const float* b,
+               size_t ldb, bool trans_b, float* c, size_t ldc, size_t m,
+               size_t k, size_t n, float alpha = 1.0f, float beta = 0.0f);
+
 /// Reference GEMM: serial textbook triple loop, no blocking, no threading.
 /// Kept as the oracle for tests and the baseline for bench_micro; do not
 /// use on hot paths.
@@ -49,9 +60,31 @@ struct ConvGeom {
 /// `col` must be preallocated; zero-padding is materialized as zeros.
 void im2col(const Tensor& img, const ConvGeom& g, Tensor& col);
 
+/// Batch-offset overload: unfolds image `image` of `x` [N, Ci, H, W]
+/// directly into `col`, with no staging copy of the image.
+void im2col(const Tensor& x, size_t image, const ConvGeom& g, Tensor& col);
+
+/// Raw core of im2col: `img` points at Ci*H*W floats, `col` at
+/// col_rows()*col_cols() floats. No shape checks — callers own them.
+void im2col_view(const float* img, const ConvGeom& g, float* col);
+
+/// Strided variant: writes the unfold as an [col_rows, col_cols] block of a
+/// wider matrix with leading dimension `ld_col` (>= col_cols). The engine
+/// uses it to unfold several images side by side into one [Ci*K*K,
+/// G*Ho*Wo] matrix so a whole chunk runs as a single GEMM.
+void im2col_view(const float* img, const ConvGeom& g, float* col,
+                 size_t ld_col);
+
 /// Accumulates the columns of `col` [Ci*K*K, Ho*Wo] back into image
 /// gradient `img` [Ci, H, W] (adds into img; caller zeroes it first).
 void col2im(const Tensor& col, const ConvGeom& g, Tensor& img);
+
+/// Batch-offset overload: accumulates into image `image` of `x`
+/// [N, Ci, H, W] (caller zeroes that slice first).
+void col2im(const Tensor& col, const ConvGeom& g, Tensor& x, size_t image);
+
+/// Raw core of col2im; see im2col_view for the pointer contracts.
+void col2im_view(const float* col, const ConvGeom& g, float* img);
 
 /// out[i] = a[i] * b[i]; shapes must match.
 Tensor hadamard(const Tensor& a, const Tensor& b);

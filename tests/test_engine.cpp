@@ -1,0 +1,328 @@
+// Plan-based inference engine: numerical equivalence with the layer tree,
+// determinism across thread counts, arena reuse (including a global
+// operator-new counter proving single-chunk runs allocate nothing), and BN
+// folding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+#include "alf/deploy.hpp"
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "engine/engine.hpp"
+#include "grad_check.hpp"
+#include "models/zoo.hpp"
+
+// Heap instrumentation for Engine::run's zero-allocation contract. The
+// replacement operators serve the whole test binary; counting is gated so
+// only the probed region pays attention.
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_tracking{false};
+}  // namespace
+
+// GCC flags free() inside a replaced operator delete as a mismatched pair;
+// the replacement set below is complete and malloc/free-consistent.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t sz) {
+  if (g_alloc_tracking.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(sz ? sz : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t sz) { return operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace alf {
+namespace {
+
+using testing::random_input;
+
+/// Runs a few training-mode forwards so BatchNorm running statistics move
+/// away from their (0, 1) initialization — otherwise BN folding is trivial.
+void warm_bn(Sequential& model, size_t in_c, size_t hw, Rng& rng) {
+  for (int pass = 0; pass < 3; ++pass) {
+    Tensor x = random_input({4, in_c, hw, hw}, rng);
+    model.forward(x, /*train=*/true);
+  }
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_TRUE(same_shape(a, b));
+  float m = 0.0f;
+  for (size_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::abs(a.at(i) - b.at(i)));
+  return m;
+}
+
+constexpr size_t kHw = 16;
+constexpr float kTol = 1e-5f;
+
+TEST(Engine, ResNet20MatchesLayerTree) {
+  Rng rng(31);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+
+  Tensor x = random_input({5, mc.in_channels, kHw, kHw}, rng);
+  const Tensor ref = model->forward(x, /*train=*/false);
+
+  Engine eng = Engine::compile(*model, /*batch=*/8, mc.in_channels, kHw, kHw);
+  EXPECT_EQ(eng.classes(), mc.classes);
+  Tensor out({5, mc.classes});
+  eng.run(x, out);
+  EXPECT_LT(max_abs_diff(ref, out), kTol);
+
+  // BN is folded and every ReLU rides a kernel epilogue: the compiled plan
+  // contains no standalone normalization or activation steps.
+  for (const Step& st : eng.steps()) {
+    EXPECT_NE(st.kind, OpKind::kScaleShift) << st.name;
+    EXPECT_NE(st.kind, OpKind::kActivation) << st.name;
+  }
+}
+
+TEST(Engine, Plain20MatchesLayerTree) {
+  Rng rng(32);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_plain20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+
+  Tensor x = random_input({4, mc.in_channels, kHw, kHw}, rng);
+  const Tensor ref = model->forward(x, /*train=*/false);
+  Engine eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw);
+  Tensor out = eng.run(x);
+  EXPECT_LT(max_abs_diff(ref, out), kTol);
+}
+
+TEST(Engine, AlfDeployedModelMatchesEvalForward) {
+  Rng rng(33);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  AlfConfig acfg;
+  std::vector<AlfConv*> blocks;
+  auto model =
+      build_resnet20(mc, rng, make_alf_conv_maker(acfg, &rng, &blocks));
+  ASSERT_FALSE(blocks.empty());
+  // Force a nontrivial pruning pattern: clip a third of each block's mask
+  // below the threshold so the deployed code conv really shrinks.
+  for (AlfConv* b : blocks)
+    for (size_t i = 0; i < b->mask().numel(); i += 3) b->mask().at(i) = 0.0f;
+  for (AlfConv* b : blocks) EXPECT_GT(b->zero_filters(), size_t{0});
+  warm_bn(*model, mc.in_channels, kHw, rng);
+
+  Tensor x = random_input({3, mc.in_channels, kHw, kHw}, rng);
+  const Tensor ref = model->forward(x, /*train=*/false);
+  Engine eng = compile_deployed(*model, /*batch=*/4, mc.in_channels, kHw);
+  Tensor out = eng.run(x);
+  EXPECT_LT(max_abs_diff(ref, out), kTol);
+
+  // The plan contains the lowered dense pair per ALF block.
+  size_t code_steps = 0, exp_steps = 0;
+  for (const Step& st : eng.steps()) {
+    if (st.name.find("_code") != std::string::npos) ++code_steps;
+    if (st.name.find("_exp") != std::string::npos) ++exp_steps;
+  }
+  EXPECT_EQ(code_steps, blocks.size());
+  EXPECT_EQ(exp_steps, blocks.size());
+}
+
+TEST(Engine, BitIdenticalAcrossThreadCounts) {
+  Rng rng(34);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+  Tensor x = random_input({6, mc.in_channels, kHw, kHw}, rng);
+
+  set_parallel_threads(4);
+  Engine eng = Engine::compile(*model, 6, mc.in_channels, kHw, kHw);
+  Tensor out4 = eng.run(x);
+  set_parallel_threads(1);
+  Tensor out1 = eng.run(x);
+  // A plan compiled under a different thread setting partitions the batch
+  // differently but must still produce the same bits per element.
+  Engine eng1 = Engine::compile(*model, 6, mc.in_channels, kHw, kHw);
+  Tensor out1c = eng1.run(x);
+  set_parallel_threads(0);
+
+  for (size_t i = 0; i < out4.numel(); ++i) {
+    EXPECT_EQ(out4.at(i), out1.at(i)) << i;
+    EXPECT_EQ(out4.at(i), out1c.at(i)) << i;
+  }
+}
+
+TEST(Engine, RepeatedRunsReuseArenaWithNoGrowth) {
+  Rng rng(35);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  Engine eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw);
+
+  const float* arena = eng.workspace_data();
+  const size_t floats = eng.workspace_floats();
+  ASSERT_GT(floats, size_t{0});
+
+  Tensor x = random_input({4, mc.in_channels, kHw, kHw}, rng);
+  Tensor first = eng.run(x);
+  for (int i = 0; i < 3; ++i) {
+    Tensor again = eng.run(x);
+    for (size_t j = 0; j < first.numel(); ++j)
+      EXPECT_EQ(first.at(j), again.at(j));
+    EXPECT_EQ(eng.workspace_data(), arena);
+    EXPECT_EQ(eng.workspace_floats(), floats);
+  }
+}
+
+TEST(Engine, SmallerBatchesRunOnTheSamePlan) {
+  Rng rng(36);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+  Engine eng = Engine::compile(*model, 8, mc.in_channels, kHw, kHw);
+
+  for (size_t n : {size_t{1}, size_t{3}, size_t{8}}) {
+    Tensor x = random_input({n, mc.in_channels, kHw, kHw}, rng);
+    const Tensor ref = model->forward(x, false);
+    EXPECT_LT(max_abs_diff(ref, eng.run(x)), kTol) << "batch " << n;
+  }
+  Tensor too_big = random_input({9, mc.in_channels, kHw, kHw}, rng);
+  EXPECT_THROW(eng.run(too_big), CheckError);
+}
+
+TEST(Engine, BnFoldingMatchesUnfusedBn) {
+  Rng rng(37);
+  BatchNorm2d bn("bn", 6);
+  // Move gamma/beta and the running stats off their initialization.
+  for (size_t c = 0; c < 6; ++c) {
+    bn.gamma().value.at(c) = 0.5f + 0.2f * static_cast<float>(c);
+    bn.beta().value.at(c) = -0.3f + 0.1f * static_cast<float>(c);
+    bn.mutable_running_mean().at(c) = 0.2f * static_cast<float>(c) - 0.5f;
+    bn.mutable_running_var().at(c) = 0.5f + 0.3f * static_cast<float>(c);
+  }
+  Tensor x = random_input({2, 6, 5, 5}, rng);
+  const Tensor ref = bn.forward(x, /*train=*/false);
+
+  Tensor scale, shift;
+  bn_fold_scale_shift(bn, scale, shift);
+  float max_err = 0.0f;
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t c = 0; c < 6; ++c) {
+      for (size_t j = 0; j < 25; ++j) {
+        const size_t idx = (i * 6 + c) * 25 + j;
+        const float folded = x.at(idx) * scale.at(c) + shift.at(c);
+        max_err = std::max(max_err, std::abs(folded - ref.at(idx)));
+      }
+    }
+  }
+  EXPECT_LT(max_err, kTol);
+}
+
+TEST(Engine, MaxPoolAndScaleShiftStepsLower) {
+  // A topology the zoo does not cover: BN with no preceding conv (emits a
+  // kScaleShift step) and a max-pool stage.
+  Rng rng(38);
+  auto model = std::make_unique<Sequential>("toy");
+  model->emplace<BatchNorm2d>("bn0", 3);
+  model->emplace<Conv2d>("c1", 3, 4, 3, 1, 1, Init::kHe, rng);
+  model->emplace<BatchNorm2d>("c1_bn", 4);
+  model->emplace<Activation>("c1_relu", Act::kRelu);
+  model->emplace<MaxPool2d>("pool", 2);
+  model->emplace<Flatten>("flatten");
+  model->emplace<Linear>("fc", 4 * 8 * 8, 7, Init::kHe, rng);
+  warm_bn(*model, 3, kHw, rng);
+
+  Tensor x = random_input({3, 3, kHw, kHw}, rng);
+  const Tensor ref = model->forward(x, false);
+  Engine eng = Engine::compile(*model, 3, 3, kHw, kHw);
+  Tensor out = eng.run(x);
+  EXPECT_LT(max_abs_diff(ref, out), kTol);
+
+  bool has_scale_shift = false, has_maxpool = false;
+  for (const Step& st : eng.steps()) {
+    has_scale_shift |= st.kind == OpKind::kScaleShift;
+    has_maxpool |= st.kind == OpKind::kMaxPool;
+  }
+  EXPECT_TRUE(has_scale_shift);
+  EXPECT_TRUE(has_maxpool);
+}
+
+TEST(Engine, PreActivationResidualBodyDoesNotFuseAcrossBlockInput) {
+  // The body starts with BN + ReLU (pre-activation style): folding that BN
+  // into the conv *before* the block would corrupt the tensor the identity
+  // shortcut reads. The compiler's fusion fence must keep them separate.
+  Rng rng(41);
+  const size_t c = 6;
+  auto model = std::make_unique<Sequential>("preact");
+  model->emplace<Conv2d>("stem", 3, c, 3, 1, 1, Init::kHe, rng);
+  auto body = std::make_unique<Sequential>("body");
+  body->emplace<BatchNorm2d>("body_bn", c);
+  body->emplace<Activation>("body_relu", Act::kRelu);
+  body->emplace<Conv2d>("body_conv", c, c, 3, 1, 1, Init::kHe, rng);
+  model->emplace<ResidualBlock>("block", std::move(body), nullptr);
+  warm_bn(*model, 3, kHw, rng);
+
+  Tensor x = random_input({2, 3, kHw, kHw}, rng);
+  const Tensor ref = model->forward(x, /*train=*/false);
+  Engine eng = Engine::compile(*model, 2, 3, kHw, kHw);
+  // ref is [N, C, H, W]; the engine reports the final buffer as classes.
+  Tensor out({2, eng.classes()});
+  eng.run(x, out);
+  float max_err = 0.0f;
+  for (size_t i = 0; i < ref.numel(); ++i)
+    max_err = std::max(max_err, std::abs(ref.at(i) - out.at(i)));
+  EXPECT_LT(max_err, kTol);
+}
+
+TEST(Engine, SingleChunkRunPerformsZeroHeapAllocations) {
+  Rng rng(42);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  set_parallel_threads(1);  // single-chunk partition at compile
+  Engine eng = Engine::compile(*model, 8, mc.in_channels, kHw, kHw);
+  Tensor x = random_input({8, mc.in_channels, kHw, kHw}, rng);
+  Tensor out({8, eng.classes()});
+  eng.run(x, out);  // warm
+
+  g_alloc_count.store(0);
+  g_alloc_tracking.store(true);
+  eng.run(x, out);
+  g_alloc_tracking.store(false);
+  set_parallel_threads(0);
+  EXPECT_EQ(g_alloc_count.load(), size_t{0});
+}
+
+TEST(Engine, PlanStrNamesEveryStep) {
+  Rng rng(39);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  Engine eng = Engine::compile(*model, 2, mc.in_channels, kHw, kHw);
+  const std::string plan = eng.plan_str();
+  EXPECT_NE(plan.find("conv1"), std::string::npos);
+  EXPECT_NE(plan.find("fc"), std::string::npos);
+  EXPECT_EQ(eng.steps().front().name.rfind("conv1", 0), size_t{0});
+}
+
+}  // namespace
+}  // namespace alf
