@@ -10,6 +10,7 @@
 // the analytic cost models; only *training* runs are scaled.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,7 @@
 
 #include "alf/deploy.hpp"
 #include "alf/trainer.hpp"
+#include "core/check.hpp"
 #include "core/table.hpp"
 #include "models/cost.hpp"
 #include "models/zoo.hpp"
@@ -30,6 +32,71 @@ namespace alf::bench {
 // human tables; with --json it additionally writes a BENCH_*.json record so
 // the perf trajectory is diffable per-PR (see ROADMAP).
 // ---------------------------------------------------------------------------
+
+/// Escapes `s` for embedding inside a JSON string literal: `"` and `\`
+/// get a backslash, common control characters use their short forms, and
+/// the rest of C0 is emitted as \u00XX. Every string field of BenchJson
+/// goes through this — row names carry free-form config descriptions
+/// (quotes included), and an unescaped one would corrupt the BENCH_*.json
+/// trajectory record.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Nearest-rank percentile of the sample `v`, p in [0, 1]: the smallest
+/// element such that at least ceil(p * n) values are <= it (p = 0 gives the
+/// minimum, p = 1 the maximum). Shared by serve_latency and the serve load
+/// generator; takes the sample by value and sorts the copy.
+inline double percentile(std::vector<double> v, double p) {
+  ALF_CHECK(!v.empty()) << "percentile of an empty sample";
+  ALF_CHECK(p >= 0.0 && p <= 1.0) << "p=" << p;
+  std::sort(v.begin(), v.end());
+  size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(v.size())));
+  if (rank == 0) rank = 1;
+  return v[std::min(v.size(), rank) - 1];
+}
+
+/// Uniform [-1, 1) input tensor — the stand-in image batch every engine
+/// and serving harness replays.
+inline Tensor random_input(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+/// Runs a few training-mode forwards so BatchNorm running statistics move
+/// off their (0, 1) initialization — BN folding is trivial otherwise.
+inline void warm_bn(Sequential& model, size_t in_c, size_t hw, Rng& rng,
+                    int passes = 2, size_t batch = 8) {
+  for (int p = 0; p < passes; ++p) {
+    Tensor x = random_input({batch, in_c, hw, hw}, rng);
+    model.forward(x, /*train=*/true);
+  }
+}
 
 /// One benchmark measurement. NaN columns are omitted from the JSON.
 struct BenchRow {
@@ -61,19 +128,20 @@ class BenchJson {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
     std::fprintf(f, "{\"bench\": \"%s\", \"scale\": \"%s\", \"rows\": [",
-                 bench_.c_str(), scale_.c_str());
+                 json_escape(bench_).c_str(), json_escape(scale_).c_str());
     for (size_t i = 0; i < rows_.size(); ++i) {
       const BenchRow& r = rows_[i];
       std::fprintf(f, "%s\n  {\"name\": \"%s\"", i == 0 ? "" : ",",
-                   r.name.c_str());
-      const auto field = [f](const char* key, double v) {
-        if (!std::isnan(v)) std::fprintf(f, ", \"%s\": %.6g", key, v);
+                   json_escape(r.name).c_str());
+      const auto field = [f](const std::string& key, double v) {
+        if (!std::isnan(v))
+          std::fprintf(f, ", \"%s\": %.6g", json_escape(key).c_str(), v);
       };
       field("wall_ms", r.wall_ms);
       field("gmadds_per_s", r.gmadds_per_s);
       field("accuracy", r.accuracy);
       field("compression", r.compression);
-      for (const auto& [key, v] : r.extra) field(key.c_str(), v);
+      for (const auto& [key, v] : r.extra) field(key, v);
       std::fprintf(f, "}");
     }
     std::fprintf(f, "\n]}\n");
@@ -216,24 +284,30 @@ inline std::map<std::string, double> keep_by_name(
   return out;
 }
 
+/// Signed " (+N%)"/" (-N%)" delta-vs-baseline suffix shared by params_cell
+/// and ops_cell. Negative is the compression direction (value < base); a
+/// model that *grew* past baseline reports "(+N%)", not "(--N%)".
+inline std::string delta_suffix(double value, double base) {
+  const double delta = 100.0 * (value / base - 1.0);
+  return std::string(" (") + (delta < 0.0 ? "-" : "+") +
+         Table::fmt(std::abs(delta), 0) + "%)";
+}
+
 /// "0.07M (-70%)"-style cell.
 inline std::string params_cell(unsigned long long params,
                                unsigned long long base) {
   std::string cell = Table::fmt(params / 1e6, 2) + "M";
-  if (base != 0 && params != base) {
-    const double delta = 100.0 * (1.0 - static_cast<double>(params) / base);
-    cell += " (-" + Table::fmt(delta, 0) + "%)";
-  }
+  if (base != 0 && params != base)
+    cell += delta_suffix(static_cast<double>(params),
+                         static_cast<double>(base));
   return cell;
 }
 
 /// "31.5 (-61%)"-style OPs cell in millions.
 inline std::string ops_cell(unsigned long long ops, unsigned long long base) {
   std::string cell = Table::fmt(ops / 1e6, 1);
-  if (base != 0 && ops != base) {
-    const double delta = 100.0 * (1.0 - static_cast<double>(ops) / base);
-    cell += " (-" + Table::fmt(delta, 0) + "%)";
-  }
+  if (base != 0 && ops != base)
+    cell += delta_suffix(static_cast<double>(ops), static_cast<double>(base));
   return cell;
 }
 

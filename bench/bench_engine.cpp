@@ -19,21 +19,6 @@ using namespace alf::bench;
 
 namespace {
 
-Tensor random_input(Shape shape, Rng& rng) {
-  Tensor t(std::move(shape));
-  for (size_t i = 0; i < t.numel(); ++i)
-    t.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
-  return t;
-}
-
-/// Runs a few training-mode forwards so BN statistics are realistic.
-void warm_bn(Sequential& model, size_t in_c, size_t hw, Rng& rng) {
-  for (int pass = 0; pass < 2; ++pass) {
-    Tensor x = random_input({8, in_c, hw, hw}, rng);
-    model.forward(x, /*train=*/true);
-  }
-}
-
 /// Multiply-adds of one image under the compiled plan (conv + linear).
 double plan_madds(const Engine& eng) {
   double madds = 0.0;

@@ -1,0 +1,235 @@
+// serve — closed-loop load generator for the batched inference server.
+//
+// C client threads replay a bursty request stream (mostly small requests
+// back-to-back, occasional think-time gaps) against two serving paths under
+// the same offered load:
+//
+//   layer-tree : the pre-engine baseline — every request runs its own
+//                Sequential::forward on a per-client model replica
+//   engine     : one shared BatchServer — mutex/CV queue, dynamic batching
+//                up to Engine::batch() images per tick, a single
+//                Engine::run_rows per dispatch
+//
+// Reports per-request p50/p95/p99 latency (nearest-rank percentile() from
+// bench_common.hpp), sustained images/s, and the server's batch-fill
+// counters, which show the dynamic batcher aggregating bursts. With --json
+// the record lands in BENCH_serve.json (row names deliberately include
+// quoted policy strings — the writer must escape them).
+//
+//   ./serve [--quick|--full] [--requests N] [--clients N] [--json <path>]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/parallel.hpp"
+#include "serve/batch_server.hpp"
+
+using namespace alf;
+using namespace alf::bench;
+
+namespace {
+
+/// One scripted request of a client's closed loop.
+struct PlannedRequest {
+  size_t n = 0;            ///< images in the request
+  unsigned think_us = 0;   ///< pause before submitting (burst gap)
+};
+
+/// Bursty per-client script: ~75% of requests follow the previous one
+/// back-to-back (a burst), the rest arrive after a 100-900us gap; request
+/// sizes are mostly 1-4 images with an occasional 8-image straggler.
+std::vector<std::vector<PlannedRequest>> make_plan(size_t clients,
+                                                   size_t per_client,
+                                                   Rng& rng) {
+  std::vector<std::vector<PlannedRequest>> plan(clients);
+  for (auto& reqs : plan) {
+    reqs.resize(per_client);
+    for (PlannedRequest& r : reqs) {
+      const double u = rng.uniform();
+      r.n = u < 0.8 ? 1 + rng.uniform_index(4) : 8;
+      r.think_us = rng.uniform() < 0.75
+                       ? 0
+                       : static_cast<unsigned>(100 + rng.uniform_index(800));
+    }
+  }
+  return plan;
+}
+
+struct LoadResult {
+  std::vector<double> latencies_ms;  // per request, all clients merged
+  double images_per_s = 0.0;
+};
+
+/// Drives the scripted closed loop: each client thread issues its requests
+/// in order (sleep think_us, call serve_one, measure). `serve_one(client,
+/// x)` must block until the request completes.
+template <typename ServeOne>
+LoadResult run_load(const std::vector<std::vector<PlannedRequest>>& plan,
+                    const std::vector<Tensor>& inputs_by_n,
+                    ServeOne&& serve_one) {
+  const size_t clients = plan.size();
+  std::vector<std::vector<double>> lat(clients);
+  size_t images = 0;
+  for (const auto& reqs : plan)
+    for (const PlannedRequest& r : reqs) images += r.n;
+
+  const auto t_begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      lat[c].reserve(plan[c].size());
+      for (const PlannedRequest& r : plan[c]) {
+        if (r.think_us > 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(r.think_us));
+        const Tensor& x = inputs_by_n[r.n];
+        const auto t0 = std::chrono::steady_clock::now();
+        serve_one(c, x);
+        const auto t1 = std::chrono::steady_clock::now();
+        lat[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double total_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
+          .count();
+
+  LoadResult res;
+  for (auto& v : lat)
+    res.latencies_ms.insert(res.latencies_ms.end(), v.begin(), v.end());
+  res.images_per_s = static_cast<double>(images) / total_s;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale s = parse_scale(argc, argv);
+  std::string json_path = parse_json_path(argc, argv);
+  if (json_path.empty()) json_path = "BENCH_serve.json";
+
+  size_t per_client = 100, clients = 6;
+  if (std::strcmp(s.name, "quick") == 0) {
+    per_client = 40;
+    clients = 4;
+  } else if (std::strcmp(s.name, "full") == 0) {
+    per_client = 200;
+    clients = 8;
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0)
+      per_client = static_cast<size_t>(std::max(1L, std::atol(argv[i + 1])));
+    if (std::strcmp(argv[i], "--clients") == 0)
+      clients = static_cast<size_t>(std::max(1L, std::atol(argv[i + 1])));
+  }
+  const size_t max_batch = 32;
+  const uint64_t max_wait_us = 200;
+
+  ModelConfig mc;
+  mc.base_width = s.width;
+  mc.in_hw = s.hw;
+
+  // One model replica per layer-tree client (forward caches per-layer state,
+  // so replicas keep the baseline race-free); identical weights everywhere
+  // via the fixed seed. The engine compiles from replica 0.
+  std::vector<std::unique_ptr<Sequential>> replicas(clients);
+  for (auto& m : replicas) {
+    Rng rng(17);
+    m = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+    warm_bn(*m, mc.in_channels, s.hw, rng);
+  }
+
+  Rng rng(29);
+  std::vector<Tensor> inputs_by_n(max_batch + 1);
+  const auto plan = make_plan(clients, per_client, rng);
+  for (const auto& reqs : plan)
+    for (const PlannedRequest& r : reqs)
+      if (inputs_by_n[r.n].empty())
+        inputs_by_n[r.n] =
+            random_input({r.n, mc.in_channels, s.hw, s.hw}, rng);
+
+  std::printf(
+      "serve: %zu clients x %zu closed-loop requests, engine batch %zu, "
+      "max_wait %lluus (scale=%s)\n\n",
+      clients, per_client, max_batch,
+      static_cast<unsigned long long>(max_wait_us), s.name);
+
+  // --- Baseline: per-request layer-tree forward on the client thread. ---
+  for (size_t c = 0; c < clients; ++c)  // untimed warmup
+    replicas[c]->forward(inputs_by_n[1], false);
+  const LoadResult layers = run_load(
+      plan, inputs_by_n,
+      [&](size_t c, const Tensor& x) { replicas[c]->forward(x, false); });
+
+  // --- Engine path: shared BatchServer, dynamic batching. ---
+  BatchServer::Config cfg;
+  cfg.max_wait_us = max_wait_us;
+  BatchServer server(
+      Engine::compile(*replicas[0], max_batch, mc.in_channels, s.hw, s.hw),
+      cfg);
+  server.submit(inputs_by_n[1]).get();  // untimed warmup
+  const ServeStats warm = server.stats();
+  const LoadResult engine = run_load(
+      plan, inputs_by_n,
+      [&](size_t, const Tensor& x) { server.submit(x).get(); });
+  ServeStats st = server.stats();
+  server.stop();
+  st.batches -= warm.batches;  // exclude the warmup dispatch
+  st.requests -= warm.requests;
+  st.images -= warm.images;
+
+  Table table("Closed-loop serving latency per request (ms)");
+  table.set_header({"path", "p50", "p95", "p99", "images/s"});
+  const auto add = [&](const char* name, const LoadResult& r) {
+    table.add_row({name, Table::fmt(percentile(r.latencies_ms, 0.50), 3),
+                   Table::fmt(percentile(r.latencies_ms, 0.95), 3),
+                   Table::fmt(percentile(r.latencies_ms, 0.99), 3),
+                   Table::fmt(r.images_per_s, 0)});
+  };
+  add("layer tree", layers);
+  add("engine+batching", engine);
+  table.print();
+  std::printf(
+      "\nbatcher: %zu dispatches for %zu requests (%zu images), avg fill "
+      "%.1f/%zu images, %zu full batches, max fill %zu\n",
+      st.batches, st.requests, st.images, st.avg_fill(), max_batch,
+      st.full_batches, st.max_fill);
+  const double p50_layers = percentile(layers.latencies_ms, 0.50);
+  const double p50_engine = percentile(engine.latencies_ms, 0.50);
+  std::printf("engine-path p50 %.3fms vs layer-tree p50 %.3fms (%s)\n",
+              p50_engine, p50_layers,
+              p50_engine <= p50_layers ? "OK: no worse" : "SLOWER");
+
+  BenchJson json("serve", s.name);
+  BenchRow& lt = json.row("layer_tree/per_request");
+  lt.wall_ms = p50_layers;
+  lt.extra["p95_ms"] = percentile(layers.latencies_ms, 0.95);
+  lt.extra["p99_ms"] = percentile(layers.latencies_ms, 0.99);
+  lt.extra["images_per_s"] = layers.images_per_s;
+  // The policy string carries quotes on purpose: the JSON writer must
+  // escape row names or the trajectory diff breaks (see json_escape).
+  char name[96];
+  std::snprintf(name, sizeof(name),
+                "engine/policy=\"batch=%zu,max_wait=%lluus\"", max_batch,
+                static_cast<unsigned long long>(max_wait_us));
+  BenchRow& en = json.row(name);
+  en.wall_ms = p50_engine;
+  en.extra["p95_ms"] = percentile(engine.latencies_ms, 0.95);
+  en.extra["p99_ms"] = percentile(engine.latencies_ms, 0.99);
+  en.extra["images_per_s"] = engine.images_per_s;
+  en.extra["avg_fill"] = st.avg_fill();
+  en.extra["full_batches"] = static_cast<double>(st.full_batches);
+  en.extra["dispatches"] = static_cast<double>(st.batches);
+  en.extra["speedup_p50_vs_layers"] = p50_layers / p50_engine;
+  if (json.write(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

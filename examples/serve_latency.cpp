@@ -1,42 +1,28 @@
-// Serving-latency sketch: what the batched inference server's hot loop
-// will look like once it wraps Engine::run (see ROADMAP).
+// Serving latency: the layer tree vs direct Engine::run vs the real
+// BatchServer (src/serve/) that wraps it.
 //
-// Compiles ResNet-20 once for the maximum batch, then replays a stream of
-// requests with varying batch sizes through the same plan — no per-request
-// allocation, no recompilation — and reports latency percentiles and
-// throughput against the layer-tree eval path.
+// Compiles ResNet-20 once for the maximum batch, then replays the same
+// bursty stream of variable-size requests through all three paths and
+// reports nearest-rank latency percentiles (shared percentile() from
+// bench_common.hpp) and throughput. The server runs with max_wait_us = 0 —
+// a single closed-loop client gains nothing from waiting for batch-mates,
+// so the knob is turned all the way toward latency; the `serve` load
+// generator exercises the batching side under concurrent clients.
 //
 //   ./serve_latency [--quick|--full] [--requests N]
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
-#include "core/parallel.hpp"
+#include "bench_common.hpp"
 #include "core/table.hpp"
-#include "engine/engine.hpp"
-#include "models/zoo.hpp"
+#include "serve/batch_server.hpp"
 
 using namespace alf;
-
-namespace {
-
-Tensor random_input(Shape shape, Rng& rng) {
-  Tensor t(std::move(shape));
-  for (size_t i = 0; i < t.numel(); ++i)
-    t.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
-  return t;
-}
-
-double percentile(std::vector<double> v, double p) {
-  std::sort(v.begin(), v.end());
-  const size_t idx = std::min(
-      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
-  return v[idx];
-}
-
-}  // namespace
+using alf::bench::percentile;
+using alf::bench::random_input;
+using alf::bench::warm_bn;
 
 int main(int argc, char** argv) {
   size_t hw = 16, width = 8, requests = 200;
@@ -57,14 +43,7 @@ int main(int argc, char** argv) {
   mc.base_width = width;
   mc.in_hw = hw;
   auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
-  // A couple of training-mode passes so BN statistics are realistic.
-  for (int i = 0; i < 2; ++i) {
-    Tensor x = random_input({8, mc.in_channels, hw, hw}, rng);
-    model->forward(x, true);
-  }
-
-  Engine eng = Engine::compile(*model, max_batch, mc.in_channels, hw, hw);
-  std::printf("%s\n", eng.plan_str().c_str());
+  warm_bn(*model, mc.in_channels, hw, rng);
 
   // Request stream: batch sizes mimic a bursty queue (mostly small, some
   // full batches after a backlog).
@@ -74,29 +53,45 @@ int main(int argc, char** argv) {
     sizes[i] = u < 0.5 ? 1 + rng.uniform_index(4)
                        : (u < 0.85 ? 8 + rng.uniform_index(8) : max_batch);
   }
-  Tensor x = random_input({max_batch, mc.in_channels, hw, hw}, rng);
+  std::vector<Tensor> reqs_by_n(max_batch + 1);
+  for (const size_t n : sizes)
+    if (reqs_by_n[n].empty())
+      reqs_by_n[n] = random_input({n, mc.in_channels, hw, hw}, rng);
+  Engine eng = Engine::compile(*model, max_batch, mc.in_channels, hw, hw);
+  std::printf("%s\n", eng.plan_str().c_str());
   // Output tensors preallocated per batch size outside the serving loop —
-  // the engine request path itself performs no allocations.
+  // the direct engine path itself performs no allocations.
   std::vector<Tensor> outs(max_batch + 1);
   for (const size_t n : sizes)
     if (outs[n].empty()) outs[n] = Tensor({n, eng.classes()});
 
-  Table table("ResNet-20 serving latency over " +
-              std::to_string(requests) + " requests (ms)");
+  BatchServer::Config cfg;
+  cfg.max_wait_us = 0;  // lone closed-loop client: dispatch immediately
+  BatchServer server(
+      Engine::compile(*model, max_batch, mc.in_channels, hw, hw), cfg);
+
+  Table table("ResNet-20 serving latency over " + std::to_string(requests) +
+              " requests (ms)");
   table.set_header({"path", "p50", "p95", "p99", "images/s"});
-  for (const bool use_engine : {false, true}) {
+  enum Path { kLayers = 0, kEngine = 1, kServer = 2 };
+  for (const int path : {kLayers, kEngine, kServer}) {
     std::vector<double> lat;
     lat.reserve(requests);
     size_t images = 0;
     const auto t_begin = std::chrono::steady_clock::now();
     for (const size_t n : sizes) {
-      Tensor req({n, mc.in_channels, hw, hw});
-      std::copy(x.data(), x.data() + req.numel(), req.data());
+      const Tensor& req = reqs_by_n[n];
       const auto t0 = std::chrono::steady_clock::now();
-      if (use_engine) {
-        eng.run(req, outs[n]);
-      } else {
-        model->forward(req, false);
+      switch (path) {
+        case kLayers:
+          model->forward(req, false);
+          break;
+        case kEngine:
+          eng.run(req, outs[n]);
+          break;
+        case kServer:
+          server.submit(req).get();
+          break;
       }
       const auto t1 = std::chrono::steady_clock::now();
       lat.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
@@ -106,16 +101,19 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t_begin)
             .count();
-    table.add_row({use_engine ? "engine" : "layer tree",
+    table.add_row({path == kLayers   ? "layer tree"
+                   : path == kEngine ? "engine (direct)"
+                                     : "batch server",
                    Table::fmt(percentile(lat, 0.50), 3),
                    Table::fmt(percentile(lat, 0.95), 3),
                    Table::fmt(percentile(lat, 0.99), 3),
                    Table::fmt(static_cast<double>(images) / total_s, 0)});
   }
+  server.stop();
   table.print();
   std::printf(
-      "\nThe batched server (ROADMAP) wraps the engine path: dynamic "
-      "batching fills `x` up to batch %zu, one Engine::run per tick.\n",
-      max_batch);
+      "\nThe batch-server rows include queue + dispatch overhead; run the "
+      "`serve` load generator for dynamic batching under concurrent "
+      "clients.\n");
   return 0;
 }

@@ -518,18 +518,23 @@ void Engine::run_conv(const Step& st, const float* in, float* out, size_t n) {
 void Engine::run(const Tensor& x, Tensor& out) {
   ALF_CHECK_EQ(x.rank(), size_t{4});
   const size_t n = x.dim(0);
-  ALF_CHECK(n >= 1 && n <= batch_)
-      << "engine compiled for batch <= " << batch_ << ", got " << n;
   ALF_CHECK_EQ(x.dim(1), in_c_);
   ALF_CHECK_EQ(x.dim(2), in_h_);
   ALF_CHECK_EQ(x.dim(3), in_w_);
   ALF_CHECK_EQ(out.rank(), size_t{2});
   ALF_CHECK_EQ(out.dim(0), n);
   ALF_CHECK_EQ(out.dim(1), classes_);
+  run_rows(x.data(), n, out.data());
+}
+
+void Engine::run_rows(const float* x, size_t n, float* out) {
+  ALF_CHECK(x != nullptr && out != nullptr);
+  ALF_CHECK(n >= 1 && n <= batch_)
+      << "engine compiled for batch <= " << batch_ << ", got " << n;
 
   float* ws = workspace_.data();
   const auto in_ptr = [&](const Step& st) -> const float* {
-    return st.in == 0 ? x.data() : ws + (st.in - 1) * slot_stride_;
+    return st.in == 0 ? x : ws + (st.in - 1) * slot_stride_;
   };
   const auto out_ptr = [&](const Step& st) -> float* {
     return ws + (st.out - 1) * slot_stride_;
@@ -594,7 +599,7 @@ void Engine::run(const Tensor& x, Tensor& out) {
     }
   }
   const Step& last = steps_.back();
-  std::memcpy(out.data(), ws + (last.out - 1) * slot_stride_,
+  std::memcpy(out, ws + (last.out - 1) * slot_stride_,
               n * classes_ * sizeof(float));
 }
 

@@ -114,11 +114,25 @@ class Engine {
   /// Convenience overload that allocates the output tensor.
   Tensor run(const Tensor& x);
 
+  /// Raw row-range form of run(): executes the plan on the first `n` images
+  /// at `x` (n * in_c()*in_h()*in_w() floats, NCHW) and writes n * classes()
+  /// logit floats to `out`. No shape objects are consulted, so a caller can
+  /// pack several requests into contiguous rows of one preallocated buffer
+  /// and serve a partial batch without reshaping tensors — this is the
+  /// BatchServer dispatch path. Pointer extents are the caller's contract;
+  /// n is checked against the compiled batch.
+  void run_rows(const float* x, size_t n, float* out);
+
   // --- Introspection --------------------------------------------------------
 
   const std::vector<Step>& steps() const { return steps_; }
   size_t batch() const { return batch_; }
   size_t classes() const { return classes_; }
+  size_t in_c() const { return in_c_; }
+  size_t in_h() const { return in_h_; }
+  size_t in_w() const { return in_w_; }
+  /// Floats of one input image (= in_c * in_h * in_w).
+  size_t image_floats() const { return in_c_ * in_h_ * in_w_; }
   /// Total arena floats (activation slots + im2col scratch).
   size_t workspace_floats() const { return workspace_.size(); }
   /// Arena base pointer; stable across run() calls (tests assert no growth).

@@ -1,0 +1,133 @@
+// Batched inference server: dynamic batching over a compiled Engine.
+//
+// The engine executes one batch per call as fast as the hardware allows;
+// the server turns that into a serving system. Clients submit requests of
+// 1..Engine::batch() images into a mutex/condition-variable queue; a
+// dispatcher thread gathers requests per tick:
+//
+//   - The first queued request opens a tick. The dispatcher then waits at
+//     most `max_wait_us` for more arrivals, leaving early the moment the
+//     queue holds a full batch — so bursts fill batches and a lone request
+//     is never starved past the wait budget.
+//   - The longest queue prefix whose images fit Engine::batch() is packed
+//     into contiguous rows of one preallocated input buffer and executed
+//     with a single Engine::run_rows (partial batches run on the same
+//     compiled plan; see engine/engine.hpp).
+//   - Per-request logit rows are scattered back and delivered through the
+//     request's completion callback (std::future via the other submit()
+//     overload). Callbacks run on the dispatcher thread; keep them light.
+//
+// stop() (and the destructor) drains every queued request before joining,
+// so no accepted request is ever dropped. Submissions after stop() fail
+// with CheckError.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "engine/engine.hpp"
+
+namespace alf {
+
+/// Dispatch counters, aggregated under the queue lock at batch-formation
+/// time (so they are final for a request as soon as its result is
+/// delivered).
+struct ServeStats {
+  size_t requests = 0;      ///< requests dispatched to the engine
+  size_t images = 0;        ///< images dispatched
+  size_t batches = 0;       ///< engine invocations
+  size_t full_batches = 0;  ///< invocations that filled Engine::batch()
+  size_t max_fill = 0;      ///< largest images-per-invocation seen
+
+  /// Mean images per engine invocation (0 before the first dispatch).
+  double avg_fill() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(images) /
+                              static_cast<double>(batches);
+  }
+};
+
+/// Owns a compiled Engine plus the request queue and dispatcher thread.
+class BatchServer {
+ public:
+  struct Config {
+    /// How long a tick waits for the queue to fill once it holds at least
+    /// one request. 0 dispatches whatever is queued immediately (lowest
+    /// lone-request latency, least batching).
+    uint64_t max_wait_us = 200;
+    /// Start with the dispatcher paused (see pause()/resume()); used by
+    /// tests and replay harnesses to stage a backlog deterministically.
+    bool start_paused = false;
+  };
+
+  /// Receives the per-request logits [n, classes] on the dispatcher thread.
+  using Callback = std::function<void(Tensor&&)>;
+
+  /// Takes ownership of the compiled engine; starts the dispatcher.
+  /// (Two overloads instead of a defaulted Config argument: a nested
+  /// class's member initializers are not available for in-class default
+  /// arguments of its enclosing class.)
+  explicit BatchServer(Engine engine);
+  BatchServer(Engine engine, Config cfg);
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Enqueues `x` [n, Ci, H, W] (1 <= n <= engine().batch()); `done` fires
+  /// once with the logits. Throws CheckError on shape mismatch or after
+  /// stop().
+  void submit(Tensor x, Callback done);
+
+  /// Future-returning form of submit().
+  std::future<Tensor> submit(Tensor x);
+
+  /// Suspends batch formation: a batch already packed keeps executing, but
+  /// once pause() returns no new batch forms — queued and newly submitted
+  /// requests are held (an open tick waiting for batch-mates is abandoned
+  /// back to the queue). resume() restarts dispatch. stop() overrides a
+  /// pause to drain.
+  void pause();
+  void resume();
+
+  /// Drains the queue, then joins the dispatcher. Idempotent; called by the
+  /// destructor.
+  void stop();
+
+  /// Requests currently queued (not yet dispatched).
+  size_t pending() const;
+
+  ServeStats stats() const;
+  const Engine& engine() const { return engine_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    Tensor x;
+    size_t n = 0;
+    Callback done;
+  };
+
+  void dispatch_loop();
+
+  Engine engine_;
+  Config cfg_;
+  Tensor in_;   ///< [batch, Ci, H, W] packing buffer (dispatcher-only)
+  Tensor out_;  ///< [batch, classes] logits buffer (dispatcher-only)
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  size_t queued_images_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+  ServeStats stats_;
+  std::thread dispatcher_;
+};
+
+}  // namespace alf

@@ -207,6 +207,58 @@ TEST(Engine, SmallerBatchesRunOnTheSamePlan) {
   EXPECT_THROW(eng.run(too_big), CheckError);
 }
 
+TEST(Engine, PartialBatchesBitIdenticalToExactlySizedPlan) {
+  // A partial batch on a big-batch plan (the BatchServer's steady state)
+  // must produce the same bits as a plan compiled exactly for that n —
+  // including n == 1 and n == batch-1, where the compile-time chunk grid
+  // of the two plans differs the most.
+  Rng rng(43);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+
+  for (const int threads : {1, 4}) {
+    set_parallel_threads(threads);
+    Engine big = Engine::compile(*model, 8, mc.in_channels, kHw, kHw);
+    for (const size_t n : {size_t{1}, size_t{7}, size_t{8}}) {
+      Engine exact = Engine::compile(*model, n, mc.in_channels, kHw, kHw);
+      Tensor x = random_input({n, mc.in_channels, kHw, kHw}, rng);
+      const Tensor from_big = big.run(x);
+      const Tensor from_exact = exact.run(x);
+      ASSERT_TRUE(same_shape(from_big, from_exact));
+      for (size_t i = 0; i < from_big.numel(); ++i)
+        EXPECT_EQ(from_big.at(i), from_exact.at(i))
+            << "threads " << threads << " n " << n << " elem " << i;
+    }
+  }
+  set_parallel_threads(0);
+}
+
+TEST(Engine, MisShapedOutputTensorFailsLoudly) {
+  // A wrong caller-provided `out` must throw before anything is written —
+  // silently scribbling past a too-small buffer is the failure mode the
+  // row-packed serving path cannot afford.
+  Rng rng(44);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  Engine eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw);
+  Tensor x = random_input({3, mc.in_channels, kHw, kHw}, rng);
+
+  Tensor wrong_rows({2, eng.classes()});
+  EXPECT_THROW(eng.run(x, wrong_rows), CheckError);
+  Tensor wrong_cols({3, eng.classes() + 1});
+  EXPECT_THROW(eng.run(x, wrong_cols), CheckError);
+  Tensor wrong_rank({3 * eng.classes()});
+  EXPECT_THROW(eng.run(x, wrong_rank), CheckError);
+
+  Tensor ok({3, eng.classes()});
+  EXPECT_NO_THROW(eng.run(x, ok));
+}
+
 TEST(Engine, BnFoldingMatchesUnfusedBn) {
   Rng rng(37);
   BatchNorm2d bn("bn", 6);

@@ -1,0 +1,244 @@
+// BatchServer: dynamic batching correctness (batched results bit-identical
+// to direct per-request Engine::run), queue/CV behavior under concurrent
+// producers (the ThreadSanitizer CI target), starvation bounds, drain-on-
+// stop semantics, and loud rejection of malformed submissions.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "grad_check.hpp"
+#include "models/zoo.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "serve/batch_server.hpp"
+
+namespace alf {
+namespace {
+
+using testing::random_input;
+
+constexpr size_t kHw = 8;
+constexpr size_t kInC = 3;
+constexpr size_t kClasses = 5;
+constexpr size_t kBatch = 8;
+
+/// Small conv net — big enough to exercise conv/BN-fold/linear steps,
+/// small enough that serve tests stay fast under TSan.
+std::unique_ptr<Sequential> toy_model(Rng& rng) {
+  auto m = std::make_unique<Sequential>("toy");
+  m->emplace<Conv2d>("c1", kInC, 8, 3, 1, 1, Init::kHe, rng);
+  m->emplace<BatchNorm2d>("c1_bn", 8);
+  m->emplace<Activation>("c1_relu", Act::kRelu);
+  m->emplace<GlobalAvgPool>("gap");
+  m->emplace<Flatten>("flatten");
+  m->emplace<Linear>("fc", 8, kClasses, Init::kHe, rng);
+  return m;
+}
+
+void warm_bn(Sequential& model, Rng& rng) {
+  bench::warm_bn(model, kInC, kHw, rng, /*passes=*/3, /*batch=*/4);
+}
+
+Engine toy_engine(const Sequential& model) {
+  return Engine::compile(model, kBatch, kInC, kHw, kHw);
+}
+
+TEST(BatchServer, BatchedResultsBitIdenticalToDirectEngineRun) {
+  Rng rng(51);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  // Two engines compiled from the same model produce identical plans; one
+  // serves, the other is the per-request reference.
+  Engine ref = toy_engine(*model);
+
+  BatchServer::Config cfg;
+  cfg.start_paused = true;  // stage the whole backlog, then release it
+  cfg.max_wait_us = 1000;
+  BatchServer server(toy_engine(*model), cfg);
+
+  // Prefix batching over a staged queue is deterministic: [3,2,1] = 6 (the
+  // 8 does not fit), [8] full, [4,4] full, [2,1,1] = 4 on the tail tick.
+  const std::vector<size_t> sizes = {3, 2, 1, 8, 4, 4, 2, 1, 1};
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (const size_t n : sizes) {
+    inputs.push_back(random_input({n, kInC, kHw, kHw}, rng));
+    futures.push_back(server.submit(inputs.back()));
+  }
+  EXPECT_EQ(server.pending(), sizes.size());
+  server.resume();
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    Tensor got = futures[i].get();
+    ASSERT_EQ(got.dim(0), sizes[i]);
+    ASSERT_EQ(got.dim(1), kClasses);
+    const Tensor want = ref.run(inputs[i]);
+    for (size_t j = 0; j < want.numel(); ++j)
+      EXPECT_EQ(want.at(j), got.at(j)) << "request " << i << " elem " << j;
+  }
+  const ServeStats st = server.stats();
+  EXPECT_EQ(st.requests, sizes.size());
+  EXPECT_EQ(st.images, size_t{26});
+  EXPECT_EQ(st.batches, size_t{4});
+  EXPECT_EQ(st.full_batches, size_t{2});
+  EXPECT_EQ(st.max_fill, kBatch);
+  EXPECT_DOUBLE_EQ(st.avg_fill(), 26.0 / 4.0);
+}
+
+TEST(BatchServer, ConcurrentProducersAllServedCorrectly) {
+  Rng rng(52);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  Engine ref = toy_engine(*model);
+  set_parallel_threads(2);  // engine dispatch exercises the worker pool
+  BatchServer server(toy_engine(*model));
+
+  constexpr size_t kProducers = 4, kPerProducer = 20;
+  struct Issued {
+    Tensor x;
+    std::future<Tensor> fut;
+  };
+  std::vector<std::vector<Issued>> issued(kProducers);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng prng(100 + p);
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        const size_t n = 1 + prng.uniform_index(4);
+        Tensor x = random_input({n, kInC, kHw, kHw}, prng);
+        std::future<Tensor> fut = server.submit(x);
+        issued[p].push_back(Issued{std::move(x), std::move(fut)});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  for (auto& per_producer : issued) {
+    for (Issued& rq : per_producer) {
+      Tensor got = rq.fut.get();
+      const Tensor want = ref.run(rq.x);
+      ASSERT_TRUE(same_shape(want, got));
+      for (size_t j = 0; j < want.numel(); ++j) EXPECT_EQ(want.at(j), got.at(j));
+    }
+  }
+  server.stop();
+  set_parallel_threads(0);
+  const ServeStats st = server.stats();
+  EXPECT_EQ(st.requests, kProducers * kPerProducer);
+  EXPECT_EQ(server.pending(), size_t{0});
+  EXPECT_GE(st.batches, size_t{1});
+  EXPECT_LE(st.batches, st.requests);
+}
+
+TEST(BatchServer, RuntimePauseHoldsTheBacklogUntilResume) {
+  // pause() on a live server (not just start_paused) must stop new batch
+  // formation: requests stay queued — even one submitted just before the
+  // pause, whose tick the dispatcher abandons — until resume().
+  Rng rng(57);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  BatchServer::Config cfg;
+  cfg.max_wait_us = 200000;  // 200ms: the open tick outlives the pause below
+  BatchServer server(toy_engine(*model), cfg);
+
+  std::vector<std::future<Tensor>> futures;
+  // The first submission opens a tick that waits for batch-mates; pause()
+  // lands inside that wait and must abandon the tick, not dispatch it.
+  futures.push_back(server.submit(random_input({1, kInC, kHw, kHw}, rng)));
+  server.pause();
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(server.submit(random_input({1, kInC, kHw, kHw}, rng)));
+  // Sleep past the abandoned tick's deadline: nothing may have dispatched.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(server.pending(), size_t{5});
+  EXPECT_EQ(server.stats().batches, size_t{0});
+  server.resume();
+  for (auto& fut : futures) EXPECT_EQ(fut.get().dim(0), size_t{1});
+  EXPECT_EQ(server.pending(), size_t{0});
+  EXPECT_EQ(server.stats().images, size_t{5});
+}
+
+TEST(BatchServer, LoneRequestIsNotStarvedPastTheWaitBudget) {
+  Rng rng(53);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  BatchServer::Config cfg;
+  cfg.max_wait_us = 500;
+  BatchServer server(toy_engine(*model), cfg);
+
+  Tensor x = random_input({1, kInC, kHw, kHw}, rng);
+  std::future<Tensor> fut = server.submit(x);
+  // Generous bound: the tick closes after max_wait_us, not a full batch.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get().dim(0), size_t{1});
+  EXPECT_EQ(server.stats().batches, size_t{1});
+}
+
+TEST(BatchServer, StopDrainsEveryQueuedRequest) {
+  Rng rng(54);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  BatchServer::Config cfg;
+  cfg.start_paused = true;
+  BatchServer server(toy_engine(*model), cfg);
+
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(server.submit(random_input({2, kInC, kHw, kHw}, rng)));
+  EXPECT_EQ(server.pending(), size_t{10});
+  server.stop();  // overrides the pause and drains before joining
+  EXPECT_EQ(server.pending(), size_t{0});
+  for (auto& fut : futures) {
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(fut.get().dim(0), size_t{2});
+  }
+  EXPECT_EQ(server.stats().requests, size_t{10});
+}
+
+TEST(BatchServer, CallbackOverloadDeliversLogits) {
+  Rng rng(55);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  BatchServer server(toy_engine(*model));
+
+  std::promise<Tensor> done;
+  std::future<Tensor> fut = done.get_future();
+  server.submit(random_input({3, kInC, kHw, kHw}, rng),
+                [&done](Tensor&& logits) { done.set_value(std::move(logits)); });
+  Tensor got = fut.get();
+  EXPECT_EQ(got.dim(0), size_t{3});
+  EXPECT_EQ(got.dim(1), kClasses);
+}
+
+TEST(BatchServer, MalformedSubmissionsFailLoudly) {
+  Rng rng(56);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  BatchServer server(toy_engine(*model));
+
+  // Oversized request, wrong channel count, wrong spatial size, wrong rank.
+  EXPECT_THROW(server.submit(Tensor({kBatch + 1, kInC, kHw, kHw})),
+               CheckError);
+  EXPECT_THROW(server.submit(Tensor({1, kInC + 1, kHw, kHw})), CheckError);
+  EXPECT_THROW(server.submit(Tensor({1, kInC, kHw, kHw + 2})), CheckError);
+  EXPECT_THROW(server.submit(Tensor({kInC, kHw, kHw})), CheckError);
+  EXPECT_THROW(server.submit(Tensor({1, kInC, kHw, kHw}), nullptr),
+               CheckError);
+
+  server.stop();
+  EXPECT_THROW(server.submit(Tensor({1, kInC, kHw, kHw})), CheckError);
+  // stop() is idempotent.
+  server.stop();
+}
+
+}  // namespace
+}  // namespace alf
