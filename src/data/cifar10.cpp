@@ -1,0 +1,108 @@
+#include "data/cifar10.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "core/check.hpp"
+#include "data/synthetic.hpp"
+
+namespace alf {
+
+namespace {
+
+constexpr size_t kRecordBytes = 3073;  // 1 label + 3 * 32 * 32 pixels
+constexpr size_t kImageBytes = 3072;
+constexpr size_t kClasses = 10;
+
+std::string cifar_dir() {
+  const char* dir = std::getenv(kCifar10EnvVar);
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+/// Appends the records of `path` to an open batch; returns records read.
+size_t append_file(const std::string& path, size_t max_records,
+                   std::vector<float>& pixels, std::vector<int>& labels) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  ALF_CHECK(f.good()) << "CIFAR-10: cannot open " << path;
+  const std::streamoff bytes = f.tellg();
+  ALF_CHECK(bytes > 0) << "CIFAR-10: empty file " << path;
+  ALF_CHECK(static_cast<size_t>(bytes) % kRecordBytes == 0)
+      << "CIFAR-10: " << path << " is " << bytes
+      << " bytes, not a multiple of the 3073-byte record";
+  size_t records = static_cast<size_t>(bytes) / kRecordBytes;
+  if (max_records != 0) records = std::min(records, max_records);
+  f.seekg(0);
+
+  std::vector<unsigned char> rec(kRecordBytes);
+  pixels.reserve(pixels.size() + records * kImageBytes);
+  labels.reserve(labels.size() + records);
+  for (size_t r = 0; r < records; ++r) {
+    f.read(reinterpret_cast<char*>(rec.data()),
+           static_cast<std::streamsize>(kRecordBytes));
+    ALF_CHECK(f.good()) << "CIFAR-10: short read in " << path;
+    ALF_CHECK(rec[0] < kClasses)
+        << "CIFAR-10: label " << static_cast<int>(rec[0]) << " in " << path;
+    labels.push_back(static_cast<int>(rec[0]));
+    // Bytes are already channel-planar (R plane, G plane, B plane), which
+    // is exactly NCHW for one image; scale to the [-1, 1] range the
+    // synthetic task and the models use.
+    for (size_t i = 0; i < kImageBytes; ++i)
+      pixels.push_back(static_cast<float>(rec[1 + i]) / 127.5f - 1.0f);
+  }
+  return records;
+}
+
+Cifar10Batch from_raw(std::vector<float> pixels, std::vector<int> labels) {
+  Cifar10Batch out;
+  const size_t n = labels.size();
+  out.images = Tensor({n, 3, 32, 32}, std::move(pixels));
+  out.labels = std::move(labels);
+  return out;
+}
+
+}  // namespace
+
+Cifar10Batch load_cifar10_file(const std::string& path, size_t max_records) {
+  std::vector<float> pixels;
+  std::vector<int> labels;
+  append_file(path, max_records, pixels, labels);
+  return from_raw(std::move(pixels), std::move(labels));
+}
+
+bool cifar10_available() { return !cifar_dir().empty(); }
+
+Cifar10Batch load_cifar10_split(bool train, size_t max_records) {
+  const std::string dir = cifar_dir();
+  ALF_CHECK(!dir.empty()) << "CIFAR-10: " << kCifar10EnvVar << " is not set";
+  std::vector<float> pixels;
+  std::vector<int> labels;
+  if (train) {
+    for (int b = 1; b <= 5; ++b) {
+      if (max_records != 0 && labels.size() >= max_records) break;
+      const size_t left =
+          max_records == 0 ? 0 : max_records - labels.size();
+      append_file(dir + "/data_batch_" + std::to_string(b) + ".bin", left,
+                  pixels, labels);
+    }
+  } else {
+    append_file(dir + "/test_batch.bin", max_records, pixels, labels);
+  }
+  return from_raw(std::move(pixels), std::move(labels));
+}
+
+Cifar10Batch load_cifar10_or_synthetic(bool train, size_t count,
+                                       uint64_t seed) {
+  ALF_CHECK(count > 0);
+  if (cifar10_available()) return load_cifar10_split(train, count);
+  DataConfig cfg = DataConfig::cifar_like();
+  cfg.seed = seed;
+  // Decoupled sample streams for the two splits, same class prototypes —
+  // mirrors SyntheticImageDataset's train/test convention.
+  SyntheticImageDataset ds(cfg, count, /*split_seed=*/train ? 1 : 2);
+  Cifar10Batch out;
+  out.synthetic = true;
+  ds.full_batch(out.images, out.labels);
+  return out;
+}
+
+}  // namespace alf

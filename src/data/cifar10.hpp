@@ -1,0 +1,54 @@
+// Real CIFAR-10 binary loader (the "dataset realism" ROADMAP item).
+//
+// Parses the canonical binary batch format of the CIFAR-10 download
+// (cifar-10-binary.tar.gz): each record is 1 label byte followed by 3072
+// pixel bytes (1024 R, then G, then B, row-major 32x32), 3073 bytes per
+// record, 10000 records per file.
+//
+// No download happens anywhere: availability is gated on the ALF_CIFAR10_DIR
+// environment variable pointing at an already-extracted directory
+// (data_batch_1..5.bin + test_batch.bin). CI and tests never set it, so
+// everything stays hermetic via the synthetic fallback; a developer with
+// the real set exports the variable and the same experiment binaries run
+// on actual CIFAR-10 to validate accuracy against the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace alf {
+
+/// Directory of the extracted CIFAR-10 binary batches; unset = synthetic.
+inline constexpr const char* kCifar10EnvVar = "ALF_CIFAR10_DIR";
+
+/// A labelled CIFAR-10 batch: NCHW float images scaled to [-1, 1].
+struct Cifar10Batch {
+  Tensor images;            ///< [N, 3, 32, 32]
+  std::vector<int> labels;  ///< N entries in [0, 9]
+  bool synthetic = false;   ///< true when the fallback generator produced it
+};
+
+/// Parses one CIFAR-10 binary file. `max_records` 0 = all. Throws
+/// CheckError when the file is missing, empty, not a whole number of
+/// 3073-byte records, or contains an out-of-range label.
+Cifar10Batch load_cifar10_file(const std::string& path,
+                               size_t max_records = 0);
+
+/// True when ALF_CIFAR10_DIR is set (non-empty).
+bool cifar10_available();
+
+/// Loads the train (data_batch_1..5.bin, concatenated) or test
+/// (test_batch.bin) split from $ALF_CIFAR10_DIR. `max_records` 0 = all.
+/// Throws CheckError when the variable is unset or a file is malformed.
+Cifar10Batch load_cifar10_split(bool train, size_t max_records = 0);
+
+/// Real CIFAR-10 when available, otherwise `count` samples of the
+/// class-conditional synthetic CIFAR-like task (see data/synthetic.hpp) —
+/// the hermetic path CI takes. `count` also caps the real split.
+Cifar10Batch load_cifar10_or_synthetic(bool train, size_t count,
+                                       uint64_t seed = 42);
+
+}  // namespace alf

@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -8,10 +9,12 @@
 #include "alf/deploy.hpp"
 #include "core/check.hpp"
 #include "core/parallel.hpp"
+#include "kernels/backend.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
+#include "quant/quantize.hpp"
 
 namespace alf {
 
@@ -297,14 +300,15 @@ constexpr size_t kMaxShiftH = 512;
 /// planes at a flat offset — no im2col materialization at all. Column
 /// wrap-around at the left/right borders is repaired afterwards by
 /// recomputing the `pad` edge columns directly from `w`.
-void conv2d_image_shift(const Step& st, const float* x_img, float* out_img) {
+void conv2d_image_shift(const Step& st, const kernels::KernelBackend* be,
+                        const float* x_img, float* out_img) {
   const ConvGeom& g = st.geom;
   const size_t hh = g.in_h, ww = g.in_w, hw = hh * ww;
   const size_t ci = g.in_c, co = st.out_c, k = g.kernel;
   const long pad = static_cast<long>(g.pad);
   if (k == 1) {
-    gemm_view(st.w.data(), ci, false, x_img, hw, false, out_img, hw, co, ci,
-              hw);
+    be->gemm(st.w.data(), ci, false, x_img, hw, false, out_img, hw, co, ci,
+             hw, 1.0f, 0.0f);
     bias_act_inplace(out_img, co, hw, st.bias.empty() ? nullptr : st.bias.data(),
                      st.act);
     return;
@@ -318,8 +322,8 @@ void conv2d_image_shift(const Step& st, const float* x_img, float* out_img) {
       const size_t c1 = shift > 0 ? hw - static_cast<size_t>(shift) : hw;
       if (c0 >= c1) continue;
       const float* a = st.w9.data() + (kh * k + kw) * co * ci;
-      gemm_view(a, ci, false, x_img + static_cast<long>(c0) + shift, hw,
-                false, out_img + c0, hw, co, ci, c1 - c0, 1.0f, 1.0f);
+      be->gemm(a, ci, false, x_img + static_cast<long>(c0) + shift, hw, false,
+               out_img + c0, hw, co, ci, c1 - c0, 1.0f, 1.0f);
     }
   }
   // Repair the `pad` left/right border columns (their shifted reads wrapped
@@ -362,7 +366,25 @@ void conv2d_image_shift(const Step& st, const float* x_img, float* out_img) {
 
 Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
                        size_t in_h, size_t in_w) {
+  return compile(model, batch, in_c, in_h, in_w, EngineOptions{});
+}
+
+Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
+                       size_t in_h, size_t in_w, const EngineOptions& opts) {
   ALF_CHECK(batch >= 1 && in_c >= 1 && in_h >= 1 && in_w >= 1);
+  // The registry is consulted exactly once per plan, here; every kernel of
+  // the compiled plan dispatches through this pointer.
+  const kernels::KernelBackend* backend =
+      opts.backend.empty() ? kernels::default_backend()
+                           : kernels::find_backend(opts.backend);
+  ALF_CHECK(backend != nullptr)
+      << "engine: unknown kernel backend '" << opts.backend << "'";
+  // Selecting a quantized-datapath backend (explicitly or via ALF_BACKEND)
+  // lowers every conv/linear step to its qgemm.
+  const bool quantize = backend->quantized_datapath;
+  ALF_CHECK(!quantize || (opts.bits >= 2 && opts.bits <= 8))
+      << "engine: int8 lowering bits=" << opts.bits;
+
   Compiler cc;
   cc.vnumel[0] = in_c * in_h * in_w;
   cc.c = in_c;
@@ -375,9 +397,11 @@ Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
   // shifted-GEMM form, packing the per-offset weight slices now that BN
   // folding has finished rewriting `w`. Narrow maps stay on the
   // chunk-batched im2col path: their border fraction (2*pad / W) makes the
-  // repair pass cost more than im2col saves.
+  // repair pass cost more than im2col saves. Quantized plans keep every
+  // conv on the im2col path — one qgemm per chunk with one activation
+  // scale, instead of K*K partial GEMMs plus a float repair pass.
   for (Step& st : cc.steps) {
-    if (st.kind != OpKind::kConv) continue;
+    if (quantize || st.kind != OpKind::kConv) continue;
     const ConvGeom& g = st.geom;
     if (g.stride != 1 || g.kernel % 2 == 0 || g.pad != (g.kernel - 1) / 2)
       continue;
@@ -394,6 +418,104 @@ Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
           for (size_t kw = 0; kw < k; ++kw)
             st.w9.at(((kh * k + kw) * co + o) * ci + c) =
                 st.w.at(o, (c * k + kh) * k + kw);
+  }
+
+  // Non-negativity propagation over the (still virtual-buffer-addressed)
+  // plan: a buffer is provably non-negative when its producer ends in
+  // ReLU/sigmoid, and max-pool / global-avg-pool / residual-add preserve
+  // the property. Quantized steps use it to pick an asymmetric activation
+  // grid; the pass is structural, so the choice never depends on data.
+  {
+    std::vector<bool> nonneg(cc.vnumel.size(), false);
+    for (Step& st : cc.steps) {
+      st.in_nonneg = st.in != 0 && nonneg[st.in];
+      bool out_nn;
+      if (st.act == Act::kRelu || st.act == Act::kSigmoid) {
+        out_nn = true;
+      } else if (st.act != Act::kNone) {
+        out_nn = false;  // tanh and friends re-sign
+      } else {
+        switch (st.kind) {
+          case OpKind::kMaxPool:
+          case OpKind::kGlobalAvgPool:
+          case OpKind::kActivation:  // act == kNone: identity
+            out_nn = st.in_nonneg;
+            break;
+          case OpKind::kAdd:  // out += in: needs both operands nonneg
+            out_nn = st.in_nonneg && nonneg[st.out];
+            break;
+          default:  // conv/linear/scale-shift outputs are signed
+            out_nn = false;
+        }
+      }
+      nonneg[st.out] = out_nn;
+    }
+  }
+
+  // int8 lowering: export the (BN-folded) weights of every conv/linear
+  // step as packed symmetric-int8 panels, calibrated per output channel
+  // (each row of W gets its own max-abs step size — BN folding scales rows
+  // independently, so a per-tensor grid would waste its range on the
+  // largest channel). Convs keep the [Co, Ci*K*K] GEMM layout; linear
+  // weights transpose to the [in, out] B-panel layout the qgemm consumes
+  // (activations arrive as the A panel there).
+  if (quantize) {
+    const float levels = static_cast<float>((1 << (opts.bits - 1)) - 1);
+    for (Step& st : cc.steps) {
+      if (st.kind != OpKind::kConv && st.kind != OpKind::kLinear) continue;
+      const size_t rows = st.w.dim(0), cols = st.w.dim(1);
+      st.quantized = true;
+      st.qbits = opts.bits;
+      st.qw.resize(rows * cols);
+      st.qw_scales.resize(rows);
+      std::vector<int8_t> qrow(cols);
+      for (size_t o = 0; o < rows; ++o) {
+        const float* wrow = st.w.data() + o * cols;
+        const float wmax = max_abs_view(wrow, cols);
+        QuantParams qp;
+        qp.bits = opts.bits;
+        qp.scale = wmax > 0.0f ? wmax / levels : 1.0f;
+        if (wmax > 0.0f) {
+          // MSE-optimal clipping: max-abs calibration spends the whole
+          // grid on the largest element; sweeping a few clip fractions and
+          // keeping the min-MSE one trades outlier saturation for finer
+          // steps everywhere else. Compile-time only — runtime sees just
+          // the chosen scale.
+          double best_mse = -1.0;
+          float best_scale = qp.scale;
+          for (int c = 0; c <= 6; ++c) {
+            const float clip = 1.0f - 0.05f * static_cast<float>(c);
+            const float scale = wmax * clip / levels;
+            double mse = 0.0;
+            for (size_t j = 0; j < cols; ++j) {
+              float q = std::round(wrow[j] / scale);
+              q = std::max(-levels, std::min(levels, q));
+              const double d =
+                  static_cast<double>(wrow[j]) - static_cast<double>(q * scale);
+              mse += d * d;
+            }
+            if (best_mse < 0.0 || mse < best_mse) {
+              best_mse = mse;
+              best_scale = scale;
+            }
+          }
+          qp.scale = best_scale;
+        }
+        st.qw_scales[o] = qp.scale;
+        if (st.kind == OpKind::kConv) {
+          quantize_view(wrow, cols, qp, st.qw.data() + o * cols);
+        } else {
+          // Transposed pack: output feature o becomes column o.
+          quantize_view(wrow, cols, qp, qrow.data());
+          for (size_t j = 0; j < cols; ++j) st.qw[j * rows + o] = qrow[j];
+        }
+      }
+      // The float weights are dead from here on — the runtime reads only
+      // qw/qw_scales (geometry lives in out_c/geom/in+out_features), and
+      // keeping them would hand every deployed int8 plan 4 bytes of unused
+      // float per weight.
+      st.w = Tensor();
+    }
   }
 
   // --- Linear-scan slot assignment over virtual-buffer live ranges. ---
@@ -429,6 +551,8 @@ Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
   }
 
   Engine eng;
+  eng.backend_ = backend;
+  eng.quant_ = quantize;
   eng.batch_ = batch;
   eng.in_c_ = in_c;
   eng.in_h_ = in_h;
@@ -459,6 +583,26 @@ Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
   eng.res_off_ = eng.col_off_ + eng.nchunks_ * eng.col_sz_;
   eng.workspace_.assign(eng.res_off_ + eng.nchunks_ * eng.res_sz_, 0.0f);
 
+  // Quantized plans additionally hold int8 activation scratch: per-chunk
+  // quantized-im2col slices (same geometry as the float col scratch) and,
+  // for linear steps, a whole-batch quantized-input region. Conv chunks
+  // and linear steps never overlap in time, so one buffer serves both.
+  // qbs_ carries the per-image column scales (and their inverses) handed
+  // to the qgemm requantization.
+  if (quantize) {
+    size_t max_lin = 0;
+    for (const Step& st : cc.steps)
+      if (st.kind == OpKind::kLinear)
+        max_lin = std::max(max_lin, batch * st.in_features);
+    eng.qws_.assign(std::max(eng.nchunks_ * eng.col_sz_, max_lin), 0);
+    size_t max_cols = batch;  // linear steps use one scale per batch row
+    for (const Step& st : cc.steps)
+      if (st.kind == OpKind::kConv && !st.shift_gemm)
+        max_cols = std::max(max_cols, st.geom.col_cols() * chunk_imgs);
+    eng.qbs_sz_ = max_cols;
+    eng.qbs_.assign(eng.nchunks_ * 2 * eng.qbs_sz_, 0.0f);
+  }
+
   // Rebind steps from virtual buffers to arena slots (slot 0 = input x).
   for (Step& st : cc.steps) {
     st.in = st.in == 0 ? 0 : static_cast<size_t>(slot_of[st.in]) + 1;
@@ -483,7 +627,8 @@ void Engine::run_conv(const Step& st, const float* in, float* out, size_t n) {
           const size_t i1 = std::min(n, i0 + chunk);
           if (st.shift_gemm) {
             for (size_t i = i0; i < i1; ++i)
-              conv2d_image_shift(st, in + i * st.in_sz, out + i * st.out_sz);
+              conv2d_image_shift(st, backend_, in + i * st.in_sz,
+                                 out + i * st.out_sz);
             continue;
           }
           // Chunk-batched: unfold the chunk's images side by side, run one
@@ -495,8 +640,53 @@ void Engine::run_conv(const Step& st, const float* in, float* out, size_t n) {
           float* res = workspace_.data() + res_off_ + ci * res_sz_;
           for (size_t j = 0; j < imgs; ++j)
             im2col_view(in + (i0 + j) * st.in_sz, g, col + j * cols, ld);
-          gemm_view(st.w.data(), g.col_rows(), false, col, ld, false, res, ld,
-                    st.out_c, g.col_rows(), ld);
+          if (st.quantized) {
+            // Quantize the chunk's im2col matrix with one max-abs scale
+            // PER IMAGE (image j owns columns [j*cols, (j+1)*cols)); the
+            // scales depend only on image content, so the result is
+            // independent of both the thread count and the chunk grid.
+            // Then run the real int8 GEMM: int32 accumulate, float store.
+            const size_t rows = g.col_rows();
+            int8_t* qcol = qws_.data() + ci * col_sz_;
+            float* bscales = qbs_.data() + ci * 2 * qbs_sz_;
+            float* binv = bscales + qbs_sz_;
+            const float levels =
+                static_cast<float>((1 << (st.qbits - 1)) - 1);
+            // Provably non-negative inputs (post-ReLU) take the asymmetric
+            // grid: zero-point at the bottom of the range, twice the
+            // resolution of the symmetric grid on [0, max].
+            const float span = st.in_nonneg ? 2.0f * levels : levels;
+            const float zp = st.in_nonneg ? -levels : 0.0f;
+            for (size_t j = 0; j < imgs; ++j) {
+              float imax = 0.0f;
+              for (size_t r = 0; r < rows; ++r)
+                imax = std::max(
+                    imax, max_abs_view(col + r * ld + j * cols, cols));
+              const float scale = imax > 0.0f ? imax / span : 1.0f;
+              for (size_t jj = j * cols; jj < (j + 1) * cols; ++jj) {
+                bscales[jj] = scale;
+                binv[jj] = 1.0f / scale;
+              }
+            }
+            for (size_t r = 0; r < rows; ++r) {
+              const float* src_row = col + r * ld;
+              int8_t* dst_row = qcol + r * ld;
+              for (size_t jj = 0; jj < ld; ++jj) {
+                float q = std::round(src_row[jj] * binv[jj]) + zp;
+                q = std::max(-levels, std::min(levels, q));
+                dst_row[jj] = static_cast<int8_t>(q);
+              }
+            }
+            kernels::QgemmParams params;
+            params.a_scales = st.qw_scales.data();  // per-output-channel
+            params.b_scales = bscales;              // per-image
+            params.b_zp = static_cast<int32_t>(zp);
+            backend_->qgemm(st.qw.data(), rows, qcol, ld, res, ld, st.out_c,
+                            rows, ld, params);
+          } else {
+            backend_->gemm(st.w.data(), g.col_rows(), false, col, ld, false,
+                           res, ld, st.out_c, g.col_rows(), ld, 1.0f, 0.0f);
+          }
           bias_act_inplace(res, st.out_c, ld, bias, st.act);
           for (size_t j = 0; j < imgs; ++j)
             for (size_t o = 0; o < st.out_c; ++o)
@@ -547,12 +737,52 @@ void Engine::run_rows(const float* x, size_t n, float* out) {
       case OpKind::kConv:
         run_conv(st, src, dst, n);
         break;
-      case OpKind::kLinear:
-        linear_forward_view(src, n, st.in_features, st.w.data(),
-                            st.out_features,
-                            st.bias.empty() ? nullptr : st.bias.data(),
-                            st.act, dst);
+      case OpKind::kLinear: {
+        if (st.quantized) {
+          // Dynamic per-image input quantization into the int8 scratch
+          // (conv chunks are done by the time the head runs, so the
+          // buffer is free), then qgemm against the pre-transposed weight
+          // panel. One scale per batch row keeps every image's grid tight.
+          const float levels = static_cast<float>((1 << (st.qbits - 1)) - 1);
+          const float span = st.in_nonneg ? 2.0f * levels : levels;
+          const float zp = st.in_nonneg ? -levels : 0.0f;
+          float* ascales = qbs_.data();
+          for (size_t i = 0; i < n; ++i) {
+            const float* row = src + i * st.in_features;
+            const float amax = max_abs_view(row, st.in_features);
+            const float scale = amax > 0.0f ? amax / span : 1.0f;
+            const float inv = 1.0f / scale;
+            ascales[i] = scale;
+            int8_t* qrow = qws_.data() + i * st.in_features;
+            for (size_t j = 0; j < st.in_features; ++j) {
+              float q = std::round(row[j] * inv) + zp;
+              q = std::max(-levels, std::min(levels, q));
+              qrow[j] = static_cast<int8_t>(q);
+            }
+          }
+          kernels::QgemmParams params;
+          params.a_scales = ascales;              // per-image
+          params.b_scales = st.qw_scales.data();  // per-output-feature
+          params.a_zp = static_cast<int32_t>(zp);
+          backend_->qgemm(qws_.data(), st.in_features, st.qw.data(),
+                          st.out_features, dst, st.out_features, n,
+                          st.in_features, st.out_features, params);
+          const float* b = st.bias.empty() ? nullptr : st.bias.data();
+          if (b != nullptr) {
+            for (size_t i = 0; i < n; ++i) {
+              float* row = dst + i * st.out_features;
+              for (size_t j = 0; j < st.out_features; ++j) row[j] += b[j];
+            }
+          }
+          act_inplace(st.act, dst, n * st.out_features);
+        } else {
+          linear_forward_view(src, n, st.in_features, st.w.data(),
+                              st.out_features,
+                              st.bias.empty() ? nullptr : st.bias.data(),
+                              st.act, dst, backend_);
+        }
         break;
+      }
       case OpKind::kGlobalAvgPool:
         global_avg_pool_view(src, n, st.geom.in_c,
                              st.geom.in_h * st.geom.in_w, dst);
@@ -609,14 +839,18 @@ Tensor Engine::run(const Tensor& x) {
   return out;
 }
 
+const char* Engine::backend_name() const {
+  return backend_ != nullptr ? backend_->name : "?";
+}
+
 std::string Engine::plan_str() const {
   std::string s;
   char line[256];
   std::snprintf(line, sizeof(line),
                 "engine plan: %zu steps, %zu activation slots x %zu floats, "
-                "%zu x %zu im2col scratch (batch %zu)\n",
+                "%zu x %zu im2col scratch (batch %zu, backend %s%s)\n",
                 steps_.size(), slots_, slot_stride_, nchunks_, col_sz_,
-                batch_);
+                batch_, backend_name(), quant_ ? " quantized" : "");
   s += line;
   for (size_t i = 0; i < steps_.size(); ++i) {
     const Step& st = steps_[i];
@@ -624,10 +858,11 @@ std::string Engine::plan_str() const {
     if (st.kind == OpKind::kConv) {
       std::snprintf(geom, sizeof(geom), "  [%zux%zux%zu] %s", st.out_c,
                     st.geom.out_h(), st.geom.out_w(),
-                    st.shift_gemm ? "shift-gemm" : "im2col");
+                    st.quantized ? "qgemm-int8"
+                                 : (st.shift_gemm ? "shift-gemm" : "im2col"));
     } else if (st.kind == OpKind::kLinear) {
-      std::snprintf(geom, sizeof(geom), "  [%zu -> %zu]", st.in_features,
-                    st.out_features);
+      std::snprintf(geom, sizeof(geom), "  [%zu -> %zu]%s", st.in_features,
+                    st.out_features, st.quantized ? " qgemm-int8" : "");
     }
     std::snprintf(line, sizeof(line), "  %2zu %-11s %-28s s%zu -> s%zu%s%s%s\n",
                   i, op_kind_name(st.kind), st.name.c_str(), st.in, st.out,

@@ -24,6 +24,7 @@
 // written by exactly one worker.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,10 @@
 #include "tensor/ops.hpp"
 
 namespace alf {
+
+namespace kernels {
+struct KernelBackend;
+}  // namespace kernels
 
 /// Kernel selector of one compiled step.
 enum class OpKind {
@@ -70,7 +75,8 @@ struct Step {
   size_t in_features = 0;
   size_t out_features = 0;
 
-  Tensor w;     ///< [Co, Ci*K*K] (kConv) or [out, in] (kLinear)
+  Tensor w;     ///< [Co, Ci*K*K] (kConv) or [out, in] (kLinear); released
+                ///< (empty) on int8-lowered steps, which read only qw
   Tensor bias;  ///< folded bias [Co]/[out]; empty = no bias
   Tensor scale, shift;  ///< kScaleShift per-channel affine
 
@@ -86,6 +92,42 @@ struct Step {
   /// arena scratch sized once for the whole batch.
   bool shift_gemm = false;
   Tensor w9;
+
+  /// int8 lowering (plans compiled with a quantized-datapath backend):
+  /// the step runs the backend's qgemm instead of a float GEMM. `qw` is
+  /// the pre-quantized weight panel — [Co, Ci*K*K] for kConv, the
+  /// transposed [in, out] B panel for kLinear — on the symmetric `qbits`
+  /// grid with one step size per output channel (`qw_scales`; BN folding
+  /// runs first and leaves rows with very different ranges, so per-tensor
+  /// weight calibration would burn most of the grid). Activations are
+  /// quantized per run into arena scratch with one max-abs scale PER
+  /// IMAGE — the scales depend only on image content, never on the chunk
+  /// grid, which is what keeps quantized runs bit-identical across thread
+  /// counts and batch packings.
+  bool quantized = false;
+  std::vector<int8_t> qw;
+  std::vector<float> qw_scales;
+  int qbits = 8;
+  /// Compile-time proof that this step's input activation is non-negative
+  /// (produced through a ReLU/sigmoid chain). Quantized steps then use an
+  /// asymmetric activation grid (zero-point at the bottom of the int8
+  /// range), doubling the resolution the symmetric grid would spend on
+  /// values that cannot occur.
+  bool in_nonneg = false;
+};
+
+/// Compile-time options of a plan.
+struct EngineOptions {
+  /// Kernel-backend name ("scalar" / "simd" / "int8" / a registered
+  /// plugin); "" resolves the process default (ALF_BACKEND env or best
+  /// available). The registry is consulted exactly once, here: the plan
+  /// holds the backend pointer for its lifetime. Selecting "int8" also
+  /// lowers every conv/linear step to the quantized datapath, e.g.
+  ///   Engine::compile(model, batch, c, h, w, {.backend = "int8"});
+  std::string backend;
+  /// Quantization grid width for int8-lowered steps (2..8; the paper's
+  /// Table 3 bit-width sweeps narrow this while storage stays int8).
+  int bits = 8;
 };
 
 /// Compiled model: flat step list + workspace arena. Movable, not copyable
@@ -98,6 +140,12 @@ class Engine {
   /// cannot lower (e.g. AlfConv with BN_inter) fail with a CheckError.
   static Engine compile(const Sequential& model, size_t batch, size_t in_c,
                         size_t in_h, size_t in_w);
+
+  /// As above with explicit options: kernel backend (resolved against the
+  /// registry once, at compile time) and, for backend "int8", the
+  /// quantization bit width of the lowered conv/linear steps.
+  static Engine compile(const Sequential& model, size_t batch, size_t in_c,
+                        size_t in_h, size_t in_w, const EngineOptions& opts);
 
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
@@ -138,6 +186,11 @@ class Engine {
   /// Arena base pointer; stable across run() calls (tests assert no growth).
   const float* workspace_data() const { return workspace_.data(); }
   size_t activation_slots() const { return slots_; }
+  /// Kernel backend the plan was compiled against.
+  const kernels::KernelBackend* backend() const { return backend_; }
+  const char* backend_name() const;
+  /// True when conv/linear steps were lowered to the int8 qgemm datapath.
+  bool quantized() const { return quant_; }
 
   /// Human-readable plan: one line per step with fused ops and slots.
   std::string plan_str() const;
@@ -150,6 +203,13 @@ class Engine {
 
   std::vector<Step> steps_;
   std::vector<float> workspace_;
+  std::vector<int8_t> qws_;  ///< int8 activation scratch (quantized plans)
+  std::vector<float> qbs_;   ///< per-image scale/inverse scratch (2 slices
+                             ///< of qbs_sz_ per chunk)
+  size_t qbs_sz_ = 0;        ///< floats per scale slice (max GEMM columns)
+
+  const kernels::KernelBackend* backend_ = nullptr;
+  bool quant_ = false;  ///< conv/linear steps lowered to qgemm
 
   size_t batch_ = 0;
   size_t in_c_ = 0, in_h_ = 0, in_w_ = 0;

@@ -10,6 +10,8 @@
 
 #include <cstddef>
 
+#include "core/check.hpp"
+
 namespace alf {
 
 /// Architecture parameters; defaults reproduce the paper's Eyeriss model.
@@ -32,6 +34,35 @@ struct EyerissConfig {
 
   size_t num_pes() const { return pe_rows * pe_cols; }
 };
+
+/// Derives the energy/capacity tables for a narrower datapath word — the
+/// hardware-side counterpart of the engine's int8 lowering, so Table 3's
+/// bit-width sweeps can be costed on the accelerator model, not just timed
+/// on the CPU (bench_gemm reports both side by side). Relative to the
+/// 16-bit baseline words:
+///   - per-word access energies scale linearly with word bits (wires and
+///     sense amps moved per access shrink proportionally),
+///   - RF/GB capacities in *words* grow by 16/bits (same SRAM bytes),
+///   - sustained bandwidths in words/cycle grow by 16/bits (same
+///     bytes/cycle) — which is exactly where a measured int8 GEMM speedup
+///     shows up on the CPU too.
+/// bits must be in [2, 16].
+inline EyerissConfig scaled_to_bits(const EyerissConfig& base, int bits) {
+  ALF_CHECK(bits >= 2 && bits <= 16) << "scaled_to_bits: bits=" << bits;
+  EyerissConfig c = base;
+  const double ratio = static_cast<double>(bits) / 16.0;
+  c.e_rf = base.e_rf * ratio;
+  c.e_noc = base.e_noc * ratio;
+  c.e_gb = base.e_gb * ratio;
+  c.e_dram = base.e_dram * ratio;
+  c.rf_words_per_pe =
+      static_cast<size_t>(static_cast<double>(base.rf_words_per_pe) / ratio);
+  c.gb_words =
+      static_cast<size_t>(static_cast<double>(base.gb_words) / ratio);
+  c.dram_bw = base.dram_bw / ratio;
+  c.gb_bw = base.gb_bw / ratio;
+  return c;
+}
 
 /// Mapper search controls (paper: exhaustive, 100K timeout, 1K victory).
 ///

@@ -1,0 +1,100 @@
+#include "kernels/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/check.hpp"
+
+namespace alf::kernels {
+
+namespace {
+
+struct Registry {
+  std::mutex m;
+  std::vector<const KernelBackend*> backends;
+
+  Registry() {
+    // Built-ins register eagerly so lookup order (and backend_names()) is
+    // deterministic: scalar, simd, int8. No static-initialization-order
+    // hazard — each factory owns a function-local static.
+    backends.push_back(scalar_backend());
+    if (simd_backend() != nullptr) backends.push_back(simd_backend());
+    backends.push_back(int8_backend());
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Cached default; nullptr = not yet resolved. set_default_backend() stores
+// directly (or resets to nullptr for re-resolution).
+std::atomic<const KernelBackend*> g_default{nullptr};
+
+const KernelBackend* find_locked(Registry& r, const std::string& name) {
+  // Reverse scan: later registrations shadow built-ins of the same name.
+  for (auto it = r.backends.rbegin(); it != r.backends.rend(); ++it)
+    if (name == (*it)->name) return *it;
+  return nullptr;
+}
+
+const KernelBackend* resolve_default() {
+  const char* env = std::getenv("ALF_BACKEND");
+  if (env != nullptr && env[0] != '\0') {
+    const KernelBackend* be = find_backend(env);
+    ALF_CHECK(be != nullptr)
+        << "ALF_BACKEND=" << env << ": unknown kernel backend";
+    return be;
+  }
+  const KernelBackend* simd = find_backend("simd");
+  return simd != nullptr ? simd : scalar_backend();
+}
+
+}  // namespace
+
+void register_backend(const KernelBackend* backend) {
+  ALF_CHECK(backend != nullptr && backend->name != nullptr &&
+            backend->gemm != nullptr && backend->qgemm != nullptr)
+      << "register_backend: incomplete backend";
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.m);
+  r.backends.push_back(backend);
+}
+
+const KernelBackend* find_backend(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.m);
+  return find_locked(r, name);
+}
+
+std::vector<std::string> backend_names() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.m);
+  std::vector<std::string> names;
+  names.reserve(r.backends.size());
+  for (const KernelBackend* be : r.backends) names.emplace_back(be->name);
+  return names;
+}
+
+const KernelBackend* default_backend() {
+  const KernelBackend* be = g_default.load(std::memory_order_acquire);
+  if (be != nullptr) return be;
+  be = resolve_default();
+  g_default.store(be, std::memory_order_release);
+  return be;
+}
+
+void set_default_backend(const std::string& name) {
+  if (name.empty()) {
+    g_default.store(nullptr, std::memory_order_release);
+    return;
+  }
+  const KernelBackend* be = find_backend(name);
+  ALF_CHECK(be != nullptr) << "set_default_backend: unknown backend '" << name
+                           << "'";
+  g_default.store(be, std::memory_order_release);
+}
+
+}  // namespace alf::kernels

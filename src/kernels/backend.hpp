@@ -1,0 +1,128 @@
+// Dispatchable kernel-backend layer: the compute substrate behind every
+// GEMM in the library.
+//
+// tensor/ops.cpp::gemm/gemm_view, the nn/ layers and the engine's two conv
+// strategies all route their matrix products through one KernelBackend
+// chosen at startup (or, for a compiled Engine, once at Engine::compile
+// time). A backend bundles the two entry points the library needs:
+//
+//   gemm   — f32 C = alpha * op(A) * op(B) + beta * C over row-major views
+//            (the gemm_view shape: lda/ldb/ldc strides, trans flags).
+//   qgemm  — real int8 GEMM: pre-quantized A/B int8 panels with symmetric
+//            per-tensor scales and zero-points, int32 accumulation,
+//            requantized to float on store.
+//
+// Three implementations ship in-tree (see the matching .cpp files):
+//   scalar — the cache-blocked kernel the library grew up with; always
+//            registered, the portable fallback and the equivalence oracle.
+//   simd   — explicitly vectorized 4x16 inner tile over portable GCC/Clang
+//            vector extensions (no intrinsics), with A-panel packing so the
+//            trans_a/trans_b variants read contiguously. Compiled with
+//            wider vector ISA flags when CMake's ALF_SIMD is ON; selected
+//            at runtime only if the CPU supports what was compiled in.
+//   int8   — the quantized datapath: qgemm is the real kernel; its f32
+//            gemm forwards to the best float backend so non-lowered steps
+//            (pool/add epilogues, odd layers) keep working.
+//
+// Selection: set_default_backend("name") wins, else the ALF_BACKEND
+// environment variable, else the best available (simd when usable, scalar
+// otherwise). Adding an ISA or dtype is a one-file drop-in: implement the
+// two entry points and register_backend() it.
+//
+// Every backend must be deterministic: for a fixed backend the result is
+// bit-identical for any thread count (accumulation order per C element
+// depends only on the k-block grid, never on the thread partition).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alf::kernels {
+
+/// Quantization metadata of one qgemm call. The in-tree scheme is
+/// symmetric (zero-points are 0); the zp fields exist so an asymmetric
+/// backend drops in without an interface change. Scales are per-tensor by
+/// default; the optional pointer fields refine them per output channel —
+/// per-row of A (how the engine quantizes BN-folded conv weights, whose
+/// rows carry very different ranges) or per-column of B (transposed linear
+/// weights). Requantization happens on store, so the integer accumulation
+/// never sees scales.
+struct QgemmParams {
+  float a_scale = 1.0f;  ///< float value of one integer step of A
+  float b_scale = 1.0f;  ///< float value of one integer step of B
+  int32_t a_zp = 0;      ///< zero-point of A (0 for symmetric)
+  int32_t b_zp = 0;      ///< zero-point of B (0 for symmetric)
+  /// Optional per-row scales of A (length M); overrides a_scale.
+  const float* a_scales = nullptr;
+  /// Optional per-column scales of B (length N); overrides b_scale.
+  const float* b_scales = nullptr;
+};
+
+/// One kernel backend: a named pair of GEMM entry points. Instances are
+/// immutable statics with program lifetime; the registry stores pointers.
+struct KernelBackend {
+  const char* name;
+
+  /// True when this backend IS a quantized datapath: selecting it asks the
+  /// engine to lower conv/linear steps to qgemm. Keyed here (not on the
+  /// name) so an alternative quantized backend — e.g. a VNNI-class qgemm —
+  /// registers under its own name and still triggers the lowering.
+  bool quantized_datapath = false;
+
+  /// f32 GEMM over row-major views — the gemm_view contract: op(A) is
+  /// [M, K] with leading dimension lda (of the *stored* matrix), op(B) is
+  /// [K, N] with ldb, C is an [M, N] block with ldc >= n.
+  /// C = alpha * op(A) * op(B) + beta * C.
+  void (*gemm)(const float* a, size_t lda, bool trans_a, const float* b,
+               size_t ldb, bool trans_b, float* c, size_t ldc, size_t m,
+               size_t k, size_t n, float alpha, float beta);
+
+  /// int8 GEMM: A is an [M, K] row-major int8 panel with leading dimension
+  /// lda, B a [K, N] row-major int8 panel with ldb (both pre-quantized by
+  /// the caller; see quant/quantize.hpp). Accumulates
+  /// sum_k (A[i,k] - a_zp) * (B[k,j] - b_zp) in int32 and stores
+  /// C[i,j] = acc * a_scale * b_scale as float (overwriting C).
+  void (*qgemm)(const int8_t* a, size_t lda, const int8_t* b, size_t ldb,
+                float* c, size_t ldc, size_t m, size_t k, size_t n,
+                const QgemmParams& p);
+};
+
+/// Registers a backend under backend->name (program-lifetime pointer).
+/// Later registrations of an existing name shadow earlier ones, so a test
+/// or plugin can override a built-in. Thread-safe.
+void register_backend(const KernelBackend* backend);
+
+/// Looks up a backend by name; nullptr if absent. The three built-ins
+/// ("scalar", "simd", "int8") are always present, except "simd" on hosts
+/// whose CPU cannot execute the instructions it was compiled with.
+const KernelBackend* find_backend(const std::string& name);
+
+/// Registered backend names, registration order.
+std::vector<std::string> backend_names();
+
+/// The process-wide default used by tensor/ops.cpp and the nn/ layers:
+/// set_default_backend() override, else $ALF_BACKEND, else "simd" when
+/// available, else "scalar". Resolved once and cached (cheap atomic read
+/// afterwards — this sits under every small GEMM the engine issues).
+const KernelBackend* default_backend();
+
+/// Overrides the default ("" re-resolves from the environment). Throws
+/// CheckError for an unknown name. Intended for tests and benchmarks.
+void set_default_backend(const std::string& name);
+
+// --- Built-in backends (defined one per .cpp file) -------------------------
+
+/// The moved cache-blocked scalar kernel; never nullptr.
+const KernelBackend* scalar_backend();
+
+/// Packed+vectorized backend; nullptr when the host CPU cannot run the
+/// instruction set it was compiled for.
+const KernelBackend* simd_backend();
+
+/// Quantized backend: real int8 qgemm; f32 gemm forwards to the best float
+/// backend. Never nullptr.
+const KernelBackend* int8_backend();
+
+}  // namespace alf::kernels

@@ -1,0 +1,62 @@
+// The "int8" backend: a real quantized GEMM, not fake-quant floats.
+//
+// qgemm multiplies pre-quantized int8 panels (symmetric per-tensor scheme;
+// see quant/quantize.hpp for the packing helpers) accumulating in int32
+// and requantizes to float on store: C[i,j] = a_scale * b_scale *
+// sum_k (A[i,k] - a_zp) * (B[k,j] - b_zp). Integer accumulation is exact,
+// so the result is independent of any blocking or thread partition by
+// construction — the determinism contract comes for free.
+//
+// Overflow headroom: |a - zp|, |b - zp| <= 255, so the int32 accumulator
+// holds k up to ~2^15 exactly even in the asymmetric worst case; the
+// engine's largest reduction (Ci*K*K of a wide conv) is orders of
+// magnitude below that.
+//
+// The backend's f32 gemm entry forwards to the best float backend so a
+// plan compiled with backend="int8" still runs its non-quantized steps
+// (pooling epilogues, repair passes, any layer the lowering keeps in
+// float) at full speed.
+#include "kernels/internal.hpp"
+
+namespace alf::kernels {
+
+namespace {
+
+void gemm_forward_best_float(const float* a, size_t lda, bool trans_a,
+                             const float* b, size_t ldb, bool trans_b,
+                             float* c, size_t ldc, size_t m, size_t k,
+                             size_t n, float alpha, float beta) {
+  const KernelBackend* be = simd_backend();
+  (be != nullptr ? be->gemm : &detail::gemm_scalar)(a, lda, trans_a, b, ldb,
+                                                    trans_b, c, ldc, m, k, n,
+                                                    alpha, beta);
+}
+
+}  // namespace
+
+namespace detail {
+
+// Baseline-ISA instantiation of the shared body; the simd backend carries
+// a second instantiation compiled with wider vector flags (identical
+// integer math, so the two are bit-equal).
+void qgemm_int8(const int8_t* a, size_t lda, const int8_t* b, size_t ldb,
+                float* c, size_t ldc, size_t m, size_t k, size_t n,
+                const QgemmParams& p) {
+  qgemm_int8_body(a, lda, b, ldb, c, ldc, m, k, n, p);
+}
+
+}  // namespace detail
+
+const KernelBackend* int8_backend() {
+  // Prefer the simd TU's wide-ISA instantiation of the same integer body
+  // when the host can run it.
+  static const KernelBackend be{.name = "int8",
+                                .quantized_datapath = true,
+                                .gemm = &gemm_forward_best_float,
+                                .qgemm = simd_backend() != nullptr
+                                             ? simd_backend()->qgemm
+                                             : &detail::qgemm_int8};
+  return &be;
+}
+
+}  // namespace alf::kernels

@@ -1,0 +1,247 @@
+// The "simd" backend: explicitly vectorized GEMM with panel packing.
+//
+// The inner kernel is a 4x16 register tile — four C rows times two 8-float
+// vectors — expressed in portable GCC/Clang vector extensions (no
+// intrinsics): the k-loop broadcasts one packed A element per row and FMAs
+// it against two B vectors, keeping 8 vector accumulators live. A panels
+// are packed per (row-block, k-block) into MR-interleaved strips, so both
+// orientations of A (and in particular the strided trans_a reads of the
+// backward pass) stream contiguously through the kernel; trans_b packs the
+// active B strip once per k-block for the same reason.
+//
+// Blocking mirrors the scalar backend: a global k-block grid fixes the
+// accumulation order of every C element independent of the thread
+// partition, so results are bit-identical for any thread count. The row
+// range is the only parallel axis.
+//
+// Build/ISA: CMake's ALF_SIMD=ON compiles this file with wider vector
+// flags (-mavx2 -mfma) when the compiler supports them; simd_backend()
+// then gates registration on runtime CPU support, so a binary built on a
+// new machine still boots on an old one (the registry falls back to
+// "scalar"). Without vector extensions (non-GCC/Clang) the backend is
+// absent entirely.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "kernels/internal.hpp"
+
+namespace alf::kernels {
+
+#if defined(__GNUC__) || defined(__clang__)
+
+namespace {
+
+typedef float v8 __attribute__((vector_size(32)));
+
+constexpr size_t kMr = 4;    // C rows per register tile
+constexpr size_t kNr = 16;   // C cols per register tile (two v8)
+constexpr size_t kMc = 64;   // rows packed per A block (~64KB with kKc)
+constexpr size_t kKc = 256;  // k extent of one block (global grid)
+
+// Below this many multiply-adds the packing overhead outweighs the wider
+// kernel; delegate to the scalar backend (also covers degenerate shapes).
+constexpr size_t kScalarCutoffMadds = size_t{1} << 12;
+
+// Same per-worker arithmetic floor as the scalar backend.
+constexpr size_t kMaddsPerWorker = size_t{1} << 16;
+
+inline v8 loadu(const float* p) {
+  v8 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void storeu(float* p, v8 v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+inline v8 splat(float s) { return v8{s, s, s, s, s, s, s, s}; }
+
+/// Packs rows [i0, i0+rows) x k-range [k0, k0+kb) of op(A) into kMr-wide
+/// panels: dst panel p holds rows i0+p*kMr.., laid out [kk][r] so the
+/// microkernel reads one contiguous kMr group per k step. Short panels are
+/// zero-padded (the padded lanes are computed and discarded).
+void pack_a(const float* a, size_t lda, bool trans_a, size_t i0, size_t rows,
+            size_t k0, size_t kb, float* dst) {
+  for (size_t p = 0; p < rows; p += kMr) {
+    const size_t pr = std::min(kMr, rows - p);
+    float* panel = dst + p * kb;  // each panel is kb * kMr floats
+    for (size_t kk = 0; kk < kb; ++kk) {
+      for (size_t r = 0; r < kMr; ++r) {
+        const size_t i = i0 + p + r;
+        panel[kk * kMr + r] =
+            r < pr ? (trans_a ? a[(k0 + kk) * lda + i] : a[i * lda + k0 + kk])
+                   : 0.0f;
+      }
+    }
+  }
+}
+
+/// The register tile: C[0:pr, j:j+16] += alpha * panel * B. `b` points at
+/// the first B element of column j in the active k-block (leading dimension
+/// ldb between k steps).
+inline void micro_4x16(const float* panel, size_t kb, const float* b,
+                       size_t ldb, float alpha, float* c, size_t ldc,
+                       size_t pr) {
+  v8 acc[kMr][2] = {};
+  const float* bp = b;
+  for (size_t kk = 0; kk < kb; ++kk) {
+    const v8 b0 = loadu(bp);
+    const v8 b1 = loadu(bp + 8);
+    bp += ldb;
+    const float* ap = panel + kk * kMr;
+    for (size_t r = 0; r < kMr; ++r) {
+      const v8 av = splat(ap[r]);
+      acc[r][0] += av * b0;
+      acc[r][1] += av * b1;
+    }
+  }
+  const v8 va = splat(alpha);
+  for (size_t r = 0; r < pr; ++r) {
+    float* crow = c + r * ldc;
+    storeu(crow, loadu(crow) + va * acc[r][0]);
+    storeu(crow + 8, loadu(crow + 8) + va * acc[r][1]);
+  }
+}
+
+/// Column tail (n % 16): scalar per-column accumulation over the same
+/// packed panel, preserving the per-element k order of the vector path.
+inline void micro_tail(const float* panel, size_t kb, const float* b,
+                       size_t ldb, float alpha, float* c, size_t ldc,
+                       size_t pr, size_t cols) {
+  for (size_t j = 0; j < cols; ++j) {
+    float acc[kMr] = {};
+    const float* bp = b + j;
+    for (size_t kk = 0; kk < kb; ++kk) {
+      const float bv = bp[kk * ldb];
+      const float* ap = panel + kk * kMr;
+      for (size_t r = 0; r < kMr; ++r) acc[r] += ap[r] * bv;
+    }
+    for (size_t r = 0; r < pr; ++r) c[r * ldc + j] += alpha * acc[r];
+  }
+}
+
+void gemm_simd(const float* pa, size_t lda, bool trans_a, const float* pb,
+               size_t ldb, bool trans_b, float* pc, size_t ldc, size_t m,
+               size_t k, size_t n, float alpha, float beta) {
+  if (m * k * n < kScalarCutoffMadds || n < kNr / 2 || k == 0) {
+    detail::gemm_scalar(pa, lda, trans_a, pb, ldb, trans_b, pc, ldc, m, k, n,
+                        alpha, beta);
+    return;
+  }
+
+  const size_t madds_per_row = std::max<size_t>(1, k * n);
+  const size_t min_rows = std::max<size_t>(1, kMaddsPerWorker / madds_per_row);
+  const bool inline_run =
+      in_parallel_region() || m <= min_rows || parallel_threads() <= 1;
+
+  // A parallel trans_b call would otherwise re-transpose the same B strip
+  // once per worker per k-block (each worker's process_rows walks every
+  // k-block); transpose the whole matrix once up front instead and run the
+  // fast non-transposed path. Inline calls keep the cheaper per-k-block
+  // strip packing below.
+  thread_local std::vector<float> btrans;
+  if (trans_b && !inline_run) {
+    btrans.resize(k * n);
+    for (size_t j = 0; j < n; ++j) {
+      const float* bcol = pb + j * ldb;
+      for (size_t kk = 0; kk < k; ++kk) btrans[kk * n + j] = bcol[kk];
+    }
+    pb = btrans.data();
+    ldb = n;
+    trans_b = false;
+  }
+
+  const auto process_rows = [&](size_t r0, size_t r1) {
+    // Per-thread packing scratch, persistent across calls (pool workers
+    // live for the process): an A block and, for trans_b, the active
+    // [kb x n] B strip.
+    thread_local std::vector<float> apack;
+    thread_local std::vector<float> bpack;
+    apack.resize(kMc * kKc);
+
+    for (size_t i = r0; i < r1; ++i) {
+      float* crow = pc + i * ldc;
+      if (beta == 0.0f) {
+        std::memset(crow, 0, n * sizeof(float));
+      } else if (beta != 1.0f) {
+        for (size_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    for (size_t k0 = 0; k0 < k; k0 += kKc) {
+      const size_t kb = std::min(k, k0 + kKc) - k0;
+      const float* bsrc;
+      size_t ldb_eff;
+      if (trans_b) {
+        // B is stored [N, K]: transpose the active strip once so the
+        // kernel streams it row-major like the non-transposed case.
+        bpack.resize(kb * n);
+        for (size_t j = 0; j < n; ++j) {
+          const float* bcol = pb + j * ldb + k0;
+          for (size_t kk = 0; kk < kb; ++kk) bpack[kk * n + j] = bcol[kk];
+        }
+        bsrc = bpack.data();
+        ldb_eff = n;
+      } else {
+        bsrc = pb + k0 * ldb;
+        ldb_eff = ldb;
+      }
+      for (size_t i0 = r0; i0 < r1; i0 += kMc) {
+        const size_t rows = std::min(r1, i0 + kMc) - i0;
+        pack_a(pa, lda, trans_a, i0, rows, k0, kb, apack.data());
+        for (size_t p = 0; p < rows; p += kMr) {
+          const size_t pr = std::min(kMr, rows - p);
+          const float* panel = apack.data() + p * kb;
+          float* cpan = pc + (i0 + p) * ldc;
+          size_t j = 0;
+          for (; j + kNr <= n; j += kNr)
+            micro_4x16(panel, kb, bsrc + j, ldb_eff, alpha, cpan + j, ldc, pr);
+          if (j < n)
+            micro_tail(panel, kb, bsrc + j, ldb_eff, alpha, cpan + j, ldc, pr,
+                       n - j);
+        }
+      }
+    }
+  };
+
+  if (inline_run) {
+    process_rows(0, m);
+    return;
+  }
+  parallel_for_chunked(0, m, process_rows, min_rows);
+}
+
+/// The shared int8 body instantiated under this file's (possibly wider)
+/// ISA flags — same exact integer math as detail::qgemm_int8, usually
+/// auto-vectorized much harder.
+void qgemm_simd(const int8_t* a, size_t lda, const int8_t* b, size_t ldb,
+                float* c, size_t ldc, size_t m, size_t k, size_t n,
+                const QgemmParams& p) {
+  detail::qgemm_int8_body(a, lda, b, ldb, c, ldc, m, k, n, p);
+}
+
+/// True when the host CPU can execute the ISA this file was compiled for.
+bool cpu_supported() {
+#if defined(__AVX2__) && defined(__x86_64__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return true;  // baseline vector extensions only
+#endif
+}
+
+}  // namespace
+
+const KernelBackend* simd_backend() {
+  if (!cpu_supported()) return nullptr;
+  static const KernelBackend be{
+      .name = "simd", .gemm = &gemm_simd, .qgemm = &qgemm_simd};
+  return &be;
+}
+
+#else  // !(__GNUC__ || __clang__)
+
+const KernelBackend* simd_backend() { return nullptr; }
+
+#endif
+
+}  // namespace alf::kernels

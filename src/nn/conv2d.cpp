@@ -4,6 +4,7 @@
 
 #include "core/check.hpp"
 #include "core/parallel.hpp"
+#include "kernels/backend.hpp"
 
 namespace alf {
 
@@ -23,10 +24,13 @@ Conv2d::Conv2d(std::string name, size_t in_c, size_t out_c, size_t kernel,
 
 void conv2d_image_forward(const float* x_img, const float* w_mat,
                           const float* bias, Act act, const ConvGeom& g,
-                          size_t out_c, float* col_scratch, float* out_img) {
+                          size_t out_c, float* col_scratch, float* out_img,
+                          const kernels::KernelBackend* be) {
+  if (be == nullptr) be = kernels::default_backend();
   im2col_view(x_img, g, col_scratch);
-  gemm_view(w_mat, g.col_rows(), false, col_scratch, g.col_cols(), false,
-            out_img, g.col_cols(), out_c, g.col_rows(), g.col_cols());
+  be->gemm(w_mat, g.col_rows(), false, col_scratch, g.col_cols(), false,
+           out_img, g.col_cols(), out_c, g.col_rows(), g.col_cols(), 1.0f,
+           0.0f);
   bias_act_inplace(out_img, out_c, g.col_cols(), bias, act);
 }
 
@@ -47,6 +51,8 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w_mat, const ConvGeom& g,
   // Data-parallel over the batch; each worker owns per-image im2col scratch
   // and reads/writes the batch tensors in place (no staging copies). The
   // inner GEMMs stay serial (few rows), so there is no nested parallelism.
+  // The backend is resolved once for the whole batch.
+  const kernels::KernelBackend* be = kernels::default_backend();
   parallel_for_chunked(
       0, n,
       [&](size_t lo, size_t hi) {
@@ -54,7 +60,7 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w_mat, const ConvGeom& g,
         for (size_t i = lo; i < hi; ++i) {
           conv2d_image_forward(x.data() + i * in_sz, w_mat.data(),
                                /*bias=*/nullptr, Act::kNone, g, out_c,
-                               col.data(), out.data() + i * out_sz);
+                               col.data(), out.data() + i * out_sz, be);
         }
       },
       /*min_per_worker=*/1);
@@ -76,6 +82,7 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& w_mat,
 
   // Data-parallel over the batch; each worker accumulates its weight
   // gradient locally and merges under a mutex (cheap vs. the GEMMs).
+  const kernels::KernelBackend* be = kernels::default_backend();
   std::mutex grad_w_mutex;
   parallel_for_chunked(
       0, n,
@@ -90,13 +97,14 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& w_mat,
           const float* gout_i = grad_out.data() + i * out_sz;
           if (grad_w != nullptr) {
             // dW += gout_i [Co, HoWo] * col^T [HoWo, CiKK]
-            gemm_view(gout_i, ho * wo, false, col.data(), g.col_cols(), true,
-                      local_gw.data(), g.col_rows(), out_c, ho * wo,
-                      g.col_rows(), 1.0f, 1.0f);
+            be->gemm(gout_i, ho * wo, false, col.data(), g.col_cols(), true,
+                     local_gw.data(), g.col_rows(), out_c, ho * wo,
+                     g.col_rows(), 1.0f, 1.0f);
           }
           // dcol = W^T [CiKK, Co] * gout_i [Co, HoWo]
-          gemm_view(w_mat.data(), g.col_rows(), true, gout_i, ho * wo, false,
-                    gcol.data(), ho * wo, g.col_rows(), out_c, ho * wo);
+          be->gemm(w_mat.data(), g.col_rows(), true, gout_i, ho * wo, false,
+                   gcol.data(), ho * wo, g.col_rows(), out_c, ho * wo, 1.0f,
+                   0.0f);
           // grad_x is zero-initialized and each image slice is owned by
           // exactly one worker, so col2im accumulates into it directly.
           col2im(gcol, g, grad_x, i);

@@ -12,6 +12,10 @@
 
 namespace alf {
 
+namespace kernels {
+struct KernelBackend;
+}  // namespace kernels
+
 /// Plain convolution layer.
 class Conv2d : public Layer {
  public:
@@ -54,10 +58,13 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w_mat, const ConvGeom& g,
 /// [Co, Ci*K*K], then applies the epilogue out = act(out + bias) in place.
 /// `bias` may be nullptr. Stateless and allocation-free — this is the
 /// kernel both the layer path (bias=nullptr, act=kNone) and the engine's
-/// fused conv+BN+ReLU steps run.
+/// fused conv+BN+ReLU steps run. `be` pins the kernel backend for the GEMM
+/// (nullptr = the process default) — the engine passes its compile-time
+/// selection so a plan never mixes backends.
 void conv2d_image_forward(const float* x_img, const float* w_mat,
                           const float* bias, Act act, const ConvGeom& g,
-                          size_t out_c, float* col_scratch, float* out_img);
+                          size_t out_c, float* col_scratch, float* out_img,
+                          const kernels::KernelBackend* be = nullptr);
 
 /// Gradients of conv2d_forward. Accumulates into grad_w (shape of w_mat);
 /// returns dL/dx. Pass grad_w = nullptr to skip the weight gradient.

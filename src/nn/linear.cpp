@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include "core/check.hpp"
+#include "kernels/backend.hpp"
 #include "tensor/ops.hpp"
 
 namespace alf {
@@ -17,10 +18,11 @@ Linear::Linear(std::string name, size_t in_features, size_t out_features,
 
 void linear_forward_view(const float* x, size_t n, size_t in_features,
                          const float* w, size_t out_features, const float* b,
-                         Act act, float* y) {
+                         Act act, float* y, const kernels::KernelBackend* be) {
+  if (be == nullptr) be = kernels::default_backend();
   // y = x [n, in] * W^T [in, out]
-  gemm_view(x, in_features, false, w, in_features, true, y, out_features, n,
-            in_features, out_features);
+  be->gemm(x, in_features, false, w, in_features, true, y, out_features, n,
+           in_features, out_features, 1.0f, 0.0f);
   if (b != nullptr) {
     for (size_t i = 0; i < n; ++i) {
       float* row = y + i * out_features;

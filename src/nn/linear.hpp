@@ -7,12 +7,18 @@
 
 namespace alf {
 
+namespace kernels {
+struct KernelBackend;
+}  // namespace kernels
+
 /// Free fully-connected kernel used by Linear::forward and the engine:
 /// y = act(x * W^T + b) with x [n, in], W [out, in], b [out] (may be
-/// nullptr), y [n, out]. Allocation-free; y may alias an arena slot.
+/// nullptr), y [n, out]. Allocation-free; y may alias an arena slot. `be`
+/// pins the kernel backend for the GEMM (nullptr = the process default).
 void linear_forward_view(const float* x, size_t n, size_t in_features,
                          const float* w, size_t out_features, const float* b,
-                         Act act, float* y);
+                         Act act, float* y,
+                         const kernels::KernelBackend* be = nullptr);
 
 /// y = x * W^T + b, x: [N, in], W: [out, in], b: [out].
 class Linear : public Layer {

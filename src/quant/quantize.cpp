@@ -1,5 +1,6 @@
 #include "quant/quantize.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/check.hpp"
@@ -31,6 +32,35 @@ double quantize_dequantize(Tensor& t, const QuantParams& params) {
     t.at(i) = deq;
   }
   return t.numel() > 0 ? err / static_cast<double>(t.numel()) : 0.0;
+}
+
+PackedInt8 quantize_tensor(const Tensor& t, int bits) {
+  ALF_CHECK(bits >= 2 && bits <= 8) << "packed int8 export: bits=" << bits;
+  PackedInt8 out;
+  out.shape = t.shape();
+  out.params = calibrate_quant(t, bits);
+  out.data.resize(t.numel());
+  quantize_view(t.data(), t.numel(), out.params, out.data.data());
+  return out;
+}
+
+void quantize_view(const float* src, size_t n, const QuantParams& params,
+                   int8_t* dst) {
+  ALF_CHECK(params.scale > 0.0f);
+  ALF_CHECK(params.bits >= 2 && params.bits <= 8) << "bits=" << params.bits;
+  const float inv = 1.0f / params.scale;
+  const float qmax = static_cast<float>((1 << (params.bits - 1)) - 1);
+  for (size_t i = 0; i < n; ++i) {
+    float q = std::round(src[i] * inv);
+    q = std::max(-qmax, std::min(qmax, q));
+    dst[i] = static_cast<int8_t>(q);
+  }
+}
+
+float max_abs_view(const float* src, size_t n) {
+  float m = 0.0f;
+  for (size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(src[i]));
+  return m;
 }
 
 ModelQuantStats quantize_model_weights(Sequential& model, int bits) {

@@ -3,11 +3,21 @@
 // conjunction with the proposed ALF method"; this module demonstrates that
 // claim (see tests/test_quant.cpp and examples/compare_pruners.cpp).
 //
-// Scheme: uniform symmetric fake-quantization. Weights are mapped to the
-// integer grid [-2^(bits-1)+1, 2^(bits-1)-1] with a per-tensor max-abs
-// scale and immediately de-quantized, so the rest of the float pipeline is
-// unchanged while the values carry exactly `bits` bits of information.
+// Scheme: uniform symmetric quantization to the integer grid
+// [-2^(bits-1)+1, 2^(bits-1)-1] with a per-tensor max-abs scale. Two
+// consumers share it:
+//   - fake-quant (quantize_dequantize / quantize_model_weights): values are
+//     rounded to the grid and immediately de-quantized, so the float
+//     pipeline is unchanged while weights carry exactly `bits` bits.
+//   - packed export (quantize_tensor / quantize_view): values are rounded
+//     to the grid and *kept* as int8 panels + scale, feeding the kernel
+//     layer's real int8 qgemm (kernels/backend.hpp) — this is how a
+//     compiled Engine lowers whole conv/linear steps to integer
+//     arithmetic (Engine::compile with backend="int8").
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "nn/sequential.hpp"
 #include "tensor/tensor.hpp"
@@ -41,5 +51,32 @@ struct ModelQuantStats {
 /// Fake-quantizes every task parameter of the model (conv/FC weights and
 /// biases; BatchNorm scale/shift are left in float, the usual practice).
 ModelQuantStats quantize_model_weights(Sequential& model, int bits);
+
+/// A tensor exported to the packed int8 form the kernel layer's qgemm
+/// consumes: row-major int8 values on the symmetric grid, one per source
+/// element, plus the per-tensor scale. `bits` <= 8 narrows the grid (Table
+/// 3 bit-width sweeps) while the storage stays int8.
+struct PackedInt8 {
+  std::vector<int8_t> data;
+  Shape shape;
+  QuantParams params;  ///< scale chosen by max-abs calibration
+
+  /// De-quantized float value of element i (exact: grid * scale).
+  float dequant(size_t i) const {
+    return static_cast<float>(data[i]) * params.scale;
+  }
+};
+
+/// Calibrates (max-abs symmetric) and packs `t` to int8. bits in [2, 8].
+PackedInt8 quantize_tensor(const Tensor& t, int bits);
+
+/// Raw packing core: rounds `n` floats onto the symmetric grid of
+/// `params` and stores them as int8. Used per-run by the engine to
+/// quantize activations into arena scratch without allocating.
+void quantize_view(const float* src, size_t n, const QuantParams& params,
+                   int8_t* dst);
+
+/// Max-abs over a raw range (the calibration statistic for quantize_view).
+float max_abs_view(const float* src, size_t n);
 
 }  // namespace alf

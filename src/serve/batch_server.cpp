@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,16 @@ void BatchServer::submit(Tensor x, Callback done) {
   {
     std::lock_guard<std::mutex> lk(m_);
     ALF_CHECK(!stop_) << "BatchServer: submit after stop";
+    if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
+      // Fail fast under overload: counting happens under the same lock, so
+      // stats().rejected is exact, and the request is never owned by the
+      // server (no callback, nothing to drain).
+      ++stats_.rejected;
+      throw QueueFullError("BatchServer: queue full (" +
+                           std::to_string(queue_.size()) + " of max " +
+                           std::to_string(cfg_.max_queue) +
+                           " requests queued)");
+    }
     queue_.push_back(Request{std::move(x), n, std::move(done)});
     queued_images_ += n;
   }

@@ -17,6 +17,12 @@
 //     request's completion callback (std::future via the other submit()
 //     overload). Callbacks run on the dispatcher thread; keep them light.
 //
+// Admission control: Config::max_queue bounds the backlog. When the queue
+// already holds that many requests, submit() fails fast with QueueFullError
+// (a typed error, so callers distinguish overload — retry/shed upstream —
+// from misuse, which stays CheckError). 0 = unbounded, the pre-existing
+// behavior.
+//
 // stop() (and the destructor) drains every queued request before joining,
 // so no accepted request is ever dropped. Submissions after stop() fail
 // with CheckError.
@@ -28,11 +34,22 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "engine/engine.hpp"
 
 namespace alf {
+
+/// Typed overload signal: submit() found the queue at Config::max_queue.
+/// Deliberately NOT a CheckError — overload is an operating condition the
+/// caller handles (shed, retry with backoff, degrade), not a programming
+/// error.
+class QueueFullError : public std::runtime_error {
+ public:
+  explicit QueueFullError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Dispatch counters, aggregated under the queue lock at batch-formation
 /// time (so they are final for a request as soon as its result is
@@ -43,6 +60,7 @@ struct ServeStats {
   size_t batches = 0;       ///< engine invocations
   size_t full_batches = 0;  ///< invocations that filled Engine::batch()
   size_t max_fill = 0;      ///< largest images-per-invocation seen
+  size_t rejected = 0;      ///< submits refused by admission control
 
   /// Mean images per engine invocation (0 before the first dispatch).
   double avg_fill() const {
@@ -60,6 +78,11 @@ class BatchServer {
     /// one request. 0 dispatches whatever is queued immediately (lowest
     /// lone-request latency, least batching).
     uint64_t max_wait_us = 200;
+    /// Admission control: maximum requests the queue may hold. A submit()
+    /// arriving at a full queue fails fast with QueueFullError instead of
+    /// growing the backlog (and its tail latency) without bound. 0 =
+    /// unbounded.
+    size_t max_queue = 0;
     /// Start with the dispatcher paused (see pause()/resume()); used by
     /// tests and replay harnesses to stage a backlog deterministically.
     bool start_paused = false;
@@ -81,10 +104,12 @@ class BatchServer {
 
   /// Enqueues `x` [n, Ci, H, W] (1 <= n <= engine().batch()); `done` fires
   /// once with the logits. Throws CheckError on shape mismatch or after
-  /// stop().
+  /// stop(), QueueFullError when admission control refuses the request
+  /// (Config::max_queue; the callback is never invoked in either case).
   void submit(Tensor x, Callback done);
 
-  /// Future-returning form of submit().
+  /// Future-returning form of submit(). Same error behavior — the errors
+  /// are thrown from the call, never stuffed into the future.
   std::future<Tensor> submit(Tensor x);
 
   /// Suspends batch formation: a batch already packed keeps executing, but

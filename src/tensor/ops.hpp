@@ -1,8 +1,13 @@
 // Tensor kernels: GEMM, im2col/col2im, elementwise helpers.
 //
-// These are the computational substrate of the NN framework. GEMM is
-// parallelized over output rows with deterministic partitioning (each output
-// element is written by exactly one thread), so results are bit-stable.
+// These are the computational substrate of the NN framework. The GEMM entry
+// points forward into the dispatchable kernel-backend layer
+// (kernels/backend.hpp — scalar / simd / int8 implementations selected via
+// ALF_BACKEND or CPU features); im2col/col2im and the elementwise helpers
+// live here. Every backend is parallelized over output rows with
+// deterministic partitioning (each output element is written by exactly one
+// thread and accumulated in a thread-count-independent order), so results
+// are bit-stable.
 #pragma once
 
 #include "tensor/tensor.hpp"
@@ -13,10 +18,10 @@ namespace alf {
 /// A is [M, K] (or [K, M] when trans_a), B is [K, N] (or [N, K] when
 /// trans_b), C must be preallocated to [M, N].
 ///
-/// Cache-blocked over (k, n) and parallelized over blocks of C rows for
-/// large shapes. Per output element the accumulation order is fixed by the
-/// k-block grid (never by the thread partition), so results are
-/// bit-identical for any thread count.
+/// Dispatches to the process-default kernel backend (see
+/// kernels/backend.hpp). Per output element the accumulation order is fixed
+/// by the backend's k-block grid (never by the thread partition), so for a
+/// fixed backend results are bit-identical for any thread count.
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           Tensor& c, float alpha = 1.0f, float beta = 0.0f);
 

@@ -1,9 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "core/check.hpp"
+#include "data/cifar10.hpp"
 #include "data/synthetic.hpp"
 
 namespace alf {
@@ -143,6 +151,113 @@ TEST(DataConfig, ImagenetLikeHasMoreClasses) {
   const DataConfig c = DataConfig::cifar_like();
   const DataConfig i = DataConfig::imagenet_like();
   EXPECT_GT(i.classes, c.classes);
+}
+
+// --- CIFAR-10 binary loader -------------------------------------------------
+
+/// Writes a CIFAR-10-format fixture (1 label byte + 3072 pixel bytes per
+/// record) the test fully controls, and removes it on destruction.
+class CifarFixture {
+ public:
+  explicit CifarFixture(const std::vector<uint8_t>& labels)
+      : path_(std::string(::testing::TempDir()) + "alf_cifar_fixture_" +
+              std::to_string(labels.size()) + ".bin") {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    for (size_t r = 0; r < labels.size(); ++r) {
+      f.put(static_cast<char>(labels[r]));
+      for (size_t i = 0; i < 3072; ++i)
+        f.put(static_cast<char>(pixel(r, i)));
+    }
+  }
+  ~CifarFixture() { std::remove(path_.c_str()); }
+
+  /// Deterministic pixel pattern so the loader's output is predictable.
+  static uint8_t pixel(size_t record, size_t i) {
+    return static_cast<uint8_t>((record * 31 + i * 7) % 256);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Cifar10, LoadsThreeRecordFixture) {
+  const CifarFixture fx({3, 0, 9});
+  const Cifar10Batch batch = load_cifar10_file(fx.path());
+  ASSERT_EQ(batch.labels.size(), size_t{3});
+  EXPECT_FALSE(batch.synthetic);
+  EXPECT_EQ(batch.labels[0], 3);
+  EXPECT_EQ(batch.labels[1], 0);
+  EXPECT_EQ(batch.labels[2], 9);
+  ASSERT_EQ(batch.images.shape(), (Shape{3, 3, 32, 32}));
+  // Bytes land in NCHW order (the format is already channel-planar) scaled
+  // to [-1, 1]: byte b -> b / 127.5 - 1.
+  for (const size_t r : {size_t{0}, size_t{2}}) {
+    for (const size_t i : {size_t{0}, size_t{1}, size_t{1024}, size_t{3071}}) {
+      const float want =
+          static_cast<float>(CifarFixture::pixel(r, i)) / 127.5f - 1.0f;
+      EXPECT_FLOAT_EQ(batch.images.at(r * 3072 + i), want)
+          << "record " << r << " byte " << i;
+      EXPECT_GE(batch.images.at(r * 3072 + i), -1.0f);
+      EXPECT_LE(batch.images.at(r * 3072 + i), 1.0f);
+    }
+  }
+  // max_records caps the read.
+  const Cifar10Batch capped = load_cifar10_file(fx.path(), 2);
+  EXPECT_EQ(capped.labels.size(), size_t{2});
+}
+
+TEST(Cifar10, MalformedFilesFailLoudly) {
+  EXPECT_THROW(load_cifar10_file("/nonexistent/cifar.bin"), CheckError);
+
+  const std::string trunc =
+      std::string(::testing::TempDir()) + "alf_cifar_truncated.bin";
+  {
+    std::ofstream f(trunc, std::ios::binary | std::ios::trunc);
+    for (int i = 0; i < 100; ++i) f.put('\0');  // not a record multiple
+  }
+  EXPECT_THROW(load_cifar10_file(trunc), CheckError);
+  std::remove(trunc.c_str());
+
+  const CifarFixture bad_label({11});  // labels are 0..9
+  EXPECT_THROW(load_cifar10_file(bad_label.path()), CheckError);
+}
+
+TEST(Cifar10, EnvGatedWithSyntheticFallback) {
+  // Hermetic CI never sets the variable: the fallback must produce a
+  // CIFAR-shaped synthetic batch and say so.
+  ASSERT_EQ(unsetenv(kCifar10EnvVar), 0);
+  EXPECT_FALSE(cifar10_available());
+  EXPECT_THROW(load_cifar10_split(/*train=*/false), CheckError);
+  const Cifar10Batch batch =
+      load_cifar10_or_synthetic(/*train=*/false, /*count=*/20);
+  EXPECT_TRUE(batch.synthetic);
+  EXPECT_EQ(batch.labels.size(), size_t{20});
+  EXPECT_EQ(batch.images.shape(), (Shape{20, 3, 32, 32}));
+  for (const int label : batch.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+
+  // With the variable set, the real loader reads from the directory (the
+  // fixture stands in for an extracted download).
+  const std::string dir = ::testing::TempDir();
+  const CifarFixture fx({1, 2});
+  // load_cifar10_split(test) expects <dir>/test_batch.bin.
+  const std::string linked = dir + "/test_batch.bin";
+  {
+    std::ifstream src(fx.path(), std::ios::binary);
+    std::ofstream dst(linked, std::ios::binary | std::ios::trunc);
+    dst << src.rdbuf();
+  }
+  ASSERT_EQ(setenv(kCifar10EnvVar, dir.c_str(), 1), 0);
+  EXPECT_TRUE(cifar10_available());
+  const Cifar10Batch real = load_cifar10_or_synthetic(/*train=*/false, 2);
+  EXPECT_FALSE(real.synthetic);
+  EXPECT_EQ(real.labels, (std::vector<int>{1, 2}));
+  ASSERT_EQ(unsetenv(kCifar10EnvVar), 0);
+  std::remove(linked.c_str());
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "core/parallel.hpp"
 #include "engine/engine.hpp"
 #include "grad_check.hpp"
+#include "kernels/backend.hpp"
 #include "models/zoo.hpp"
 
 // Heap instrumentation for Engine::run's zero-allocation contract. The
@@ -374,6 +375,152 @@ TEST(Engine, PlanStrNamesEveryStep) {
   EXPECT_NE(plan.find("conv1"), std::string::npos);
   EXPECT_NE(plan.find("fc"), std::string::npos);
   EXPECT_EQ(eng.steps().front().name.rfind("conv1", 0), size_t{0});
+}
+
+TEST(Engine, ExplicitBackendSelectionAtCompileTime) {
+  Rng rng(41);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+  Tensor x = random_input({4, mc.in_channels, kHw, kHw}, rng);
+
+  Engine scalar_eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                                      {.backend = "scalar", .bits = 8});
+  EXPECT_STREQ(scalar_eng.backend_name(), "scalar");
+  EXPECT_FALSE(scalar_eng.quantized());
+  const Tensor ref = scalar_eng.run(x);
+
+  if (kernels::find_backend("simd") != nullptr) {
+    Engine simd_eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                                      {.backend = "simd", .bits = 8});
+    EXPECT_STREQ(simd_eng.backend_name(), "simd");
+    const Tensor got = simd_eng.run(x);
+    // Different float kernels, same math: agreement to a loose epsilon.
+    EXPECT_LE(max_abs_diff(ref, got), 1e-3f);
+  }
+
+  EXPECT_THROW(Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                               {.backend = "no-such-backend", .bits = 8}),
+               CheckError);
+}
+
+TEST(Engine, Int8PlanLowersConvAndLinearToQgemm) {
+  Rng rng(43);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+  Engine eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                               {.backend = "int8", .bits = 8});
+  EXPECT_TRUE(eng.quantized());
+  EXPECT_STREQ(eng.backend_name(), "int8");
+  size_t quantized_steps = 0;
+  for (const Step& st : eng.steps()) {
+    if (st.kind == OpKind::kConv || st.kind == OpKind::kLinear) {
+      EXPECT_TRUE(st.quantized) << st.name;
+      EXPECT_FALSE(st.shift_gemm) << st.name;  // im2col path only
+      const size_t rows = st.kind == OpKind::kConv ? st.out_c
+                                                   : st.out_features;
+      const size_t cols = st.kind == OpKind::kConv ? st.geom.col_rows()
+                                                   : st.in_features;
+      EXPECT_EQ(st.qw.size(), rows * cols) << st.name;
+      ASSERT_EQ(st.qw_scales.size(), rows) << st.name;
+      for (const float sc : st.qw_scales) EXPECT_GT(sc, 0.0f) << st.name;
+      // The float weights are released — the plan carries int8 only.
+      EXPECT_TRUE(st.w.empty()) << st.name;
+      ++quantized_steps;
+    } else {
+      EXPECT_FALSE(st.quantized) << st.name;
+    }
+  }
+  EXPECT_GE(quantized_steps, size_t{20});  // 19+ convs and the FC head
+  EXPECT_NE(eng.plan_str().find("qgemm-int8"), std::string::npos);
+}
+
+TEST(Engine, Int8EngineAgreesWithFloatEngineOnTop1) {
+  Rng rng(45);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+  const size_t n = 32;
+  Tensor x = random_input({n, mc.in_channels, kHw, kHw}, rng);
+
+  Engine fp = Engine::compile(*model, n, mc.in_channels, kHw, kHw);
+  Engine q8 = Engine::compile(*model, n, mc.in_channels, kHw, kHw,
+                              {.backend = "int8", .bits = 8});
+  const Tensor ref = fp.run(x);
+  const Tensor got = q8.run(x);
+  size_t agree = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t ra = 0, ga = 0;
+    for (size_t c = 1; c < fp.classes(); ++c) {
+      if (ref.at(i, c) > ref.at(i, ra)) ra = c;
+      if (got.at(i, c) > got.at(i, ga)) ga = c;
+    }
+    if (ra == ga) ++agree;
+  }
+  // 8-bit dynamic activation quantization is near-lossless on an untrained
+  // net's logits; allow at most one near-tie flip on this batch so the
+  // test is robust to compiler codegen differences (the bench measures the
+  // strict >= 99% criterion on a trained model at 256 images).
+  EXPECT_GE(agree + 1, n);
+}
+
+TEST(Engine, Int8EngineBitIdenticalAcrossThreadCounts) {
+  Rng rng(47);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+  Tensor x = random_input({6, mc.in_channels, kHw, kHw}, rng);
+
+  set_parallel_threads(1);
+  Engine eng = Engine::compile(*model, 6, mc.in_channels, kHw, kHw,
+                               {.backend = "int8", .bits = 8});
+  const Tensor ref = eng.run(x);
+  for (const int threads : {2, 4}) {
+    set_parallel_threads(threads);
+    // The chunk grid (and thus every activation scale) is fixed at compile
+    // time, so a plan compiled at 1 thread must reproduce exactly.
+    const Tensor got = eng.run(x);
+    EXPECT_EQ(max_abs_diff(ref, got), 0.0f) << threads << " threads";
+  }
+  set_parallel_threads(0);
+}
+
+TEST(Engine, NarrowBitWidthsDegradeGracefully) {
+  Rng rng(49);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+  Tensor x = random_input({4, mc.in_channels, kHw, kHw}, rng);
+  Engine fp = Engine::compile(*model, 4, mc.in_channels, kHw, kHw);
+  const Tensor ref = fp.run(x);
+  double err8 = 0.0, err4 = 0.0;
+  for (const int bits : {8, 4}) {
+    Engine q = Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                               {.backend = "int8", .bits = bits});
+    const Tensor got = q.run(x);
+    double err = 0.0;
+    for (size_t i = 0; i < ref.numel(); ++i) {
+      const double d = static_cast<double>(ref.at(i)) - got.at(i);
+      err += d * d;
+    }
+    (bits == 8 ? err8 : err4) = err;
+  }
+  EXPECT_GT(err8, 0.0);   // a real integer datapath is not exact
+  EXPECT_GT(err4, err8);  // and fewer bits hurt more (Table 3 direction)
+  EXPECT_THROW(Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                               {.backend = "int8", .bits = 1}),
+               CheckError);
 }
 
 }  // namespace

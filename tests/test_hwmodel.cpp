@@ -213,5 +213,43 @@ TEST(Mapper, KernelTallerThanArrayThrows) {
   EXPECT_THROW(map_layer(w, arch, MapperConfig{}), CheckError);
 }
 
+TEST(Arch, ScaledToBitsRescalesEnergyCapacityAndBandwidth) {
+  const EyerissConfig base;
+  const EyerissConfig int8 = scaled_to_bits(base, 8);
+  // Half-width words: half the access energy, double the word capacity and
+  // word bandwidth (same SRAM bytes, same bytes/cycle).
+  EXPECT_DOUBLE_EQ(int8.e_rf, base.e_rf * 0.5);
+  EXPECT_DOUBLE_EQ(int8.e_noc, base.e_noc * 0.5);
+  EXPECT_DOUBLE_EQ(int8.e_gb, base.e_gb * 0.5);
+  EXPECT_DOUBLE_EQ(int8.e_dram, base.e_dram * 0.5);
+  EXPECT_EQ(int8.rf_words_per_pe, base.rf_words_per_pe * 2);
+  EXPECT_EQ(int8.gb_words, base.gb_words * 2);
+  EXPECT_DOUBLE_EQ(int8.dram_bw, base.dram_bw * 2.0);
+  EXPECT_DOUBLE_EQ(int8.gb_bw, base.gb_bw * 2.0);
+  // Identity at the native width; loud rejection outside the grid range.
+  const EyerissConfig same = scaled_to_bits(base, 16);
+  EXPECT_DOUBLE_EQ(same.e_dram, base.e_dram);
+  EXPECT_EQ(same.gb_words, base.gb_words);
+  EXPECT_THROW(scaled_to_bits(base, 1), CheckError);
+  EXPECT_THROW(scaled_to_bits(base, 32), CheckError);
+}
+
+TEST(Arch, Int8MappingCostsLessEnergyThanFloat16) {
+  // End-to-end through the mapper: the same layer mapped on the int8-word
+  // machine must find an (at worst) cheaper-energy operating point.
+  ConvWorkload w = small_layer();
+  const EyerissConfig fp16;
+  const EyerissConfig int8 = scaled_to_bits(fp16, 8);
+  MapperConfig quick;
+  quick.max_iterations = 20000;
+  quick.victory = 10000;
+  const LayerEval e16 = map_layer(w, fp16, quick);
+  const LayerEval e8 = map_layer(w, int8, quick);
+  ASSERT_TRUE(e16.valid);
+  ASSERT_TRUE(e8.valid);
+  EXPECT_LT(e8.energy(), e16.energy());
+  EXPECT_LE(e8.cycles, e16.cycles);
+}
+
 }  // namespace
 }  // namespace alf

@@ -240,5 +240,71 @@ TEST(BatchServer, MalformedSubmissionsFailLoudly) {
   server.stop();
 }
 
+TEST(BatchServer, AdmissionControlRejectsPastMaxQueue) {
+  Rng rng(57);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  Engine ref = toy_engine(*model);
+
+  BatchServer::Config cfg;
+  cfg.start_paused = true;  // hold the backlog so the bound is hit exactly
+  cfg.max_queue = 3;
+  BatchServer server(toy_engine(*model), cfg);
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> accepted;
+  for (size_t i = 0; i < cfg.max_queue; ++i) {
+    inputs.push_back(random_input({1, kInC, kHw, kHw}, rng));
+    accepted.push_back(server.submit(inputs.back()));
+  }
+  EXPECT_EQ(server.pending(), cfg.max_queue);
+
+  // The bound is on requests held, and the error is the typed overload
+  // signal — not CheckError, which stays reserved for misuse.
+  Tensor extra = random_input({1, kInC, kHw, kHw}, rng);
+  EXPECT_THROW(server.submit(extra), QueueFullError);
+  try {
+    server.submit(extra);
+    FAIL() << "expected QueueFullError";
+  } catch (const QueueFullError& e) {
+    EXPECT_NE(std::string(e.what()).find("queue full"), std::string::npos);
+  }
+  EXPECT_EQ(server.pending(), cfg.max_queue);  // rejects never enqueue
+  EXPECT_EQ(server.stats().rejected, size_t{2});
+
+  // Draining the backlog reopens admission; every accepted request is
+  // still served exactly (rejection sheds load, it never corrupts).
+  server.resume();
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    Tensor got = accepted[i].get();
+    const Tensor want = ref.run(inputs[i]);
+    for (size_t j = 0; j < want.numel(); ++j) EXPECT_EQ(want.at(j), got.at(j));
+  }
+  std::future<Tensor> reopened = server.submit(extra);
+  const Tensor want = ref.run(extra);
+  Tensor got = reopened.get();
+  for (size_t j = 0; j < want.numel(); ++j) EXPECT_EQ(want.at(j), got.at(j));
+  const ServeStats st = server.stats();
+  EXPECT_EQ(st.requests, cfg.max_queue + 1);
+  EXPECT_EQ(st.rejected, size_t{2});
+}
+
+TEST(BatchServer, UnboundedQueueByDefault) {
+  Rng rng(58);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  BatchServer::Config cfg;
+  cfg.start_paused = true;
+  BatchServer server(toy_engine(*model), cfg);
+  // Far past any batch multiple: nothing rejects with max_queue = 0.
+  std::vector<std::future<Tensor>> futs;
+  for (size_t i = 0; i < 4 * kBatch; ++i)
+    futs.push_back(server.submit(random_input({1, kInC, kHw, kHw}, rng)));
+  EXPECT_EQ(server.pending(), 4 * kBatch);
+  EXPECT_EQ(server.stats().rejected, size_t{0});
+  server.resume();
+  for (auto& f : futs) f.get();
+}
+
 }  // namespace
 }  // namespace alf
