@@ -1,22 +1,29 @@
-// serve — closed-loop load generator for the batched inference server.
+// serve — closed-loop load generator for the batched inference servers.
 //
 // C client threads replay a bursty request stream (mostly small requests
-// back-to-back, occasional think-time gaps) against two serving paths under
-// the same offered load:
+// back-to-back, occasional think-time gaps) against three serving paths
+// under the same offered load:
 //
 //   layer-tree : the pre-engine baseline — every request runs its own
 //                Sequential::forward on a per-client model replica
 //   engine     : one shared BatchServer — mutex/CV queue, dynamic batching
 //                up to Engine::batch() images per tick, a single
 //                Engine::run_rows per dispatch
+//   multi-model: one ModelServer hosting the float ResNet-20 AND its int8
+//                twin (two shared Plans, per-model queues, weighted
+//                scheduling at --weight-f32/--weight-int8, K workers each
+//                owning one ExecContext per plan); every request is
+//                routed to one of the two models
 //
 // Reports per-request p50/p95/p99 latency (nearest-rank percentile() from
-// bench_common.hpp), sustained images/s, and the server's batch-fill
-// counters, which show the dynamic batcher aggregating bursts. With --json
-// the record lands in BENCH_serve.json (row names deliberately include
-// quoted policy strings — the writer must escape them).
+// bench_common.hpp) — per model on the multi-model path — sustained
+// images/s, and the servers' batch-fill counters, which show the dynamic
+// batchers aggregating bursts. With --json the record lands in
+// BENCH_serve.json (row names deliberately include quoted policy strings —
+// the writer must escape them).
 //
-//   ./serve [--quick|--full] [--requests N] [--clients N] [--json <path>]
+//   ./serve [--quick|--full] [--requests N] [--clients N] [--workers N]
+//           [--weight-f32 W] [--weight-int8 W] [--json <path>]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +32,7 @@
 #include "bench_common.hpp"
 #include "core/parallel.hpp"
 #include "serve/batch_server.hpp"
+#include "serve/model_server.hpp"
 
 using namespace alf;
 using namespace alf::bench;
@@ -35,11 +43,13 @@ namespace {
 struct PlannedRequest {
   size_t n = 0;            ///< images in the request
   unsigned think_us = 0;   ///< pause before submitting (burst gap)
+  bool quant = false;      ///< multi-model path: route to the int8 twin
 };
 
 /// Bursty per-client script: ~75% of requests follow the previous one
 /// back-to-back (a burst), the rest arrive after a 100-900us gap; request
-/// sizes are mostly 1-4 images with an occasional 8-image straggler.
+/// sizes are mostly 1-4 images with an occasional 8-image straggler. Half
+/// the stream targets the int8 twin on the multi-model path.
 std::vector<std::vector<PlannedRequest>> make_plan(size_t clients,
                                                    size_t per_client,
                                                    Rng& rng) {
@@ -52,6 +62,7 @@ std::vector<std::vector<PlannedRequest>> make_plan(size_t clients,
       r.think_us = rng.uniform() < 0.75
                        ? 0
                        : static_cast<unsigned>(100 + rng.uniform_index(800));
+      r.quant = rng.uniform() < 0.5;
     }
   }
   return plan;
@@ -105,6 +116,63 @@ LoadResult run_load(const std::vector<std::vector<PlannedRequest>>& plan,
   return res;
 }
 
+/// Multi-model flavor of run_load: the same scripted closed loop, but each
+/// request routes to the float or int8 model per its plan flag, and
+/// latencies are collected per model (index 0 = f32, 1 = int8).
+struct MixedResult {
+  LoadResult per_model[2];
+  double aggregate_images_per_s = 0.0;
+};
+
+MixedResult run_mixed_load(const std::vector<std::vector<PlannedRequest>>& plan,
+                           const std::vector<Tensor>& inputs_by_n,
+                           ModelServer& server, const char* f32_name,
+                           const char* int8_name) {
+  const size_t clients = plan.size();
+  std::vector<std::vector<double>> lat_f(clients), lat_q(clients);
+  size_t images = 0, images_by_model[2] = {0, 0};
+  for (const auto& reqs : plan)
+    for (const PlannedRequest& r : reqs) {
+      images += r.n;
+      images_by_model[r.quant ? 1 : 0] += r.n;
+    }
+
+  const auto t_begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (const PlannedRequest& r : plan[c]) {
+        if (r.think_us > 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(r.think_us));
+        const Tensor& x = inputs_by_n[r.n];
+        const auto t0 = std::chrono::steady_clock::now();
+        server.submit(r.quant ? int8_name : f32_name, x).get();
+        const auto t1 = std::chrono::steady_clock::now();
+        (r.quant ? lat_q : lat_f)[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double total_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
+          .count();
+
+  MixedResult res;
+  for (size_t c = 0; c < clients; ++c) {
+    res.per_model[0].latencies_ms.insert(res.per_model[0].latencies_ms.end(),
+                                         lat_f[c].begin(), lat_f[c].end());
+    res.per_model[1].latencies_ms.insert(res.per_model[1].latencies_ms.end(),
+                                         lat_q[c].begin(), lat_q[c].end());
+  }
+  for (int m = 0; m < 2; ++m)
+    res.per_model[m].images_per_s =
+        static_cast<double>(images_by_model[m]) / total_s;
+  res.aggregate_images_per_s = static_cast<double>(images) / total_s;
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,11 +188,19 @@ int main(int argc, char** argv) {
     per_client = 200;
     clients = 8;
   }
+  size_t workers = 2;
+  double weight_f32 = 3.0, weight_int8 = 1.0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0)
       per_client = static_cast<size_t>(std::max(1L, std::atol(argv[i + 1])));
     if (std::strcmp(argv[i], "--clients") == 0)
       clients = static_cast<size_t>(std::max(1L, std::atol(argv[i + 1])));
+    if (std::strcmp(argv[i], "--workers") == 0)
+      workers = static_cast<size_t>(std::max(1L, std::atol(argv[i + 1])));
+    if (std::strcmp(argv[i], "--weight-f32") == 0)
+      weight_f32 = std::max(0.001, std::atof(argv[i + 1]));
+    if (std::strcmp(argv[i], "--weight-int8") == 0)
+      weight_int8 = std::max(0.001, std::atof(argv[i + 1]));
   }
   const size_t max_batch = 32;
   const uint64_t max_wait_us = 200;
@@ -165,12 +241,14 @@ int main(int argc, char** argv) {
       plan, inputs_by_n,
       [&](size_t c, const Tensor& x) { replicas[c]->forward(x, false); });
 
-  // --- Engine path: shared BatchServer, dynamic batching. ---
+  // --- Engine path: shared BatchServer, dynamic batching. The float plan
+  // is compiled ONCE and shared with the multi-model path below (the
+  // whole point of the Plan/ExecContext split). ---
+  auto fplan =
+      Plan::compile(*replicas[0], max_batch, mc.in_channels, s.hw, s.hw);
   BatchServer::Config cfg;
   cfg.max_wait_us = max_wait_us;
-  BatchServer server(
-      Engine::compile(*replicas[0], max_batch, mc.in_channels, s.hw, s.hw),
-      cfg);
+  BatchServer server(fplan, cfg);
   server.submit(inputs_by_n[1]).get();  // untimed warmup
   const ServeStats warm = server.stats();
   const LoadResult engine = run_load(
@@ -182,17 +260,62 @@ int main(int argc, char** argv) {
   st.requests -= warm.requests;
   st.images -= warm.images;
 
+  // --- Multi-model path: ModelServer hosting the float net + its int8
+  // twin on a shared worker pool (one ExecContext per worker per plan),
+  // weighted scheduling between the two queues. ---
+  const char* kF32 = "resnet20_f32";
+  const char* kInt8 = "resnet20_int8";
+  auto qplan = Plan::compile(*replicas[0], max_batch, mc.in_channels, s.hw,
+                             s.hw, {.backend = "int8", .bits = 8});
+  ModelServer::Config ms_cfg;
+  ms_cfg.workers = workers;
+  ModelServer multi(ms_cfg);
+  ModelServer::ModelConfig f32_cfg, int8_cfg;
+  f32_cfg.max_wait_us = max_wait_us;
+  f32_cfg.weight = weight_f32;
+  int8_cfg.max_wait_us = max_wait_us;
+  int8_cfg.weight = weight_int8;
+  multi.add_model(kF32, fplan, f32_cfg);
+  multi.add_model(kInt8, qplan, int8_cfg);
+  multi.start();
+  multi.submit(kF32, inputs_by_n[1]).get();  // untimed warmups
+  multi.submit(kInt8, inputs_by_n[1]).get();
+  const ServeStats warm_f = multi.stats(kF32);
+  const ServeStats warm_q = multi.stats(kInt8);
+  const MixedResult mixed =
+      run_mixed_load(plan, inputs_by_n, multi, kF32, kInt8);
+  ServeStats st_f = multi.stats(kF32);
+  ServeStats st_q = multi.stats(kInt8);
+  multi.stop();
+  st_f.batches -= warm_f.batches;  // exclude the warmup dispatches
+  st_f.images -= warm_f.images;
+  st_q.batches -= warm_q.batches;
+  st_q.images -= warm_q.images;
+
   Table table("Closed-loop serving latency per request (ms)");
   table.set_header({"path", "p50", "p95", "p99", "images/s"});
+  // Request-to-model routing is random, so a tiny --requests run can leave
+  // one model with no traffic; percentile() throws on an empty sample.
+  const auto pct = [](const std::vector<double>& v, double q) {
+    return v.empty() ? 0.0 : percentile(v, q);
+  };
   const auto add = [&](const char* name, const LoadResult& r) {
-    table.add_row({name, Table::fmt(percentile(r.latencies_ms, 0.50), 3),
-                   Table::fmt(percentile(r.latencies_ms, 0.95), 3),
-                   Table::fmt(percentile(r.latencies_ms, 0.99), 3),
+    table.add_row({name, Table::fmt(pct(r.latencies_ms, 0.50), 3),
+                   Table::fmt(pct(r.latencies_ms, 0.95), 3),
+                   Table::fmt(pct(r.latencies_ms, 0.99), 3),
                    Table::fmt(r.images_per_s, 0)});
   };
   add("layer tree", layers);
   add("engine+batching", engine);
+  add("multi f32", mixed.per_model[0]);
+  add("multi int8", mixed.per_model[1]);
   table.print();
+  std::printf(
+      "\nmulti-model: %zu workers, weights f32=%.1f int8=%.1f, aggregate "
+      "%.0f images/s (f32: %zu batches avg fill %.1f | int8: %zu batches "
+      "avg fill %.1f)\n",
+      workers, weight_f32, weight_int8, mixed.aggregate_images_per_s,
+      st_f.batches, st_f.avg_fill(), st_q.batches, st_q.avg_fill());
   std::printf(
       "\nbatcher: %zu dispatches for %zu requests (%zu images), avg fill "
       "%.1f/%zu images, %zu full batches, max fill %zu\n",
@@ -225,6 +348,36 @@ int main(int argc, char** argv) {
   en.extra["full_batches"] = static_cast<double>(st.full_batches);
   en.extra["dispatches"] = static_cast<double>(st.batches);
   en.extra["speedup_p50_vs_layers"] = p50_layers / p50_engine;
+  // Per-model multi-tenant rows + the aggregate. Row names carry the
+  // scheduling weight as a quoted policy string (escaping regression
+  // check, like the engine row above).
+  const auto add_model_row = [&](const char* model, const LoadResult& r,
+                                 double weight, const ServeStats& mst) {
+    char row[96];
+    std::snprintf(row, sizeof(row), "model_server/%s policy=\"w=%.1f\"",
+                  model, weight);
+    BenchRow& br = json.row(row);
+    br.wall_ms = pct(r.latencies_ms, 0.50);
+    br.extra["p95_ms"] = pct(r.latencies_ms, 0.95);
+    br.extra["p99_ms"] = pct(r.latencies_ms, 0.99);
+    br.extra["images_per_s"] = r.images_per_s;
+    br.extra["avg_fill"] = mst.avg_fill();
+    br.extra["dispatches"] = static_cast<double>(mst.batches);
+  };
+  add_model_row(kF32, mixed.per_model[0], weight_f32, st_f);
+  add_model_row(kInt8, mixed.per_model[1], weight_int8, st_q);
+  // Aggregate latency is the p50 over BOTH models' requests merged, not a
+  // per-model alias.
+  std::vector<double> all_lat = mixed.per_model[0].latencies_ms;
+  all_lat.insert(all_lat.end(), mixed.per_model[1].latencies_ms.begin(),
+                 mixed.per_model[1].latencies_ms.end());
+  BenchRow& agg = json.row("model_server/aggregate");
+  agg.wall_ms = pct(all_lat, 0.50);
+  agg.extra["p95_ms"] = pct(all_lat, 0.95);
+  agg.extra["p99_ms"] = pct(all_lat, 0.99);
+  agg.extra["images_per_s"] = mixed.aggregate_images_per_s;
+  agg.extra["workers"] = static_cast<double>(workers);
+  agg.extra["models"] = 2.0;
   if (json.write(json_path)) {
     std::printf("wrote %s\n", json_path.c_str());
   } else {

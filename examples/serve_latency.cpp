@@ -1,13 +1,18 @@
 // Serving latency: the layer tree vs direct Engine::run vs the real
-// BatchServer (src/serve/) that wraps it.
+// BatchServer (src/serve/) that wraps it vs a ModelServer hosting the SAME
+// compiled Plan (the multi-tenant registry in its 1-model configuration,
+// 2 shared workers).
 //
 // Compiles ResNet-20 once for the maximum batch, then replays the same
-// bursty stream of variable-size requests through all three paths and
+// bursty stream of variable-size requests through all four paths and
 // reports nearest-rank latency percentiles (shared percentile() from
-// bench_common.hpp) and throughput. The server runs with max_wait_us = 0 —
+// bench_common.hpp) and throughput. The servers run with max_wait_us = 0 —
 // a single closed-loop client gains nothing from waiting for batch-mates,
 // so the knob is turned all the way toward latency; the `serve` load
-// generator exercises the batching side under concurrent clients.
+// generator exercises the batching and multi-model sides under concurrent
+// clients. Note the engine is compiled ONCE: the batch server wraps one
+// Engine and the model server shares its immutable Plan — no duplicated
+// weights anywhere.
 //
 //   ./serve_latency [--quick|--full] [--requests N]
 #include <chrono>
@@ -18,6 +23,7 @@
 #include "bench_common.hpp"
 #include "core/table.hpp"
 #include "serve/batch_server.hpp"
+#include "serve/model_server.hpp"
 
 using namespace alf;
 using alf::bench::percentile;
@@ -67,14 +73,24 @@ int main(int argc, char** argv) {
 
   BatchServer::Config cfg;
   cfg.max_wait_us = 0;  // lone closed-loop client: dispatch immediately
-  BatchServer server(
-      Engine::compile(*model, max_batch, mc.in_channels, hw, hw), cfg);
+  // No recompilation: the batch server hosts the direct engine's Plan.
+  BatchServer server(eng.plan(), cfg);
+
+  // The multi-tenant registry in its simplest configuration: one model —
+  // sharing the direct engine's Plan, not recompiling — on 2 workers.
+  ModelServer::Config ms_cfg;
+  ms_cfg.workers = 2;
+  ModelServer multi(ms_cfg);
+  ModelServer::ModelConfig mm_cfg;
+  mm_cfg.max_wait_us = 0;
+  multi.add_model("resnet20", eng.plan(), mm_cfg);
+  multi.start();
 
   Table table("ResNet-20 serving latency over " + std::to_string(requests) +
               " requests (ms)");
   table.set_header({"path", "p50", "p95", "p99", "images/s"});
-  enum Path { kLayers = 0, kEngine = 1, kServer = 2 };
-  for (const int path : {kLayers, kEngine, kServer}) {
+  enum Path { kLayers = 0, kEngine = 1, kServer = 2, kMulti = 3 };
+  for (const int path : {kLayers, kEngine, kServer, kMulti}) {
     std::vector<double> lat;
     lat.reserve(requests);
     size_t images = 0;
@@ -92,6 +108,9 @@ int main(int argc, char** argv) {
         case kServer:
           server.submit(req).get();
           break;
+        case kMulti:
+          multi.submit("resnet20", req).get();
+          break;
       }
       const auto t1 = std::chrono::steady_clock::now();
       lat.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
@@ -103,17 +122,19 @@ int main(int argc, char** argv) {
             .count();
     table.add_row({path == kLayers   ? "layer tree"
                    : path == kEngine ? "engine (direct)"
-                                     : "batch server",
+                   : path == kServer ? "batch server"
+                                     : "model server x2",
                    Table::fmt(percentile(lat, 0.50), 3),
                    Table::fmt(percentile(lat, 0.95), 3),
                    Table::fmt(percentile(lat, 0.99), 3),
                    Table::fmt(static_cast<double>(images) / total_s, 0)});
   }
   server.stop();
+  multi.stop();
   table.print();
   std::printf(
-      "\nThe batch-server rows include queue + dispatch overhead; run the "
-      "`serve` load generator for dynamic batching under concurrent "
-      "clients.\n");
+      "\nThe server rows include queue + dispatch overhead; run the "
+      "`serve` load generator for dynamic batching and the multi-model "
+      "mix under concurrent clients.\n");
   return 0;
 }

@@ -179,6 +179,12 @@ void set_parallel_threads(int n) {
 
 bool in_parallel_region() { return t_in_parallel_region; }
 
+InlineExecutionGuard::InlineExecutionGuard() : prev_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+InlineExecutionGuard::~InlineExecutionGuard() { t_in_parallel_region = prev_; }
+
 void parallel_for_chunked(size_t begin, size_t end,
                           const std::function<void(size_t, size_t)>& fn,
                           size_t min_per_worker) {

@@ -23,6 +23,27 @@ void set_parallel_threads(int n);
 /// run inline anyway, so the round trip is pure overhead.
 bool in_parallel_region();
 
+/// RAII: marks the calling thread as already inside a parallel region for
+/// the guard's lifetime, so every parallel_for it issues runs inline on
+/// this thread instead of entering the shared pool. This is how a serving
+/// worker pool turns K concurrent batches into K-way *inter*-batch
+/// parallelism: without the guard the workers' engine runs would all
+/// serialize on the pool's one-job-at-a-time dispatch. Results are
+/// unchanged — chunk grids are fixed at compile time and every backend's
+/// accumulation order is thread-partition-independent — only the thread
+/// that executes each chunk differs. Nestable; restores the previous state
+/// on destruction.
+class InlineExecutionGuard {
+ public:
+  InlineExecutionGuard();
+  ~InlineExecutionGuard();
+  InlineExecutionGuard(const InlineExecutionGuard&) = delete;
+  InlineExecutionGuard& operator=(const InlineExecutionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Runs fn(i) for every i in [begin, end), split into contiguous chunks
 /// across workers. Falls back to serial execution for small ranges.
 /// fn must not throw; exceptions escaping fn terminate the program.

@@ -1,368 +1,6 @@
 #include "engine/engine.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <cstring>
-
-#include "alf/alf_conv.hpp"
-#include "alf/deploy.hpp"
-#include "core/check.hpp"
-#include "core/parallel.hpp"
-#include "kernels/backend.hpp"
-#include "nn/batchnorm.hpp"
-#include "nn/conv2d.hpp"
-#include "nn/linear.hpp"
-#include "nn/pooling.hpp"
-#include "quant/quantize.hpp"
-
 namespace alf {
-
-const char* op_kind_name(OpKind kind) {
-  switch (kind) {
-    case OpKind::kConv:
-      return "conv";
-    case OpKind::kLinear:
-      return "linear";
-    case OpKind::kGlobalAvgPool:
-      return "gap";
-    case OpKind::kMaxPool:
-      return "maxpool";
-    case OpKind::kAdd:
-      return "add";
-    case OpKind::kScaleShift:
-      return "scale_shift";
-    case OpKind::kActivation:
-      return "act";
-  }
-  return "?";
-}
-
-namespace {
-
-/// Walk state of Engine::compile. Activations are tracked as *virtual*
-/// buffers (one per producing step, plus id 0 = external input); a
-/// linear-scan pass afterwards maps virtual buffers to physical arena slots
-/// by live range, so straight-line stretches ping-pong between two slots
-/// and a residual shortcut holds a third.
-struct Compiler {
-  std::vector<Step> steps;
-  std::vector<size_t> vnumel{0};  // per-image numel per virtual buffer
-  size_t cur = 0;                 // virtual buffer holding the activation
-  size_t c = 0, h = 0, w = 0;     // per-image shape of `cur`
-  // Steps below this index are immutable for fusion/folding: a residual
-  // block raises the fence over its input so a body/shortcut that *starts*
-  // with BN or an activation cannot rewrite the step that produced the
-  // block input (which the other branch still reads).
-  size_t fence = 0;
-
-  size_t fresh(size_t numel) {
-    vnumel.push_back(numel);
-    return vnumel.size() - 1;
-  }
-
-  /// True if a trailing activation can ride the previous step's epilogue.
-  bool fuse_act(Act act) {
-    if (act == Act::kNone) return true;
-    if (steps.size() <= fence) return false;
-    Step& last = steps.back();
-    if (last.out != cur || last.act != Act::kNone) return false;
-    last.act = act;
-    last.name += "+" + std::string(act_name(act));
-    return true;
-  }
-
-  /// Folds an inference-mode BatchNorm into the conv/linear step that
-  /// produced the current activation: W[r,:] *= scale[r], bias' = bias *
-  /// scale + shift. Returns false if no such step is available.
-  bool fold_bn(const BatchNorm2d& bn) {
-    if (steps.size() <= fence) return false;
-    Step& last = steps.back();
-    if (last.out != cur || last.act != Act::kNone) return false;
-    if (last.kind != OpKind::kConv && last.kind != OpKind::kLinear)
-      return false;
-    const size_t rows = last.w.dim(0);
-    if (rows != bn.channels()) return false;
-    Tensor scale, shift;
-    bn_fold_scale_shift(bn, scale, shift);
-    const size_t cols = last.w.dim(1);
-    float* pw = last.w.data();
-    for (size_t r = 0; r < rows; ++r) {
-      const float s = scale.at(r);
-      for (size_t j = 0; j < cols; ++j) pw[r * cols + j] *= s;
-    }
-    if (last.bias.empty()) {
-      last.bias = std::move(shift);
-    } else {
-      for (size_t r = 0; r < rows; ++r)
-        last.bias.at(r) = last.bias.at(r) * scale.at(r) + shift.at(r);
-    }
-    last.name += "+" + bn.name();
-    return true;
-  }
-
-  void conv_step(const std::string& name, Tensor w_mat, size_t out_c,
-                 size_t k, size_t stride, size_t pad, Act act) {
-    Step st;
-    st.kind = OpKind::kConv;
-    st.name = name;
-    st.geom = ConvGeom{c, h, w, k, stride, pad};
-    st.out_c = out_c;
-    st.act = act;
-    st.w = std::move(w_mat);
-    ALF_CHECK_EQ(st.w.dim(0), out_c);
-    ALF_CHECK_EQ(st.w.dim(1), st.geom.col_rows());
-    st.in = cur;
-    st.in_sz = c * h * w;
-    c = out_c;
-    h = st.geom.out_h();
-    w = st.geom.out_w();
-    st.out_sz = c * h * w;
-    st.out = fresh(st.out_sz);
-    cur = st.out;
-    steps.push_back(std::move(st));
-  }
-
-  void lower(const Layer& layer);
-};
-
-void Compiler::lower(const Layer& layer) {
-  if (const auto* seq = dynamic_cast<const Sequential*>(&layer)) {
-    for (size_t i = 0; i < seq->size(); ++i) lower(*seq->layer(i));
-    return;
-  }
-  if (const auto* res = dynamic_cast<const ResidualBlock*>(&layer)) {
-    const size_t in_buf = cur, ic = c, ih = h, iw = w;
-    const size_t outer_fence = fence;
-    fence = steps.size();  // protect the block-input producer
-    lower(res->body());
-    const size_t body_out = cur, bc = c, bh = h, bw = w;
-    size_t skip = in_buf;
-    if (res->shortcut() != nullptr) {
-      cur = in_buf;
-      c = ic;
-      h = ih;
-      w = iw;
-      fence = steps.size();
-      lower(*res->shortcut());
-      skip = cur;
-    }
-    fence = outer_fence;
-    ALF_CHECK(c == bc && h == bh && w == bw)
-        << res->name() << ": body/shortcut shape mismatch";
-    ALF_CHECK_EQ(vnumel[skip], vnumel[body_out]) << res->name();
-    Step st;
-    st.kind = OpKind::kAdd;
-    st.name = res->name() + "_add+relu";
-    st.in = skip;
-    st.out = body_out;  // accumulates in place into the body activation
-    st.in_sz = st.out_sz = bc * bh * bw;
-    st.act = Act::kRelu;  // the block's final ReLU, fused
-    steps.push_back(std::move(st));
-    cur = body_out;
-    c = bc;
-    h = bh;
-    w = bw;
-    return;
-  }
-  if (const auto* conv = dynamic_cast<const Conv2d*>(&layer)) {
-    conv_step(conv->name(),
-              conv->weight().value.reshaped(
-                  {conv->out_channels(), conv->in_channels() * conv->kernel() *
-                                             conv->kernel()}),
-              conv->out_channels(), conv->kernel(), conv->stride(),
-              conv->pad(), Act::kNone);
-    return;
-  }
-  if (const auto* alf = dynamic_cast<const AlfConv*>(&layer)) {
-    ALF_CHECK(alf->bn_inter() == nullptr)
-        << alf->name() << ": BN_inter blocks are a training-only config";
-    const std::vector<size_t> kept = deployed_filters(*alf);
-    const size_t ccode = kept.size();
-    const size_t row = alf->in_channels() * alf->kernel() * alf->kernel();
-    // Code conv: the surviving rows of Wcode (post mask & sigma_ae).
-    const Tensor wcode = alf->compute_wcode();
-    Tensor wc({ccode, row});
-    for (size_t r = 0; r < ccode; ++r)
-      std::memcpy(wc.data() + r * row, wcode.data() + kept[r] * row,
-                  row * sizeof(float));
-    conv_step(alf->name() + "_code", std::move(wc), ccode, alf->kernel(),
-              alf->stride(), alf->pad(), alf->config().sigma_inter);
-    // 1x1 expansion: Wexp restricted to the surviving input channels.
-    const Tensor& wexp = alf->wexp().value;
-    const size_t co = alf->out_channels();
-    Tensor we({co, ccode});
-    for (size_t o = 0; o < co; ++o)
-      for (size_t r = 0; r < ccode; ++r)
-        we.at(o, r) = wexp.at(o, kept[r]);
-    conv_step(alf->name() + "_exp", std::move(we), co, 1, 1, 0, Act::kNone);
-    return;
-  }
-  if (const auto* bn = dynamic_cast<const BatchNorm2d*>(&layer)) {
-    ALF_CHECK_EQ(c, bn->channels()) << bn->name();
-    if (fold_bn(*bn)) return;
-    Step st;
-    st.kind = OpKind::kScaleShift;
-    st.name = bn->name();
-    bn_fold_scale_shift(*bn, st.scale, st.shift);
-    st.out_c = bn->channels();
-    st.geom = ConvGeom{c, h, w, 1, 1, 0};
-    st.in = cur;
-    st.in_sz = st.out_sz = c * h * w;
-    st.out = fresh(st.out_sz);
-    cur = st.out;
-    steps.push_back(std::move(st));
-    return;
-  }
-  if (const auto* act = dynamic_cast<const Activation*>(&layer)) {
-    if (fuse_act(act->act())) return;
-    Step st;
-    st.kind = OpKind::kActivation;
-    st.name = act->name();
-    st.act = act->act();
-    st.in = cur;
-    st.in_sz = st.out_sz = c * h * w;
-    st.out = fresh(st.out_sz);
-    cur = st.out;
-    steps.push_back(std::move(st));
-    return;
-  }
-  if (const auto* gap = dynamic_cast<const GlobalAvgPool*>(&layer)) {
-    Step st;
-    st.kind = OpKind::kGlobalAvgPool;
-    st.name = gap->name();
-    st.geom = ConvGeom{c, h, w, 1, 1, 0};
-    st.in = cur;
-    st.in_sz = c * h * w;
-    st.out_sz = c;
-    st.out = fresh(st.out_sz);
-    cur = st.out;
-    h = w = 1;
-    steps.push_back(std::move(st));
-    return;
-  }
-  if (const auto* mp = dynamic_cast<const MaxPool2d*>(&layer)) {
-    ALF_CHECK(h % mp->window() == 0 && w % mp->window() == 0)
-        << mp->name() << ": input " << h << "x" << w
-        << " not divisible by window " << mp->window();
-    Step st;
-    st.kind = OpKind::kMaxPool;
-    st.name = mp->name();
-    st.geom = ConvGeom{c, h, w, 1, 1, 0};
-    st.window = mp->window();
-    st.in = cur;
-    st.in_sz = c * h * w;
-    h /= mp->window();
-    w /= mp->window();
-    st.out_sz = c * h * w;
-    st.out = fresh(st.out_sz);
-    cur = st.out;
-    steps.push_back(std::move(st));
-    return;
-  }
-  if (dynamic_cast<const Flatten*>(&layer) != nullptr) {
-    // Row-major [C, H, W] is already the flattened feature vector.
-    c = c * h * w;
-    h = w = 1;
-    return;
-  }
-  if (const auto* lin = dynamic_cast<const Linear*>(&layer)) {
-    ALF_CHECK_EQ(c * h * w, lin->in_features()) << lin->name();
-    Step st;
-    st.kind = OpKind::kLinear;
-    st.name = lin->name();
-    st.in_features = lin->in_features();
-    st.out_features = lin->out_features();
-    st.w = lin->weight().value;
-    st.bias = lin->bias().value;
-    st.in = cur;
-    st.in_sz = lin->in_features();
-    st.out_sz = lin->out_features();
-    st.out = fresh(st.out_sz);
-    cur = st.out;
-    c = lin->out_features();
-    h = w = 1;
-    steps.push_back(std::move(st));
-    return;
-  }
-  ALF_CHECK(false) << "engine: cannot compile layer '" << layer.name()
-                   << "' of kind '" << layer.kind() << "'";
-}
-
-/// Height bound for the shifted-GEMM border-repair stack buffer; taller
-/// maps fall back to the chunk-batched strategy at compile time.
-constexpr size_t kMaxShiftH = 512;
-
-/// Single-image shifted-GEMM convolution (stride 1, pad = (K-1)/2, output
-/// size == input size). For each kernel offset (kh, kw) the valid output
-/// range is a contiguous window of the flattened [H*W] plane, so the
-/// contribution is one GEMM of w9[kh,kw] [Co, Ci] against the raw input
-/// planes at a flat offset — no im2col materialization at all. Column
-/// wrap-around at the left/right borders is repaired afterwards by
-/// recomputing the `pad` edge columns directly from `w`.
-void conv2d_image_shift(const Step& st, const kernels::KernelBackend* be,
-                        const float* x_img, float* out_img) {
-  const ConvGeom& g = st.geom;
-  const size_t hh = g.in_h, ww = g.in_w, hw = hh * ww;
-  const size_t ci = g.in_c, co = st.out_c, k = g.kernel;
-  const long pad = static_cast<long>(g.pad);
-  if (k == 1) {
-    be->gemm(st.w.data(), ci, false, x_img, hw, false, out_img, hw, co, ci,
-             hw, 1.0f, 0.0f);
-    bias_act_inplace(out_img, co, hw, st.bias.empty() ? nullptr : st.bias.data(),
-                     st.act);
-    return;
-  }
-  std::memset(out_img, 0, co * hw * sizeof(float));
-  for (size_t kh = 0; kh < k; ++kh) {
-    for (size_t kw = 0; kw < k; ++kw) {
-      const long shift = (static_cast<long>(kh) - pad) * static_cast<long>(ww) +
-                         (static_cast<long>(kw) - pad);
-      const size_t c0 = shift < 0 ? static_cast<size_t>(-shift) : 0;
-      const size_t c1 = shift > 0 ? hw - static_cast<size_t>(shift) : hw;
-      if (c0 >= c1) continue;
-      const float* a = st.w9.data() + (kh * k + kw) * co * ci;
-      be->gemm(a, ci, false, x_img + static_cast<long>(c0) + shift, hw, false,
-               out_img + c0, hw, co, ci, c1 - c0, 1.0f, 1.0f);
-    }
-  }
-  // Repair the `pad` left/right border columns (their shifted reads wrapped
-  // into the neighboring row): direct convolution, overwriting. The y loop
-  // is innermost over a contiguous column buffer so the accumulations are
-  // independent (no loop-carried dependency chain).
-  const size_t p = g.pad;
-  float tmp[kMaxShiftH];
-  for (size_t o = 0; o < co; ++o) {
-    const float* wrow = st.w.data() + o * ci * k * k;
-    float* oplane = out_img + o * hw;
-    for (size_t e = 0; e < 2 * p; ++e) {
-      const size_t x = e < p ? e : ww - 2 * p + e;
-      for (size_t y = 0; y < hh; ++y) tmp[y] = 0.0f;
-      for (size_t c = 0; c < ci; ++c) {
-        const float* xplane = x_img + c * hw;
-        for (size_t dy = 0; dy < k; ++dy) {
-          const size_t y0 = p > dy ? p - dy : 0;
-          const size_t y1 = std::min(hh, hh + p - dy);
-          for (size_t dx = 0; dx < k; ++dx) {
-            const long ix = static_cast<long>(x + dx) - pad;
-            if (ix < 0 || ix >= static_cast<long>(ww)) continue;
-            const float wv = wrow[(c * k + dy) * k + dx];
-            const float* src = xplane +
-                               (static_cast<long>(dy) - pad) *
-                                   static_cast<long>(ww) +
-                               ix;
-            for (size_t y = y0; y < y1; ++y) tmp[y] += wv * src[y * ww];
-          }
-        }
-      }
-      for (size_t y = 0; y < hh; ++y) oplane[y * ww + x] = tmp[y];
-    }
-  }
-  bias_act_inplace(out_img, co, hw, st.bias.empty() ? nullptr : st.bias.data(),
-                   st.act);
-}
-
-}  // namespace
 
 Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
                        size_t in_h, size_t in_w) {
@@ -371,507 +9,10 @@ Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
 
 Engine Engine::compile(const Sequential& model, size_t batch, size_t in_c,
                        size_t in_h, size_t in_w, const EngineOptions& opts) {
-  ALF_CHECK(batch >= 1 && in_c >= 1 && in_h >= 1 && in_w >= 1);
-  // The registry is consulted exactly once per plan, here; every kernel of
-  // the compiled plan dispatches through this pointer.
-  const kernels::KernelBackend* backend =
-      opts.backend.empty() ? kernels::default_backend()
-                           : kernels::find_backend(opts.backend);
-  ALF_CHECK(backend != nullptr)
-      << "engine: unknown kernel backend '" << opts.backend << "'";
-  // Selecting a quantized-datapath backend (explicitly or via ALF_BACKEND)
-  // lowers every conv/linear step to its qgemm.
-  const bool quantize = backend->quantized_datapath;
-  ALF_CHECK(!quantize || (opts.bits >= 2 && opts.bits <= 8))
-      << "engine: int8 lowering bits=" << opts.bits;
-
-  Compiler cc;
-  cc.vnumel[0] = in_c * in_h * in_w;
-  cc.c = in_c;
-  cc.h = in_h;
-  cc.w = in_w;
-  cc.lower(model);
-  ALF_CHECK(!cc.steps.empty()) << "engine: model compiled to an empty plan";
-
-  // Lower eligible convs (stride 1, odd kernel, same-size padding) to the
-  // shifted-GEMM form, packing the per-offset weight slices now that BN
-  // folding has finished rewriting `w`. Narrow maps stay on the
-  // chunk-batched im2col path: their border fraction (2*pad / W) makes the
-  // repair pass cost more than im2col saves. Quantized plans keep every
-  // conv on the im2col path — one qgemm per chunk with one activation
-  // scale, instead of K*K partial GEMMs plus a float repair pass.
-  for (Step& st : cc.steps) {
-    if (quantize || st.kind != OpKind::kConv) continue;
-    const ConvGeom& g = st.geom;
-    if (g.stride != 1 || g.kernel % 2 == 0 || g.pad != (g.kernel - 1) / 2)
-      continue;
-    if (g.kernel > 1 && (g.in_w < 16 * g.pad || g.in_h > kMaxShiftH))
-      continue;
-    if (g.in_w <= 2 * g.pad) continue;  // degenerate maps
-    st.shift_gemm = true;
-    if (g.kernel == 1) continue;  // 1x1 multiplies `w` against x directly
-    const size_t k = g.kernel, ci = g.in_c, co = st.out_c;
-    st.w9 = Tensor({k * k, co, ci});
-    for (size_t o = 0; o < co; ++o)
-      for (size_t c = 0; c < ci; ++c)
-        for (size_t kh = 0; kh < k; ++kh)
-          for (size_t kw = 0; kw < k; ++kw)
-            st.w9.at(((kh * k + kw) * co + o) * ci + c) =
-                st.w.at(o, (c * k + kh) * k + kw);
-  }
-
-  // Non-negativity propagation over the (still virtual-buffer-addressed)
-  // plan: a buffer is provably non-negative when its producer ends in
-  // ReLU/sigmoid, and max-pool / global-avg-pool / residual-add preserve
-  // the property. Quantized steps use it to pick an asymmetric activation
-  // grid; the pass is structural, so the choice never depends on data.
-  {
-    std::vector<bool> nonneg(cc.vnumel.size(), false);
-    for (Step& st : cc.steps) {
-      st.in_nonneg = st.in != 0 && nonneg[st.in];
-      bool out_nn;
-      if (st.act == Act::kRelu || st.act == Act::kSigmoid) {
-        out_nn = true;
-      } else if (st.act != Act::kNone) {
-        out_nn = false;  // tanh and friends re-sign
-      } else {
-        switch (st.kind) {
-          case OpKind::kMaxPool:
-          case OpKind::kGlobalAvgPool:
-          case OpKind::kActivation:  // act == kNone: identity
-            out_nn = st.in_nonneg;
-            break;
-          case OpKind::kAdd:  // out += in: needs both operands nonneg
-            out_nn = st.in_nonneg && nonneg[st.out];
-            break;
-          default:  // conv/linear/scale-shift outputs are signed
-            out_nn = false;
-        }
-      }
-      nonneg[st.out] = out_nn;
-    }
-  }
-
-  // int8 lowering: export the (BN-folded) weights of every conv/linear
-  // step as packed symmetric-int8 panels, calibrated per output channel
-  // (each row of W gets its own max-abs step size — BN folding scales rows
-  // independently, so a per-tensor grid would waste its range on the
-  // largest channel). Convs keep the [Co, Ci*K*K] GEMM layout; linear
-  // weights transpose to the [in, out] B-panel layout the qgemm consumes
-  // (activations arrive as the A panel there).
-  if (quantize) {
-    const float levels = static_cast<float>((1 << (opts.bits - 1)) - 1);
-    for (Step& st : cc.steps) {
-      if (st.kind != OpKind::kConv && st.kind != OpKind::kLinear) continue;
-      const size_t rows = st.w.dim(0), cols = st.w.dim(1);
-      st.quantized = true;
-      st.qbits = opts.bits;
-      st.qw.resize(rows * cols);
-      st.qw_scales.resize(rows);
-      std::vector<int8_t> qrow(cols);
-      for (size_t o = 0; o < rows; ++o) {
-        const float* wrow = st.w.data() + o * cols;
-        const float wmax = max_abs_view(wrow, cols);
-        QuantParams qp;
-        qp.bits = opts.bits;
-        qp.scale = wmax > 0.0f ? wmax / levels : 1.0f;
-        if (wmax > 0.0f) {
-          // MSE-optimal clipping: max-abs calibration spends the whole
-          // grid on the largest element; sweeping a few clip fractions and
-          // keeping the min-MSE one trades outlier saturation for finer
-          // steps everywhere else. Compile-time only — runtime sees just
-          // the chosen scale.
-          double best_mse = -1.0;
-          float best_scale = qp.scale;
-          for (int c = 0; c <= 6; ++c) {
-            const float clip = 1.0f - 0.05f * static_cast<float>(c);
-            const float scale = wmax * clip / levels;
-            double mse = 0.0;
-            for (size_t j = 0; j < cols; ++j) {
-              float q = std::round(wrow[j] / scale);
-              q = std::max(-levels, std::min(levels, q));
-              const double d =
-                  static_cast<double>(wrow[j]) - static_cast<double>(q * scale);
-              mse += d * d;
-            }
-            if (best_mse < 0.0 || mse < best_mse) {
-              best_mse = mse;
-              best_scale = scale;
-            }
-          }
-          qp.scale = best_scale;
-        }
-        st.qw_scales[o] = qp.scale;
-        if (st.kind == OpKind::kConv) {
-          quantize_view(wrow, cols, qp, st.qw.data() + o * cols);
-        } else {
-          // Transposed pack: output feature o becomes column o.
-          quantize_view(wrow, cols, qp, qrow.data());
-          for (size_t j = 0; j < cols; ++j) st.qw[j * rows + o] = qrow[j];
-        }
-      }
-      // The float weights are dead from here on — the runtime reads only
-      // qw/qw_scales (geometry lives in out_c/geom/in+out_features), and
-      // keeping them would hand every deployed int8 plan 4 bytes of unused
-      // float per weight.
-      st.w = Tensor();
-    }
-  }
-
-  // --- Linear-scan slot assignment over virtual-buffer live ranges. ---
-  const size_t nvirt = cc.vnumel.size();
-  const size_t final_buf = cc.cur;
-  std::vector<size_t> last_use(nvirt, 0);
-  for (size_t i = 0; i < cc.steps.size(); ++i) {
-    last_use[cc.steps[i].in] = i;
-    last_use[cc.steps[i].out] = i;
-  }
-  last_use[final_buf] = cc.steps.size();  // survives the whole plan
-
-  std::vector<long> slot_of(nvirt, -1);
-  std::vector<size_t> free_slots;
-  size_t nslots = 0;
-  for (size_t i = 0; i < cc.steps.size(); ++i) {
-    Step& st = cc.steps[i];
-    ALF_CHECK(st.out != 0) << "engine: step writes the input buffer";
-    ALF_CHECK(st.in == 0 || slot_of[st.in] >= 0) << "engine: use before def";
-    if (slot_of[st.out] < 0) {
-      if (free_slots.empty()) {
-        slot_of[st.out] = static_cast<long>(nslots++);
-      } else {
-        slot_of[st.out] = static_cast<long>(free_slots.back());
-        free_slots.pop_back();
-      }
-    }
-    // Buffers whose last use is this step return their slot to the pool.
-    for (size_t v = 1; v < nvirt; ++v) {
-      if (last_use[v] == i && slot_of[v] >= 0)
-        free_slots.push_back(static_cast<size_t>(slot_of[v]));
-    }
-  }
-
-  Engine eng;
-  eng.backend_ = backend;
-  eng.quant_ = quantize;
-  eng.batch_ = batch;
-  eng.in_c_ = in_c;
-  eng.in_h_ = in_h;
-  eng.in_w_ = in_w;
-  eng.classes_ = cc.vnumel[final_buf];
-  eng.slots_ = nslots;
-  // Uniform slots sized for the largest live activation keep the free list
-  // trivial; the waste is bounded by slots (<= 3 for the model zoo).
-  size_t max_act = 0;
-  for (size_t v = 1; v < nvirt; ++v) max_act = std::max(max_act, cc.vnumel[v]);
-  eng.slot_stride_ = batch * max_act;
-  eng.nchunks_ = std::min<size_t>(
-      batch, static_cast<size_t>(std::max(1, parallel_threads())));
-  // Chunk-batched convs unfold a whole chunk of images into one im2col
-  // matrix and land the GEMM in a result scratch before the NCHW scatter;
-  // both regions are per-chunk slices at the arena tail.
-  const size_t chunk_imgs = (batch + eng.nchunks_ - 1) / eng.nchunks_;
-  size_t max_col = 0, max_res = 0;
-  for (const Step& st : cc.steps) {
-    if (st.kind != OpKind::kConv || st.shift_gemm) continue;
-    max_col = std::max(
-        max_col, st.geom.col_rows() * st.geom.col_cols() * chunk_imgs);
-    max_res = std::max(max_res, st.out_sz * chunk_imgs);
-  }
-  eng.col_sz_ = max_col;
-  eng.res_sz_ = max_res;
-  eng.col_off_ = eng.slots_ * eng.slot_stride_;
-  eng.res_off_ = eng.col_off_ + eng.nchunks_ * eng.col_sz_;
-  eng.workspace_.assign(eng.res_off_ + eng.nchunks_ * eng.res_sz_, 0.0f);
-
-  // Quantized plans additionally hold int8 activation scratch: per-chunk
-  // quantized-im2col slices (same geometry as the float col scratch) and,
-  // for linear steps, a whole-batch quantized-input region. Conv chunks
-  // and linear steps never overlap in time, so one buffer serves both.
-  // qbs_ carries the per-image column scales (and their inverses) handed
-  // to the qgemm requantization.
-  if (quantize) {
-    size_t max_lin = 0;
-    for (const Step& st : cc.steps)
-      if (st.kind == OpKind::kLinear)
-        max_lin = std::max(max_lin, batch * st.in_features);
-    eng.qws_.assign(std::max(eng.nchunks_ * eng.col_sz_, max_lin), 0);
-    size_t max_cols = batch;  // linear steps use one scale per batch row
-    for (const Step& st : cc.steps)
-      if (st.kind == OpKind::kConv && !st.shift_gemm)
-        max_cols = std::max(max_cols, st.geom.col_cols() * chunk_imgs);
-    eng.qbs_sz_ = max_cols;
-    eng.qbs_.assign(eng.nchunks_ * 2 * eng.qbs_sz_, 0.0f);
-  }
-
-  // Rebind steps from virtual buffers to arena slots (slot 0 = input x).
-  for (Step& st : cc.steps) {
-    st.in = st.in == 0 ? 0 : static_cast<size_t>(slot_of[st.in]) + 1;
-    st.out = static_cast<size_t>(slot_of[st.out]) + 1;
-  }
-  eng.steps_ = std::move(cc.steps);
-  return eng;
+  return Engine(Plan::compile(model, batch, in_c, in_h, in_w, opts));
 }
 
-void Engine::run_conv(const Step& st, const float* in, float* out, size_t n) {
-  // The batch partition is frozen at compile time (nchunks_), so results
-  // are bit-identical for any runtime thread count; each chunk owns one
-  // im2col + result scratch slice at the arena tail.
-  const size_t nch = std::min(nchunks_, n);
-  const size_t chunk = (n + nch - 1) / nch;
-  const size_t nchunks = (n + chunk - 1) / chunk;
-  const float* bias = st.bias.empty() ? nullptr : st.bias.data();
-  const ConvGeom& g = st.geom;
-  const auto process = [&](size_t lo, size_t hi) {
-        for (size_t ci = lo; ci < hi; ++ci) {
-          const size_t i0 = ci * chunk;
-          const size_t i1 = std::min(n, i0 + chunk);
-          if (st.shift_gemm) {
-            for (size_t i = i0; i < i1; ++i)
-              conv2d_image_shift(st, backend_, in + i * st.in_sz,
-                                 out + i * st.out_sz);
-            continue;
-          }
-          // Chunk-batched: unfold the chunk's images side by side, run one
-          // GEMM + fused epilogue, then scatter the channel rows to NCHW.
-          const size_t imgs = i1 - i0;
-          const size_t cols = g.col_cols();
-          const size_t ld = imgs * cols;
-          float* col = workspace_.data() + col_off_ + ci * col_sz_;
-          float* res = workspace_.data() + res_off_ + ci * res_sz_;
-          for (size_t j = 0; j < imgs; ++j)
-            im2col_view(in + (i0 + j) * st.in_sz, g, col + j * cols, ld);
-          if (st.quantized) {
-            // Quantize the chunk's im2col matrix with one max-abs scale
-            // PER IMAGE (image j owns columns [j*cols, (j+1)*cols)); the
-            // scales depend only on image content, so the result is
-            // independent of both the thread count and the chunk grid.
-            // Then run the real int8 GEMM: int32 accumulate, float store.
-            const size_t rows = g.col_rows();
-            int8_t* qcol = qws_.data() + ci * col_sz_;
-            float* bscales = qbs_.data() + ci * 2 * qbs_sz_;
-            float* binv = bscales + qbs_sz_;
-            const float levels =
-                static_cast<float>((1 << (st.qbits - 1)) - 1);
-            // Provably non-negative inputs (post-ReLU) take the asymmetric
-            // grid: zero-point at the bottom of the range, twice the
-            // resolution of the symmetric grid on [0, max].
-            const float span = st.in_nonneg ? 2.0f * levels : levels;
-            const float zp = st.in_nonneg ? -levels : 0.0f;
-            for (size_t j = 0; j < imgs; ++j) {
-              float imax = 0.0f;
-              for (size_t r = 0; r < rows; ++r)
-                imax = std::max(
-                    imax, max_abs_view(col + r * ld + j * cols, cols));
-              const float scale = imax > 0.0f ? imax / span : 1.0f;
-              for (size_t jj = j * cols; jj < (j + 1) * cols; ++jj) {
-                bscales[jj] = scale;
-                binv[jj] = 1.0f / scale;
-              }
-            }
-            for (size_t r = 0; r < rows; ++r) {
-              const float* src_row = col + r * ld;
-              int8_t* dst_row = qcol + r * ld;
-              for (size_t jj = 0; jj < ld; ++jj) {
-                float q = std::round(src_row[jj] * binv[jj]) + zp;
-                q = std::max(-levels, std::min(levels, q));
-                dst_row[jj] = static_cast<int8_t>(q);
-              }
-            }
-            kernels::QgemmParams params;
-            params.a_scales = st.qw_scales.data();  // per-output-channel
-            params.b_scales = bscales;              // per-image
-            params.b_zp = static_cast<int32_t>(zp);
-            backend_->qgemm(st.qw.data(), rows, qcol, ld, res, ld, st.out_c,
-                            rows, ld, params);
-          } else {
-            backend_->gemm(st.w.data(), g.col_rows(), false, col, ld, false,
-                           res, ld, st.out_c, g.col_rows(), ld, 1.0f, 0.0f);
-          }
-          bias_act_inplace(res, st.out_c, ld, bias, st.act);
-          for (size_t j = 0; j < imgs; ++j)
-            for (size_t o = 0; o < st.out_c; ++o)
-              std::memcpy(out + (i0 + j) * st.out_sz + o * cols,
-                          res + o * ld + j * cols, cols * sizeof(float));
-        }
-  };
-  if (nchunks == 1) {
-    // Single-chunk plans (batch <= threads at compile, or a 1-core host)
-    // bypass the dispatcher entirely: no std::function conversion, so
-    // run() performs zero heap allocations. Multi-chunk dispatch costs one
-    // closure allocation per conv step.
-    process(0, 1);
-    return;
-  }
-  parallel_for_chunked(0, nchunks, process, /*min_per_worker=*/1);
-}
-
-void Engine::run(const Tensor& x, Tensor& out) {
-  ALF_CHECK_EQ(x.rank(), size_t{4});
-  const size_t n = x.dim(0);
-  ALF_CHECK_EQ(x.dim(1), in_c_);
-  ALF_CHECK_EQ(x.dim(2), in_h_);
-  ALF_CHECK_EQ(x.dim(3), in_w_);
-  ALF_CHECK_EQ(out.rank(), size_t{2});
-  ALF_CHECK_EQ(out.dim(0), n);
-  ALF_CHECK_EQ(out.dim(1), classes_);
-  run_rows(x.data(), n, out.data());
-}
-
-void Engine::run_rows(const float* x, size_t n, float* out) {
-  ALF_CHECK(x != nullptr && out != nullptr);
-  ALF_CHECK(n >= 1 && n <= batch_)
-      << "engine compiled for batch <= " << batch_ << ", got " << n;
-
-  float* ws = workspace_.data();
-  const auto in_ptr = [&](const Step& st) -> const float* {
-    return st.in == 0 ? x : ws + (st.in - 1) * slot_stride_;
-  };
-  const auto out_ptr = [&](const Step& st) -> float* {
-    return ws + (st.out - 1) * slot_stride_;
-  };
-
-  for (const Step& st : steps_) {
-    const float* src = in_ptr(st);
-    float* dst = out_ptr(st);
-    switch (st.kind) {
-      case OpKind::kConv:
-        run_conv(st, src, dst, n);
-        break;
-      case OpKind::kLinear: {
-        if (st.quantized) {
-          // Dynamic per-image input quantization into the int8 scratch
-          // (conv chunks are done by the time the head runs, so the
-          // buffer is free), then qgemm against the pre-transposed weight
-          // panel. One scale per batch row keeps every image's grid tight.
-          const float levels = static_cast<float>((1 << (st.qbits - 1)) - 1);
-          const float span = st.in_nonneg ? 2.0f * levels : levels;
-          const float zp = st.in_nonneg ? -levels : 0.0f;
-          float* ascales = qbs_.data();
-          for (size_t i = 0; i < n; ++i) {
-            const float* row = src + i * st.in_features;
-            const float amax = max_abs_view(row, st.in_features);
-            const float scale = amax > 0.0f ? amax / span : 1.0f;
-            const float inv = 1.0f / scale;
-            ascales[i] = scale;
-            int8_t* qrow = qws_.data() + i * st.in_features;
-            for (size_t j = 0; j < st.in_features; ++j) {
-              float q = std::round(row[j] * inv) + zp;
-              q = std::max(-levels, std::min(levels, q));
-              qrow[j] = static_cast<int8_t>(q);
-            }
-          }
-          kernels::QgemmParams params;
-          params.a_scales = ascales;              // per-image
-          params.b_scales = st.qw_scales.data();  // per-output-feature
-          params.a_zp = static_cast<int32_t>(zp);
-          backend_->qgemm(qws_.data(), st.in_features, st.qw.data(),
-                          st.out_features, dst, st.out_features, n,
-                          st.in_features, st.out_features, params);
-          const float* b = st.bias.empty() ? nullptr : st.bias.data();
-          if (b != nullptr) {
-            for (size_t i = 0; i < n; ++i) {
-              float* row = dst + i * st.out_features;
-              for (size_t j = 0; j < st.out_features; ++j) row[j] += b[j];
-            }
-          }
-          act_inplace(st.act, dst, n * st.out_features);
-        } else {
-          linear_forward_view(src, n, st.in_features, st.w.data(),
-                              st.out_features,
-                              st.bias.empty() ? nullptr : st.bias.data(),
-                              st.act, dst, backend_);
-        }
-        break;
-      }
-      case OpKind::kGlobalAvgPool:
-        global_avg_pool_view(src, n, st.geom.in_c,
-                             st.geom.in_h * st.geom.in_w, dst);
-        act_inplace(st.act, dst, n * st.out_sz);
-        break;
-      case OpKind::kMaxPool:
-        maxpool_view(src, n, st.geom.in_c, st.geom.in_h, st.geom.in_w,
-                     st.window, dst, /*argmax=*/nullptr);
-        act_inplace(st.act, dst, n * st.out_sz);
-        break;
-      case OpKind::kAdd: {
-        const size_t total = n * st.out_sz;
-        if (st.act == Act::kRelu) {
-          // The residual hot path: merge + block ReLU in one pass.
-          for (size_t i = 0; i < total; ++i) {
-            const float v = dst[i] + src[i];
-            dst[i] = v > 0.0f ? v : 0.0f;
-          }
-        } else {
-          for (size_t i = 0; i < total; ++i) dst[i] += src[i];
-          act_inplace(st.act, dst, total);
-        }
-        break;
-      }
-      case OpKind::kScaleShift: {
-        const size_t hw = st.geom.in_h * st.geom.in_w;
-        for (size_t i = 0; i < n; ++i) {
-          for (size_t ch = 0; ch < st.out_c; ++ch) {
-            const float s = st.scale.at(ch), b = st.shift.at(ch);
-            const float* p = src + (i * st.out_c + ch) * hw;
-            float* q = dst + (i * st.out_c + ch) * hw;
-            for (size_t j = 0; j < hw; ++j) q[j] = p[j] * s + b;
-          }
-        }
-        act_inplace(st.act, dst, n * st.out_sz);
-        break;
-      }
-      case OpKind::kActivation: {
-        const size_t total = n * st.out_sz;
-        std::memcpy(dst, src, total * sizeof(float));
-        act_inplace(st.act, dst, total);
-        break;
-      }
-    }
-  }
-  const Step& last = steps_.back();
-  std::memcpy(out, ws + (last.out - 1) * slot_stride_,
-              n * classes_ * sizeof(float));
-}
-
-Tensor Engine::run(const Tensor& x) {
-  Tensor out({x.dim(0), classes_});
-  run(x, out);
-  return out;
-}
-
-const char* Engine::backend_name() const {
-  return backend_ != nullptr ? backend_->name : "?";
-}
-
-std::string Engine::plan_str() const {
-  std::string s;
-  char line[256];
-  std::snprintf(line, sizeof(line),
-                "engine plan: %zu steps, %zu activation slots x %zu floats, "
-                "%zu x %zu im2col scratch (batch %zu, backend %s%s)\n",
-                steps_.size(), slots_, slot_stride_, nchunks_, col_sz_,
-                batch_, backend_name(), quant_ ? " quantized" : "");
-  s += line;
-  for (size_t i = 0; i < steps_.size(); ++i) {
-    const Step& st = steps_[i];
-    char geom[48] = "";
-    if (st.kind == OpKind::kConv) {
-      std::snprintf(geom, sizeof(geom), "  [%zux%zux%zu] %s", st.out_c,
-                    st.geom.out_h(), st.geom.out_w(),
-                    st.quantized ? "qgemm-int8"
-                                 : (st.shift_gemm ? "shift-gemm" : "im2col"));
-    } else if (st.kind == OpKind::kLinear) {
-      std::snprintf(geom, sizeof(geom), "  [%zu -> %zu]%s", st.in_features,
-                    st.out_features, st.quantized ? " qgemm-int8" : "");
-    }
-    std::snprintf(line, sizeof(line), "  %2zu %-11s %-28s s%zu -> s%zu%s%s%s\n",
-                  i, op_kind_name(st.kind), st.name.c_str(), st.in, st.out,
-                  geom, st.bias.empty() ? "" : " +bias",
-                  st.act == Act::kNone ? "" : (std::string(" +") +
-                                               act_name(st.act)).c_str());
-    s += line;
-  }
-  return s;
-}
+Engine::Engine(std::shared_ptr<const Plan> plan)
+    : plan_(std::move(plan)), ctx_(plan_) {}
 
 }  // namespace alf

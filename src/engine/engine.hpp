@@ -7,6 +7,15 @@
 //   Engine eng = Engine::compile(model, batch, in_c, h, w);
 //   eng.run(x, logits);   // zero heap allocations per call
 //
+// Engine is now a thin compatibility facade over the split that serving
+// needed: an immutable, shareable Plan (steps, folded weights, packed and
+// int8 weight blobs, strategy choices, arena layout — see plan.hpp) plus
+// one per-worker ExecContext (arena storage and scratch — see
+// exec_context.hpp). An Engine owns one of each, so everything that
+// compiled against the welded class keeps working; multi-tenant serving
+// (serve/model_server.hpp) instead shares one Plan across a worker pool
+// where every worker owns its own context.
+//
 // Compilation walks the model (descending into Sequential and
 // ResidualBlock, and lowering AlfConv blocks to their deployed dense
 // code-conv + 1x1-expansion pair), folds inference-mode BatchNorm into the
@@ -24,114 +33,17 @@
 // written by exactly one worker.
 #pragma once
 
-#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "nn/activations.hpp"
-#include "nn/sequential.hpp"
-#include "tensor/ops.hpp"
+#include "engine/exec_context.hpp"
+#include "engine/plan.hpp"
 
 namespace alf {
 
-namespace kernels {
-struct KernelBackend;
-}  // namespace kernels
-
-/// Kernel selector of one compiled step.
-enum class OpKind {
-  kConv,          ///< im2col+GEMM conv, folded-BN bias + activation epilogue
-  kLinear,        ///< fully-connected, bias + activation epilogue
-  kGlobalAvgPool, ///< [N,C,H,W] -> [N,C]
-  kMaxPool,       ///< non-overlapping window max
-  kAdd,           ///< residual merge: out = act(out + in)
-  kScaleShift,    ///< per-channel affine (BatchNorm that could not be folded)
-  kActivation,    ///< standalone activation (could not be fused)
-};
-
-/// Printable kind tag.
-const char* op_kind_name(OpKind kind);
-
-/// One stateless kernel invocation. Weights are compile-time copies (with
-/// BN already folded in); activations are addressed by arena slot index.
-/// Slot 0 is the external input tensor of run() and is never written.
-struct Step {
-  OpKind kind = OpKind::kConv;
-  std::string name;      ///< source layer name(s), for plan dumps
-  size_t in = 0;         ///< arena slot holding the input activation
-  size_t out = 0;        ///< arena slot receiving the output activation
-  Act act = Act::kNone;  ///< fused epilogue activation
-
-  // Per-image element counts of the in/out activations.
-  size_t in_sz = 0;
-  size_t out_sz = 0;
-
-  // kConv / kMaxPool / kGlobalAvgPool / kScaleShift geometry.
-  ConvGeom geom;
-  size_t out_c = 0;
-  size_t window = 0;  ///< kMaxPool
-
-  // kLinear geometry.
-  size_t in_features = 0;
-  size_t out_features = 0;
-
-  Tensor w;     ///< [Co, Ci*K*K] (kConv) or [out, in] (kLinear); released
-                ///< (empty) on int8-lowered steps, which read only qw
-  Tensor bias;  ///< folded bias [Co]/[out]; empty = no bias
-  Tensor scale, shift;  ///< kScaleShift per-channel affine
-
-  /// Conv execution strategy, chosen at compile time per layer:
-  /// - shift_gemm (wide maps and all 1x1s): no im2col at all — K*K GEMMs of
-  ///   per-offset weight slices against shifted views of the input planes,
-  ///   then the `pad` border columns are recomputed directly. `w9` holds
-  ///   the compile-time repacking [K*K, Co, Ci] of `w` (empty for 1x1).
-  /// - chunk-batched im2col (narrow maps, strided convs): all images of a
-  ///   batch chunk unfold side by side into one [Ci*K*K, G*Ho*Wo] matrix,
-  ///   one GEMM computes the chunk, and the result scatters back to NCHW.
-  /// Both exploit what only a compiled plan has: pre-packed weights and
-  /// arena scratch sized once for the whole batch.
-  bool shift_gemm = false;
-  Tensor w9;
-
-  /// int8 lowering (plans compiled with a quantized-datapath backend):
-  /// the step runs the backend's qgemm instead of a float GEMM. `qw` is
-  /// the pre-quantized weight panel — [Co, Ci*K*K] for kConv, the
-  /// transposed [in, out] B panel for kLinear — on the symmetric `qbits`
-  /// grid with one step size per output channel (`qw_scales`; BN folding
-  /// runs first and leaves rows with very different ranges, so per-tensor
-  /// weight calibration would burn most of the grid). Activations are
-  /// quantized per run into arena scratch with one max-abs scale PER
-  /// IMAGE — the scales depend only on image content, never on the chunk
-  /// grid, which is what keeps quantized runs bit-identical across thread
-  /// counts and batch packings.
-  bool quantized = false;
-  std::vector<int8_t> qw;
-  std::vector<float> qw_scales;
-  int qbits = 8;
-  /// Compile-time proof that this step's input activation is non-negative
-  /// (produced through a ReLU/sigmoid chain). Quantized steps then use an
-  /// asymmetric activation grid (zero-point at the bottom of the int8
-  /// range), doubling the resolution the symmetric grid would spend on
-  /// values that cannot occur.
-  bool in_nonneg = false;
-};
-
-/// Compile-time options of a plan.
-struct EngineOptions {
-  /// Kernel-backend name ("scalar" / "simd" / "int8" / a registered
-  /// plugin); "" resolves the process default (ALF_BACKEND env or best
-  /// available). The registry is consulted exactly once, here: the plan
-  /// holds the backend pointer for its lifetime. Selecting "int8" also
-  /// lowers every conv/linear step to the quantized datapath, e.g.
-  ///   Engine::compile(model, batch, c, h, w, {.backend = "int8"});
-  std::string backend;
-  /// Quantization grid width for int8-lowered steps (2..8; the paper's
-  /// Table 3 bit-width sweeps narrow this while storage stays int8).
-  int bits = 8;
-};
-
-/// Compiled model: flat step list + workspace arena. Movable, not copyable
-/// (the arena is large and a compiled plan is cheap to rebuild).
+/// Compiled model facade: one immutable Plan + one ExecContext. Movable,
+/// not copyable (the context arena is large; share the plan() instead).
 class Engine {
  public:
   /// Compiles `model` for inference at the given maximum batch size and
@@ -147,6 +59,11 @@ class Engine {
   static Engine compile(const Sequential& model, size_t batch, size_t in_c,
                         size_t in_h, size_t in_w, const EngineOptions& opts);
 
+  /// Facade over an already-compiled (possibly shared) plan: allocates a
+  /// fresh ExecContext for it. This is how a caller gets a second
+  /// independent executor of one compiled model without recompiling.
+  explicit Engine(std::shared_ptr<const Plan> plan);
+
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
   Engine(const Engine&) = delete;
@@ -157,70 +74,56 @@ class Engine {
   /// zero heap allocations when the batch runs as a single chunk (1-core
   /// host, 1 compile-time thread, or n == 1); multi-chunk runs pay one
   /// pool-dispatch closure per conv step.
-  void run(const Tensor& x, Tensor& out);
+  void run(const Tensor& x, Tensor& out) { ctx_.run(x, out); }
 
   /// Convenience overload that allocates the output tensor.
-  Tensor run(const Tensor& x);
+  Tensor run(const Tensor& x) { return ctx_.run(x); }
 
   /// Raw row-range form of run(): executes the plan on the first `n` images
   /// at `x` (n * in_c()*in_h()*in_w() floats, NCHW) and writes n * classes()
   /// logit floats to `out`. No shape objects are consulted, so a caller can
   /// pack several requests into contiguous rows of one preallocated buffer
   /// and serve a partial batch without reshaping tensors — this is the
-  /// BatchServer dispatch path. Pointer extents are the caller's contract;
-  /// n is checked against the compiled batch.
-  void run_rows(const float* x, size_t n, float* out);
+  /// serving dispatch path. Pointer extents are the caller's contract; n is
+  /// checked against the compiled batch.
+  void run_rows(const float* x, size_t n, float* out) {
+    ctx_.run_rows(x, n, out);
+  }
 
   // --- Introspection --------------------------------------------------------
 
-  const std::vector<Step>& steps() const { return steps_; }
-  size_t batch() const { return batch_; }
-  size_t classes() const { return classes_; }
-  size_t in_c() const { return in_c_; }
-  size_t in_h() const { return in_h_; }
-  size_t in_w() const { return in_w_; }
+  /// The immutable compiled plan, shareable across engines/servers: any
+  /// number of ExecContexts may execute it concurrently.
+  const std::shared_ptr<const Plan>& plan() const { return plan_; }
+  /// This engine's own execution context.
+  ExecContext& context() { return ctx_; }
+  const ExecContext& context() const { return ctx_; }
+
+  const std::vector<Step>& steps() const { return plan_->steps(); }
+  size_t batch() const { return plan_->batch(); }
+  size_t classes() const { return plan_->classes(); }
+  size_t in_c() const { return plan_->in_c(); }
+  size_t in_h() const { return plan_->in_h(); }
+  size_t in_w() const { return plan_->in_w(); }
   /// Floats of one input image (= in_c * in_h * in_w).
-  size_t image_floats() const { return in_c_ * in_h_ * in_w_; }
+  size_t image_floats() const { return plan_->image_floats(); }
   /// Total arena floats (activation slots + im2col scratch).
-  size_t workspace_floats() const { return workspace_.size(); }
+  size_t workspace_floats() const { return ctx_.workspace_floats(); }
   /// Arena base pointer; stable across run() calls (tests assert no growth).
-  const float* workspace_data() const { return workspace_.data(); }
-  size_t activation_slots() const { return slots_; }
+  const float* workspace_data() const { return ctx_.workspace_data(); }
+  size_t activation_slots() const { return plan_->activation_slots(); }
   /// Kernel backend the plan was compiled against.
-  const kernels::KernelBackend* backend() const { return backend_; }
-  const char* backend_name() const;
+  const kernels::KernelBackend* backend() const { return plan_->backend(); }
+  const char* backend_name() const { return plan_->backend_name(); }
   /// True when conv/linear steps were lowered to the int8 qgemm datapath.
-  bool quantized() const { return quant_; }
+  bool quantized() const { return plan_->quantized(); }
 
   /// Human-readable plan: one line per step with fused ops and slots.
-  std::string plan_str() const;
+  std::string plan_str() const { return plan_->str(); }
 
  private:
-  Engine() = default;
-
-  /// Executes one batched conv step (fixed compile-time chunk grid).
-  void run_conv(const Step& st, const float* in, float* out, size_t n);
-
-  std::vector<Step> steps_;
-  std::vector<float> workspace_;
-  std::vector<int8_t> qws_;  ///< int8 activation scratch (quantized plans)
-  std::vector<float> qbs_;   ///< per-image scale/inverse scratch (2 slices
-                             ///< of qbs_sz_ per chunk)
-  size_t qbs_sz_ = 0;        ///< floats per scale slice (max GEMM columns)
-
-  const kernels::KernelBackend* backend_ = nullptr;
-  bool quant_ = false;  ///< conv/linear steps lowered to qgemm
-
-  size_t batch_ = 0;
-  size_t in_c_ = 0, in_h_ = 0, in_w_ = 0;
-  size_t classes_ = 0;
-  size_t slots_ = 0;        ///< number of activation slots
-  size_t slot_stride_ = 0;  ///< floats per activation slot
-  size_t col_off_ = 0;      ///< arena offset of the im2col scratch block
-  size_t col_sz_ = 0;       ///< floats per per-chunk im2col scratch slice
-  size_t res_off_ = 0;      ///< arena offset of the GEMM-result scratch
-  size_t res_sz_ = 0;       ///< floats per per-chunk result scratch slice
-  size_t nchunks_ = 0;      ///< fixed batch partition (determinism)
+  std::shared_ptr<const Plan> plan_;
+  ExecContext ctx_;
 };
 
 }  // namespace alf

@@ -1,0 +1,337 @@
+#include "engine/exec_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "kernels/backend.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "quant/quantize.hpp"
+
+namespace alf {
+namespace {
+
+/// Height bound for the shifted-GEMM border-repair stack buffer; compile
+/// rejects taller maps (plan.cpp keeps the matching constant).
+constexpr size_t kMaxShiftH = 512;
+
+/// Single-image shifted-GEMM convolution (stride 1, pad = (K-1)/2, output
+/// size == input size). For each kernel offset (kh, kw) the valid output
+/// range is a contiguous window of the flattened [H*W] plane, so the
+/// contribution is one GEMM of w9[kh,kw] [Co, Ci] against the raw input
+/// planes at a flat offset — no im2col materialization at all. Column
+/// wrap-around at the left/right borders is repaired afterwards by
+/// recomputing the `pad` edge columns directly from `w`.
+void conv2d_image_shift(const Step& st, const kernels::KernelBackend* be,
+                        const float* x_img, float* out_img) {
+  const ConvGeom& g = st.geom;
+  const size_t hh = g.in_h, ww = g.in_w, hw = hh * ww;
+  const size_t ci = g.in_c, co = st.out_c, k = g.kernel;
+  const long pad = static_cast<long>(g.pad);
+  if (k == 1) {
+    be->gemm(st.w.data(), ci, false, x_img, hw, false, out_img, hw, co, ci,
+             hw, 1.0f, 0.0f);
+    bias_act_inplace(out_img, co, hw, st.bias.empty() ? nullptr : st.bias.data(),
+                     st.act);
+    return;
+  }
+  std::memset(out_img, 0, co * hw * sizeof(float));
+  for (size_t kh = 0; kh < k; ++kh) {
+    for (size_t kw = 0; kw < k; ++kw) {
+      const long shift = (static_cast<long>(kh) - pad) * static_cast<long>(ww) +
+                         (static_cast<long>(kw) - pad);
+      const size_t c0 = shift < 0 ? static_cast<size_t>(-shift) : 0;
+      const size_t c1 = shift > 0 ? hw - static_cast<size_t>(shift) : hw;
+      if (c0 >= c1) continue;
+      const float* a = st.w9.data() + (kh * k + kw) * co * ci;
+      be->gemm(a, ci, false, x_img + static_cast<long>(c0) + shift, hw, false,
+               out_img + c0, hw, co, ci, c1 - c0, 1.0f, 1.0f);
+    }
+  }
+  // Repair the `pad` left/right border columns (their shifted reads wrapped
+  // into the neighboring row): direct convolution, overwriting. The y loop
+  // is innermost over a contiguous column buffer so the accumulations are
+  // independent (no loop-carried dependency chain).
+  const size_t p = g.pad;
+  float tmp[kMaxShiftH];
+  for (size_t o = 0; o < co; ++o) {
+    const float* wrow = st.w.data() + o * ci * k * k;
+    float* oplane = out_img + o * hw;
+    for (size_t e = 0; e < 2 * p; ++e) {
+      const size_t x = e < p ? e : ww - 2 * p + e;
+      for (size_t y = 0; y < hh; ++y) tmp[y] = 0.0f;
+      for (size_t c = 0; c < ci; ++c) {
+        const float* xplane = x_img + c * hw;
+        for (size_t dy = 0; dy < k; ++dy) {
+          const size_t y0 = p > dy ? p - dy : 0;
+          const size_t y1 = std::min(hh, hh + p - dy);
+          for (size_t dx = 0; dx < k; ++dx) {
+            const long ix = static_cast<long>(x + dx) - pad;
+            if (ix < 0 || ix >= static_cast<long>(ww)) continue;
+            const float wv = wrow[(c * k + dy) * k + dx];
+            const float* src = xplane +
+                               (static_cast<long>(dy) - pad) *
+                                   static_cast<long>(ww) +
+                               ix;
+            for (size_t y = y0; y < y1; ++y) tmp[y] += wv * src[y * ww];
+          }
+        }
+      }
+      for (size_t y = 0; y < hh; ++y) oplane[y * ww + x] = tmp[y];
+    }
+  }
+  bias_act_inplace(out_img, co, hw, st.bias.empty() ? nullptr : st.bias.data(),
+                   st.act);
+}
+
+}  // namespace
+
+ExecContext::ExecContext(std::shared_ptr<const Plan> plan)
+    : plan_(std::move(plan)) {
+  ALF_CHECK(plan_ != nullptr) << "ExecContext: null plan";
+  workspace_.assign(plan_->workspace_floats(), 0.0f);
+  if (plan_->quantized()) {
+    qws_.assign(plan_->qws_bytes(), 0);
+    qbs_.assign(plan_->qbs_floats(), 0.0f);
+  }
+}
+
+void ExecContext::run_conv(const Step& st, const float* in, float* out,
+                           size_t n) {
+  // The batch partition is frozen in the Plan (chunks()), so results are
+  // bit-identical for any runtime thread count; each chunk owns one im2col
+  // + result scratch slice at the arena tail of THIS context.
+  const Plan& p = *plan_;
+  const size_t nch = std::min(p.chunks(), n);
+  const size_t chunk = (n + nch - 1) / nch;
+  const size_t nchunks = (n + chunk - 1) / chunk;
+  const float* bias = st.bias.empty() ? nullptr : st.bias.data();
+  const ConvGeom& g = st.geom;
+  const auto process = [&](size_t lo, size_t hi) {
+        for (size_t ci = lo; ci < hi; ++ci) {
+          const size_t i0 = ci * chunk;
+          const size_t i1 = std::min(n, i0 + chunk);
+          if (st.shift_gemm) {
+            for (size_t i = i0; i < i1; ++i)
+              conv2d_image_shift(st, p.backend(), in + i * st.in_sz,
+                                 out + i * st.out_sz);
+            continue;
+          }
+          // Chunk-batched: unfold the chunk's images side by side, run one
+          // GEMM + fused epilogue, then scatter the channel rows to NCHW.
+          const size_t imgs = i1 - i0;
+          const size_t cols = g.col_cols();
+          const size_t ld = imgs * cols;
+          float* col = workspace_.data() + p.col_offset() + ci * p.col_floats();
+          float* res =
+              workspace_.data() + p.result_offset() + ci * p.result_floats();
+          for (size_t j = 0; j < imgs; ++j)
+            im2col_view(in + (i0 + j) * st.in_sz, g, col + j * cols, ld);
+          if (st.quantized) {
+            // Quantize the chunk's im2col matrix with one max-abs scale
+            // PER IMAGE (image j owns columns [j*cols, (j+1)*cols)); the
+            // scales depend only on image content, so the result is
+            // independent of both the thread count and the chunk grid.
+            // Then run the real int8 GEMM: int32 accumulate, float store.
+            const size_t rows = g.col_rows();
+            int8_t* qcol = qws_.data() + ci * p.col_floats();
+            float* bscales = qbs_.data() + ci * 2 * p.qbs_stride();
+            float* binv = bscales + p.qbs_stride();
+            const float levels =
+                static_cast<float>((1 << (st.qbits - 1)) - 1);
+            // Provably non-negative inputs (post-ReLU) take the asymmetric
+            // grid: zero-point at the bottom of the range, twice the
+            // resolution of the symmetric grid on [0, max].
+            const float span = st.in_nonneg ? 2.0f * levels : levels;
+            const float zp = st.in_nonneg ? -levels : 0.0f;
+            for (size_t j = 0; j < imgs; ++j) {
+              float imax = 0.0f;
+              for (size_t r = 0; r < rows; ++r)
+                imax = std::max(
+                    imax, max_abs_view(col + r * ld + j * cols, cols));
+              const float scale = imax > 0.0f ? imax / span : 1.0f;
+              for (size_t jj = j * cols; jj < (j + 1) * cols; ++jj) {
+                bscales[jj] = scale;
+                binv[jj] = 1.0f / scale;
+              }
+            }
+            for (size_t r = 0; r < rows; ++r) {
+              const float* src_row = col + r * ld;
+              int8_t* dst_row = qcol + r * ld;
+              for (size_t jj = 0; jj < ld; ++jj) {
+                float q = std::round(src_row[jj] * binv[jj]) + zp;
+                q = std::max(-levels, std::min(levels, q));
+                dst_row[jj] = static_cast<int8_t>(q);
+              }
+            }
+            kernels::QgemmParams params;
+            params.a_scales = st.qw_scales.data();  // per-output-channel
+            params.b_scales = bscales;              // per-image
+            params.b_zp = static_cast<int32_t>(zp);
+            p.backend()->qgemm(st.qw.data(), rows, qcol, ld, res, ld,
+                               st.out_c, rows, ld, params);
+          } else {
+            p.backend()->gemm(st.w.data(), g.col_rows(), false, col, ld,
+                              false, res, ld, st.out_c, g.col_rows(), ld,
+                              1.0f, 0.0f);
+          }
+          bias_act_inplace(res, st.out_c, ld, bias, st.act);
+          for (size_t j = 0; j < imgs; ++j)
+            for (size_t o = 0; o < st.out_c; ++o)
+              std::memcpy(out + (i0 + j) * st.out_sz + o * cols,
+                          res + o * ld + j * cols, cols * sizeof(float));
+        }
+  };
+  if (nchunks == 1) {
+    // Single-chunk plans (batch <= threads at compile, or a 1-core host)
+    // bypass the dispatcher entirely: no std::function conversion, so
+    // run() performs zero heap allocations. Multi-chunk dispatch costs one
+    // closure allocation per conv step.
+    process(0, 1);
+    return;
+  }
+  parallel_for_chunked(0, nchunks, process, /*min_per_worker=*/1);
+}
+
+void ExecContext::run(const Tensor& x, Tensor& out) {
+  const Plan& p = *plan_;
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  const size_t n = x.dim(0);
+  ALF_CHECK_EQ(x.dim(1), p.in_c());
+  ALF_CHECK_EQ(x.dim(2), p.in_h());
+  ALF_CHECK_EQ(x.dim(3), p.in_w());
+  ALF_CHECK_EQ(out.rank(), size_t{2});
+  ALF_CHECK_EQ(out.dim(0), n);
+  ALF_CHECK_EQ(out.dim(1), p.classes());
+  run_rows(x.data(), n, out.data());
+}
+
+void ExecContext::run_rows(const float* x, size_t n, float* out) {
+  const Plan& p = *plan_;
+  ALF_CHECK(x != nullptr && out != nullptr);
+  ALF_CHECK(n >= 1 && n <= p.batch())
+      << "engine compiled for batch <= " << p.batch() << ", got " << n;
+
+  float* ws = workspace_.data();
+  const size_t stride = p.slot_stride();
+  const auto in_ptr = [&](const Step& st) -> const float* {
+    return st.in == 0 ? x : ws + (st.in - 1) * stride;
+  };
+  const auto out_ptr = [&](const Step& st) -> float* {
+    return ws + (st.out - 1) * stride;
+  };
+
+  for (const Step& st : p.steps()) {
+    const float* src = in_ptr(st);
+    float* dst = out_ptr(st);
+    switch (st.kind) {
+      case OpKind::kConv:
+        run_conv(st, src, dst, n);
+        break;
+      case OpKind::kLinear: {
+        if (st.quantized) {
+          // Dynamic per-image input quantization into the int8 scratch
+          // (conv chunks are done by the time the head runs, so the
+          // buffer is free), then qgemm against the pre-transposed weight
+          // panel. One scale per batch row keeps every image's grid tight.
+          const float levels = static_cast<float>((1 << (st.qbits - 1)) - 1);
+          const float span = st.in_nonneg ? 2.0f * levels : levels;
+          const float zp = st.in_nonneg ? -levels : 0.0f;
+          float* ascales = qbs_.data();
+          for (size_t i = 0; i < n; ++i) {
+            const float* row = src + i * st.in_features;
+            const float amax = max_abs_view(row, st.in_features);
+            const float scale = amax > 0.0f ? amax / span : 1.0f;
+            const float inv = 1.0f / scale;
+            ascales[i] = scale;
+            int8_t* qrow = qws_.data() + i * st.in_features;
+            for (size_t j = 0; j < st.in_features; ++j) {
+              float q = std::round(row[j] * inv) + zp;
+              q = std::max(-levels, std::min(levels, q));
+              qrow[j] = static_cast<int8_t>(q);
+            }
+          }
+          kernels::QgemmParams params;
+          params.a_scales = ascales;              // per-image
+          params.b_scales = st.qw_scales.data();  // per-output-feature
+          params.a_zp = static_cast<int32_t>(zp);
+          p.backend()->qgemm(qws_.data(), st.in_features, st.qw.data(),
+                             st.out_features, dst, st.out_features, n,
+                             st.in_features, st.out_features, params);
+          const float* b = st.bias.empty() ? nullptr : st.bias.data();
+          if (b != nullptr) {
+            for (size_t i = 0; i < n; ++i) {
+              float* row = dst + i * st.out_features;
+              for (size_t j = 0; j < st.out_features; ++j) row[j] += b[j];
+            }
+          }
+          act_inplace(st.act, dst, n * st.out_features);
+        } else {
+          linear_forward_view(src, n, st.in_features, st.w.data(),
+                              st.out_features,
+                              st.bias.empty() ? nullptr : st.bias.data(),
+                              st.act, dst, p.backend());
+        }
+        break;
+      }
+      case OpKind::kGlobalAvgPool:
+        global_avg_pool_view(src, n, st.geom.in_c,
+                             st.geom.in_h * st.geom.in_w, dst);
+        act_inplace(st.act, dst, n * st.out_sz);
+        break;
+      case OpKind::kMaxPool:
+        maxpool_view(src, n, st.geom.in_c, st.geom.in_h, st.geom.in_w,
+                     st.window, dst, /*argmax=*/nullptr);
+        act_inplace(st.act, dst, n * st.out_sz);
+        break;
+      case OpKind::kAdd: {
+        const size_t total = n * st.out_sz;
+        if (st.act == Act::kRelu) {
+          // The residual hot path: merge + block ReLU in one pass.
+          for (size_t i = 0; i < total; ++i) {
+            const float v = dst[i] + src[i];
+            dst[i] = v > 0.0f ? v : 0.0f;
+          }
+        } else {
+          for (size_t i = 0; i < total; ++i) dst[i] += src[i];
+          act_inplace(st.act, dst, total);
+        }
+        break;
+      }
+      case OpKind::kScaleShift: {
+        const size_t hw = st.geom.in_h * st.geom.in_w;
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t ch = 0; ch < st.out_c; ++ch) {
+            const float s = st.scale.at(ch), b = st.shift.at(ch);
+            const float* pp = src + (i * st.out_c + ch) * hw;
+            float* q = dst + (i * st.out_c + ch) * hw;
+            for (size_t j = 0; j < hw; ++j) q[j] = pp[j] * s + b;
+          }
+        }
+        act_inplace(st.act, dst, n * st.out_sz);
+        break;
+      }
+      case OpKind::kActivation: {
+        const size_t total = n * st.out_sz;
+        std::memcpy(dst, src, total * sizeof(float));
+        act_inplace(st.act, dst, total);
+        break;
+      }
+    }
+  }
+  const Step& last = p.steps().back();
+  std::memcpy(out, ws + (last.out - 1) * stride,
+              n * p.classes() * sizeof(float));
+}
+
+Tensor ExecContext::run(const Tensor& x) {
+  Tensor out({x.dim(0), plan_->classes()});
+  run(x, out);
+  return out;
+}
+
+}  // namespace alf

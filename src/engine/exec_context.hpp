@@ -1,0 +1,76 @@
+// ExecContext: the mutable half of the compiled-model split (see plan.hpp).
+//
+// One ExecContext is everything a single in-flight batch needs that a Plan
+// deliberately does not own: the activation arena, the per-chunk im2col and
+// GEMM-result scratch, and (for quantized plans) the int8 activation and
+// per-image scale scratch. Construction is cheap — a handful of vector
+// allocations sized by the Plan's layout, no weight copies — so a serving
+// worker pool hands one context per hosted plan to every worker and runs N
+// batches of the same compiled model concurrently.
+//
+// Concurrency contract: a context is single-threaded (one run at a time;
+// the run itself may fan out over the process worker pool exactly as
+// before), but any number of contexts may run the SAME Plan from different
+// threads simultaneously — runs read the Plan and write only their own
+// context, and the kernel backends keep per-thread scratch only. Results
+// are bit-identical across contexts, thread counts, and batch packings:
+// the chunk grid is frozen in the Plan and every per-image quantization
+// scale depends only on image content.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/plan.hpp"
+
+namespace alf {
+
+class ExecContext {
+ public:
+  /// Allocates arena + scratch for `plan` (shared, kept alive by the
+  /// context). All storage is allocated here, never during run.
+  explicit ExecContext(std::shared_ptr<const Plan> plan);
+
+  ExecContext(ExecContext&&) = default;
+  ExecContext& operator=(ExecContext&&) = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Executes the plan on x [n, Ci, H, W] with n <= plan().batch(); writes
+  /// the logits into `out` [n, classes] (preallocated by the caller).
+  /// Performs zero heap allocations when the batch runs as a single chunk.
+  void run(const Tensor& x, Tensor& out);
+
+  /// Convenience overload that allocates the output tensor.
+  Tensor run(const Tensor& x);
+
+  /// Raw row-range form of run(): executes the plan on the first `n` images
+  /// at `x` (n * image_floats() floats, NCHW) and writes n * classes()
+  /// logit floats to `out`. No shape objects are consulted, so a caller can
+  /// pack several requests into contiguous rows of one preallocated buffer
+  /// and serve a partial batch without reshaping tensors — this is the
+  /// serving dispatch path. Pointer extents are the caller's contract; n is
+  /// checked against the compiled batch.
+  void run_rows(const float* x, size_t n, float* out);
+
+  const Plan& plan() const { return *plan_; }
+  const std::shared_ptr<const Plan>& plan_ptr() const { return plan_; }
+
+  /// Total arena floats (activation slots + im2col scratch).
+  size_t workspace_floats() const { return workspace_.size(); }
+  /// Arena base pointer; stable across run() calls (tests assert no growth).
+  const float* workspace_data() const { return workspace_.data(); }
+
+ private:
+  /// Executes one batched conv step (fixed compile-time chunk grid).
+  void run_conv(const Step& st, const float* in, float* out, size_t n);
+
+  std::shared_ptr<const Plan> plan_;
+  std::vector<float> workspace_;
+  std::vector<int8_t> qws_;  ///< int8 activation scratch (quantized plans)
+  std::vector<float> qbs_;   ///< per-image scale/inverse scratch (2 slices
+                             ///< of Plan::qbs_stride() per chunk)
+};
+
+}  // namespace alf

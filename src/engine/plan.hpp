@@ -1,0 +1,209 @@
+// Plan: the immutable half of the compiled-model split.
+//
+// Engine::compile used to weld what was compiled (steps, folded weights,
+// packed/int8 weight blobs, strategy choices, arena layout) to what runs
+// it (one mutable workspace arena). That limits a compiled model to one
+// in-flight batch. The split here mirrors the compiled-blob-vs-execution-
+// context separation every serious inference stack converges on:
+//
+//   Plan        — everything Plan::compile produced. Immutable after
+//                 compile and shared via shared_ptr<const Plan>; any
+//                 number of ExecContexts (one per server worker) execute
+//                 it concurrently, race-free by construction because a
+//                 run only ever writes its own context.
+//   ExecContext — per-worker storage: arena, im2col/qgemm scratch
+//                 (exec_context.hpp).
+//   Engine      — thin compatibility facade owning one Plan + one
+//                 context (engine.hpp); pre-split call sites compile
+//                 unchanged.
+//
+// The Plan carries not just the step list but the arena *layout* (slot
+// count/stride, scratch offsets, the fixed chunk grid), so every context
+// allocates exactly the same geometry and results are bit-identical
+// across contexts, workers, and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+
+namespace alf {
+
+namespace kernels {
+struct KernelBackend;
+}  // namespace kernels
+
+/// Kernel selector of one compiled step.
+enum class OpKind {
+  kConv,          ///< im2col+GEMM conv, folded-BN bias + activation epilogue
+  kLinear,        ///< fully-connected, bias + activation epilogue
+  kGlobalAvgPool, ///< [N,C,H,W] -> [N,C]
+  kMaxPool,       ///< non-overlapping window max
+  kAdd,           ///< residual merge: out = act(out + in)
+  kScaleShift,    ///< per-channel affine (BatchNorm that could not be folded)
+  kActivation,    ///< standalone activation (could not be fused)
+};
+
+/// Printable kind tag.
+const char* op_kind_name(OpKind kind);
+
+/// One stateless kernel invocation. Weights are compile-time copies (with
+/// BN already folded in); activations are addressed by arena slot index.
+/// Slot 0 is the external input tensor of run() and is never written.
+struct Step {
+  OpKind kind = OpKind::kConv;
+  std::string name;      ///< source layer name(s), for plan dumps
+  size_t in = 0;         ///< arena slot holding the input activation
+  size_t out = 0;        ///< arena slot receiving the output activation
+  Act act = Act::kNone;  ///< fused epilogue activation
+
+  // Per-image element counts of the in/out activations.
+  size_t in_sz = 0;
+  size_t out_sz = 0;
+
+  // kConv / kMaxPool / kGlobalAvgPool / kScaleShift geometry.
+  ConvGeom geom;
+  size_t out_c = 0;
+  size_t window = 0;  ///< kMaxPool
+
+  // kLinear geometry.
+  size_t in_features = 0;
+  size_t out_features = 0;
+
+  Tensor w;     ///< [Co, Ci*K*K] (kConv) or [out, in] (kLinear); released
+                ///< (empty) on int8-lowered steps, which read only qw
+  Tensor bias;  ///< folded bias [Co]/[out]; empty = no bias
+  Tensor scale, shift;  ///< kScaleShift per-channel affine
+
+  /// Conv execution strategy, chosen at compile time per layer:
+  /// - shift_gemm (wide maps and all 1x1s): no im2col at all — K*K GEMMs of
+  ///   per-offset weight slices against shifted views of the input planes,
+  ///   then the `pad` border columns are recomputed directly. `w9` holds
+  ///   the compile-time repacking [K*K, Co, Ci] of `w` (empty for 1x1).
+  /// - chunk-batched im2col (narrow maps, strided convs): all images of a
+  ///   batch chunk unfold side by side into one [Ci*K*K, G*Ho*Wo] matrix,
+  ///   one GEMM computes the chunk, and the result scatters back to NCHW.
+  /// Both exploit what only a compiled plan has: pre-packed weights and
+  /// arena scratch sized once for the whole batch.
+  bool shift_gemm = false;
+  Tensor w9;
+
+  /// int8 lowering (plans compiled with a quantized-datapath backend):
+  /// the step runs the backend's qgemm instead of a float GEMM. `qw` is
+  /// the pre-quantized weight panel — [Co, Ci*K*K] for kConv, the
+  /// transposed [in, out] B panel for kLinear — on the symmetric `qbits`
+  /// grid with one step size per output channel (`qw_scales`; BN folding
+  /// runs first and leaves rows with very different ranges, so per-tensor
+  /// weight calibration would burn most of the grid). Activations are
+  /// quantized per run into context scratch with one max-abs scale PER
+  /// IMAGE — the scales depend only on image content, never on the chunk
+  /// grid, which is what keeps quantized runs bit-identical across thread
+  /// counts and batch packings.
+  bool quantized = false;
+  std::vector<int8_t> qw;
+  std::vector<float> qw_scales;
+  int qbits = 8;
+  /// Compile-time proof that this step's input activation is non-negative
+  /// (produced through a ReLU/sigmoid chain). Quantized steps then use an
+  /// asymmetric activation grid (zero-point at the bottom of the int8
+  /// range), doubling the resolution the symmetric grid would spend on
+  /// values that cannot occur.
+  bool in_nonneg = false;
+};
+
+/// Compile-time options of a plan.
+struct EngineOptions {
+  /// Kernel-backend name ("scalar" / "simd" / "int8" / a registered
+  /// plugin); "" resolves the process default (ALF_BACKEND env or best
+  /// available). The registry is consulted exactly once, at compile: the
+  /// plan holds the backend pointer for its lifetime. Selecting "int8"
+  /// also lowers every conv/linear step to the quantized datapath, e.g.
+  ///   Plan::compile(model, batch, c, h, w, {.backend = "int8"});
+  std::string backend;
+  /// Quantization grid width for int8-lowered steps (2..8; the paper's
+  /// Table 3 bit-width sweeps narrow this while storage stays int8).
+  int bits = 8;
+};
+
+/// Compiled model: flat step list, folded/packed weights, strategy choices,
+/// pinned kernel backend, and the arena layout every ExecContext allocates.
+/// Immutable after compile() and shared by const pointer: concurrent runs
+/// on distinct contexts never touch Plan state, so a ModelServer hosts one
+/// Plan under many workers with no copies and no locks.
+class Plan {
+ public:
+  /// Compiles `model` for inference at the given maximum batch size and
+  /// input geometry. The model is read, not mutated; weights are copied
+  /// (with BN folded), so the Plan outlives the model. Layers that cannot
+  /// be lowered (e.g. AlfConv with BN_inter) fail with a CheckError.
+  static std::shared_ptr<const Plan> compile(const Sequential& model,
+                                             size_t batch, size_t in_c,
+                                             size_t in_h, size_t in_w,
+                                             const EngineOptions& opts = {});
+
+  // Shared immutable object: neither copied nor moved after compile().
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  const std::vector<Step>& steps() const { return steps_; }
+  size_t batch() const { return batch_; }
+  size_t classes() const { return classes_; }
+  size_t in_c() const { return in_c_; }
+  size_t in_h() const { return in_h_; }
+  size_t in_w() const { return in_w_; }
+  /// Floats of one input image (= in_c * in_h * in_w).
+  size_t image_floats() const { return in_c_ * in_h_ * in_w_; }
+  /// Kernel backend the plan was compiled against.
+  const kernels::KernelBackend* backend() const { return backend_; }
+  const char* backend_name() const;
+  /// True when conv/linear steps were lowered to the int8 qgemm datapath.
+  bool quantized() const { return quant_; }
+
+  // --- Arena layout (what one ExecContext allocates) ------------------------
+  size_t activation_slots() const { return slots_; }
+  size_t slot_stride() const { return slot_stride_; }
+  /// Total float arena of one context (activation slots + conv scratch).
+  size_t workspace_floats() const { return res_off_ + nchunks_ * res_sz_; }
+  size_t col_offset() const { return col_off_; }
+  size_t col_floats() const { return col_sz_; }
+  size_t result_offset() const { return res_off_; }
+  size_t result_floats() const { return res_sz_; }
+  /// Fixed batch partition (chosen at compile for determinism).
+  size_t chunks() const { return nchunks_; }
+  /// int8 activation scratch bytes of one context (0 on float plans).
+  size_t qws_bytes() const { return qws_sz_; }
+  /// Per-image scale-slice stride of the qgemm scratch.
+  size_t qbs_stride() const { return qbs_sz_; }
+  /// Total per-image scale/inverse scratch floats (0 on float plans).
+  size_t qbs_floats() const { return quant_ ? nchunks_ * 2 * qbs_sz_ : 0; }
+
+  /// Human-readable plan: one line per step with fused ops and slots.
+  std::string str() const;
+
+ private:
+  Plan() = default;
+
+  std::vector<Step> steps_;
+  const kernels::KernelBackend* backend_ = nullptr;
+  bool quant_ = false;  ///< conv/linear steps lowered to qgemm
+
+  size_t batch_ = 0;
+  size_t in_c_ = 0, in_h_ = 0, in_w_ = 0;
+  size_t classes_ = 0;
+  size_t slots_ = 0;        ///< number of activation slots
+  size_t slot_stride_ = 0;  ///< floats per activation slot
+  size_t col_off_ = 0;      ///< arena offset of the im2col scratch block
+  size_t col_sz_ = 0;       ///< floats per per-chunk im2col scratch slice
+  size_t res_off_ = 0;      ///< arena offset of the GEMM-result scratch
+  size_t res_sz_ = 0;       ///< floats per per-chunk result scratch slice
+  size_t nchunks_ = 0;      ///< fixed batch partition (determinism)
+  size_t qws_sz_ = 0;       ///< int8 activation scratch bytes (quantized)
+  size_t qbs_sz_ = 0;       ///< floats per scale slice (max GEMM columns)
+};
+
+}  // namespace alf

@@ -3,8 +3,9 @@
 //
 // tensor/ops.cpp::gemm/gemm_view, the nn/ layers and the engine's two conv
 // strategies all route their matrix products through one KernelBackend
-// chosen at startup (or, for a compiled Engine, once at Engine::compile
-// time). A backend bundles the two entry points the library needs:
+// chosen at startup (or, for a compiled model, once at Plan::compile time —
+// the Plan pins the backend pointer for its lifetime). A backend bundles
+// the two entry points the library needs:
 //
 //   gemm   — f32 C = alpha * op(A) * op(B) + beta * C over row-major views
 //            (the gemm_view shape: lda/ldb/ldc strides, trans flags).
@@ -32,6 +33,12 @@
 // Every backend must be deterministic: for a fixed backend the result is
 // bit-identical for any thread count (accumulation order per C element
 // depends only on the k-block grid, never on the thread partition).
+//
+// Every backend must also be re-entrant: a multi-tenant server runs many
+// ExecContexts concurrently from different worker threads, so concurrent
+// calls into the same entry point (over disjoint output buffers) must be
+// race-free. Keep per-call scratch on the stack or thread_local, as the
+// built-ins do — never in shared mutable statics.
 #pragma once
 
 #include <cstddef>

@@ -1,160 +1,74 @@
 #include "serve/batch_server.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cstring>
-#include <string>
 #include <utility>
-#include <vector>
-
-#include "core/check.hpp"
 
 namespace alf {
+namespace {
 
-BatchServer::BatchServer(Engine engine)
-    : BatchServer(std::move(engine), Config()) {}
-
-BatchServer::BatchServer(Engine engine, Config cfg)
-    : engine_(std::move(engine)),
-      cfg_(cfg),
-      in_({engine_.batch(), engine_.in_c(), engine_.in_h(), engine_.in_w()}),
-      out_({engine_.batch(), engine_.classes()}),
-      paused_(cfg.start_paused) {
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+ModelServer::Config single_model(bool start_paused) {
+  ModelServer::Config cfg;
+  cfg.workers = 1;
+  cfg.start_paused = start_paused;
+  return cfg;
 }
 
-BatchServer::~BatchServer() { stop(); }
+}  // namespace
+
+BatchServer::BatchServer(Engine engine)
+    : BatchServer(engine.plan(), Config()) {}
+
+// `engine` dies at the delegation, releasing its arena; only the shared
+// immutable Plan survives into the server.
+BatchServer::BatchServer(Engine engine, Config cfg)
+    : BatchServer(engine.plan(), cfg) {}
+
+BatchServer::BatchServer(std::shared_ptr<const Plan> plan)
+    : BatchServer(std::move(plan), Config()) {}
+
+BatchServer::BatchServer(std::shared_ptr<const Plan> plan, Config cfg)
+    : plan_(std::move(plan)),
+      cfg_(cfg),
+      server_(single_model(cfg.start_paused)) {
+  ModelServer::ModelConfig mc;
+  mc.max_wait_us = cfg_.max_wait_us;
+  mc.max_queue = cfg_.max_queue;
+  mc.shed = cfg_.shed;
+  server_.add_model(kModel, plan_, mc);
+  server_.start();
+}
+
+const Engine& BatchServer::engine() const {
+  std::call_once(engine_once_,
+                 [this] { engine_ = std::make_unique<Engine>(plan_); });
+  return *engine_;
+}
 
 void BatchServer::submit(Tensor x, Callback done) {
-  ALF_CHECK(done != nullptr) << "BatchServer: null completion callback";
-  ALF_CHECK_EQ(x.rank(), size_t{4});
-  const size_t n = x.dim(0);
-  ALF_CHECK(n >= 1 && n <= engine_.batch())
-      << "BatchServer: request of " << n << " images, engine batch "
-      << engine_.batch();
-  ALF_CHECK_EQ(x.dim(1), engine_.in_c());
-  ALF_CHECK_EQ(x.dim(2), engine_.in_h());
-  ALF_CHECK_EQ(x.dim(3), engine_.in_w());
-  {
-    std::lock_guard<std::mutex> lk(m_);
-    ALF_CHECK(!stop_) << "BatchServer: submit after stop";
-    if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
-      // Fail fast under overload: counting happens under the same lock, so
-      // stats().rejected is exact, and the request is never owned by the
-      // server (no callback, nothing to drain).
-      ++stats_.rejected;
-      throw QueueFullError("BatchServer: queue full (" +
-                           std::to_string(queue_.size()) + " of max " +
-                           std::to_string(cfg_.max_queue) +
-                           " requests queued)");
-    }
-    queue_.push_back(Request{std::move(x), n, std::move(done)});
-    queued_images_ += n;
-  }
-  cv_.notify_all();
+  server_.submit(kModel, std::move(x), std::move(done));
+}
+
+void BatchServer::submit(Tensor x, Callback done, ErrorCallback fail,
+                         SubmitOptions opts) {
+  server_.submit(kModel, std::move(x), std::move(done), std::move(fail),
+                 opts);
 }
 
 std::future<Tensor> BatchServer::submit(Tensor x) {
-  auto promise = std::make_shared<std::promise<Tensor>>();
-  std::future<Tensor> fut = promise->get_future();
-  submit(std::move(x),
-         [promise](Tensor&& logits) { promise->set_value(std::move(logits)); });
-  return fut;
+  return server_.submit(kModel, std::move(x));
 }
 
-void BatchServer::pause() {
-  std::lock_guard<std::mutex> lk(m_);
-  paused_ = true;
+std::future<Tensor> BatchServer::submit(Tensor x, SubmitOptions opts) {
+  return server_.submit(kModel, std::move(x), opts);
 }
 
-void BatchServer::resume() {
-  {
-    std::lock_guard<std::mutex> lk(m_);
-    paused_ = false;
-  }
-  cv_.notify_all();
-}
+void BatchServer::pause() { server_.pause(); }
 
-void BatchServer::stop() {
-  {
-    std::lock_guard<std::mutex> lk(m_);
-    stop_ = true;
-    paused_ = false;  // a paused server still drains on shutdown
-  }
-  cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
-}
+void BatchServer::resume() { server_.resume(); }
 
-size_t BatchServer::pending() const {
-  std::lock_guard<std::mutex> lk(m_);
-  return queue_.size();
-}
+void BatchServer::stop() { server_.stop(); }
 
-ServeStats BatchServer::stats() const {
-  std::lock_guard<std::mutex> lk(m_);
-  return stats_;
-}
+size_t BatchServer::pending() const { return server_.pending(kModel); }
 
-void BatchServer::dispatch_loop() {
-  const size_t batch = engine_.batch();
-  const size_t img_floats = engine_.image_floats();
-  std::vector<Request> take;
-  take.reserve(batch);
-
-  std::unique_lock<std::mutex> lk(m_);
-  while (true) {
-    cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;  // woken by stop-then-resume races; re-arm the wait
-    }
-    // A tick is open: give arrivals max_wait_us to fill the batch, leaving
-    // early once enough images are queued. During shutdown the deadline is
-    // skipped so the drain runs back-to-back.
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(cfg_.max_wait_us);
-    while (!stop_ && !paused_ && queued_images_ < batch) {
-      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
-    }
-    // pause() landed mid-tick: abandon the tick and hold the backlog. Both
-    // flags are checked under m_, so once pause() returns no new batch can
-    // form until resume().
-    if (paused_ && !stop_) continue;
-    // Longest queue prefix that fits the compiled batch. The head always
-    // fits (submit() bounds every request by the batch size).
-    take.clear();
-    size_t n = 0;
-    while (!queue_.empty() && n + queue_.front().n <= batch) {
-      n += queue_.front().n;
-      take.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    queued_images_ -= n;
-    stats_.batches += 1;
-    stats_.requests += take.size();
-    stats_.images += n;
-    stats_.max_fill = std::max(stats_.max_fill, n);
-    if (n == batch) stats_.full_batches += 1;
-    lk.unlock();
-
-    // Pack request rows contiguously, one engine dispatch, scatter back.
-    float* dst = in_.data();
-    for (const Request& r : take) {
-      std::memcpy(dst, r.x.data(), r.n * img_floats * sizeof(float));
-      dst += r.n * img_floats;
-    }
-    engine_.run_rows(in_.data(), n, out_.data());
-    const float* src = out_.data();
-    const size_t classes = engine_.classes();
-    for (Request& r : take) {
-      Tensor logits({r.n, classes});
-      std::memcpy(logits.data(), src, r.n * classes * sizeof(float));
-      src += r.n * classes;
-      r.done(std::move(logits));
-    }
-    take.clear();
-    lk.lock();
-  }
-}
+ServeStats BatchServer::stats() const { return server_.stats(kModel); }
 
 }  // namespace alf

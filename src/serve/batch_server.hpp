@@ -1,103 +1,73 @@
-// Batched inference server: dynamic batching over a compiled Engine.
+// BatchServer: single-model facade over the multi-tenant ModelServer.
 //
-// The engine executes one batch per call as fast as the hardware allows;
-// the server turns that into a serving system. Clients submit requests of
-// 1..Engine::batch() images into a mutex/condition-variable queue; a
-// dispatcher thread gathers requests per tick:
+// The original batched inference server owned one compiled Engine, one
+// request queue, and one dispatcher thread. That exact API survives here
+// as the 1-model special case of ModelServer (model_server.hpp): the
+// constructor registers the engine's Plan as the only hosted model on a
+// 1-worker pool, and every method forwards. Semantics are unchanged —
+// dynamic batching per tick (max_wait_us, early-out on a full batch,
+// longest-prefix packing), admission control (max_queue + shed policy),
+// pause/resume backlog staging, drain-on-stop, coherent stats snapshots —
+// because they now live one layer down, shared with the multi-model case.
 //
-//   - The first queued request opens a tick. The dispatcher then waits at
-//     most `max_wait_us` for more arrivals, leaving early the moment the
-//     queue holds a full batch — so bursts fill batches and a lone request
-//     is never starved past the wait budget.
-//   - The longest queue prefix whose images fit Engine::batch() is packed
-//     into contiguous rows of one preallocated input buffer and executed
-//     with a single Engine::run_rows (partial batches run on the same
-//     compiled plan; see engine/engine.hpp).
-//   - Per-request logit rows are scattered back and delivered through the
-//     request's completion callback (std::future via the other submit()
-//     overload). Callbacks run on the dispatcher thread; keep them light.
-//
-// Admission control: Config::max_queue bounds the backlog. When the queue
-// already holds that many requests, submit() fails fast with QueueFullError
-// (a typed error, so callers distinguish overload — retry/shed upstream —
-// from misuse, which stays CheckError). 0 = unbounded, the pre-existing
-// behavior.
-//
-// stop() (and the destructor) drains every queued request before joining,
-// so no accepted request is ever dropped. Submissions after stop() fail
-// with CheckError.
+// New since the facade: Config::shed selects what happens at max_queue
+// (kReject fails the new submit with QueueFullError; kDropOldest admits it
+// and sheds the oldest queued request, whose future completes with
+// QueueFullError and stats().dropped_oldest counts it), and submits may
+// carry a per-request deadline_us latency budget — requests still queued
+// past it are shed before batch formation with DeadlineExpiredError,
+// counted in stats().expired.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <stdexcept>
-#include <thread>
 
 #include "engine/engine.hpp"
+#include "serve/model_server.hpp"
 
 namespace alf {
 
-/// Typed overload signal: submit() found the queue at Config::max_queue.
-/// Deliberately NOT a CheckError — overload is an operating condition the
-/// caller handles (shed, retry with backoff, degrade), not a programming
-/// error.
-class QueueFullError : public std::runtime_error {
- public:
-  explicit QueueFullError(const std::string& what)
-      : std::runtime_error(what) {}
-};
-
-/// Dispatch counters, aggregated under the queue lock at batch-formation
-/// time (so they are final for a request as soon as its result is
-/// delivered).
-struct ServeStats {
-  size_t requests = 0;      ///< requests dispatched to the engine
-  size_t images = 0;        ///< images dispatched
-  size_t batches = 0;       ///< engine invocations
-  size_t full_batches = 0;  ///< invocations that filled Engine::batch()
-  size_t max_fill = 0;      ///< largest images-per-invocation seen
-  size_t rejected = 0;      ///< submits refused by admission control
-
-  /// Mean images per engine invocation (0 before the first dispatch).
-  double avg_fill() const {
-    return batches == 0 ? 0.0
-                        : static_cast<double>(images) /
-                              static_cast<double>(batches);
-  }
-};
-
-/// Owns a compiled Engine plus the request queue and dispatcher thread.
+/// Owns a compiled Engine plus the serving machinery around its Plan.
 class BatchServer {
  public:
+  using Callback = ModelServer::Callback;
+  using ErrorCallback = ModelServer::ErrorCallback;
+  using SubmitOptions = ModelServer::SubmitOptions;
+
   struct Config {
+    using ShedPolicy = alf::ShedPolicy;
     /// How long a tick waits for the queue to fill once it holds at least
     /// one request. 0 dispatches whatever is queued immediately (lowest
     /// lone-request latency, least batching).
     uint64_t max_wait_us = 200;
-    /// Admission control: maximum requests the queue may hold. A submit()
-    /// arriving at a full queue fails fast with QueueFullError instead of
-    /// growing the backlog (and its tail latency) without bound. 0 =
-    /// unbounded.
+    /// Admission control: maximum requests the queue may hold. 0 =
+    /// unbounded, the pre-existing behavior.
     size_t max_queue = 0;
+    /// What a submit() arriving at a full queue does: kReject fails it
+    /// fast with QueueFullError; kDropOldest admits it and sheds the
+    /// oldest queued request instead.
+    ShedPolicy shed = ShedPolicy::kReject;
     /// Start with the dispatcher paused (see pause()/resume()); used by
     /// tests and replay harnesses to stage a backlog deterministically.
     bool start_paused = false;
   };
 
-  /// Receives the per-request logits [n, classes] on the dispatcher thread.
-  using Callback = std::function<void(Tensor&&)>;
-
-  /// Takes ownership of the compiled engine; starts the dispatcher.
-  /// (Two overloads instead of a defaulted Config argument: a nested
-  /// class's member initializers are not available for in-class default
-  /// arguments of its enclosing class.)
+  /// Takes ownership of the compiled engine — precisely, of its shared
+  /// Plan: the engine's own ExecContext arena is released here (the
+  /// dispatch worker runs its own context; see engine()). Starts the
+  /// dispatcher. (Two overloads instead of a defaulted Config argument: a
+  /// nested class's member initializers are not available for in-class
+  /// default arguments of its enclosing class.)
   explicit BatchServer(Engine engine);
   BatchServer(Engine engine, Config cfg);
-  ~BatchServer();
+
+  /// Hosts an already-compiled (possibly shared) Plan directly — the
+  /// post-split spelling; no transient ExecContext is ever allocated.
+  explicit BatchServer(std::shared_ptr<const Plan> plan);
+  BatchServer(std::shared_ptr<const Plan> plan, Config cfg);
+  ~BatchServer() = default;  // ModelServer drains + joins
 
   BatchServer(const BatchServer&) = delete;
   BatchServer& operator=(const BatchServer&) = delete;
@@ -105,12 +75,19 @@ class BatchServer {
   /// Enqueues `x` [n, Ci, H, W] (1 <= n <= engine().batch()); `done` fires
   /// once with the logits. Throws CheckError on shape mismatch or after
   /// stop(), QueueFullError when admission control refuses the request
-  /// (Config::max_queue; the callback is never invoked in either case).
+  /// (Config::max_queue under kReject; the callback is never invoked in
+  /// either case). `fail` (optional overload) receives the typed error if
+  /// the request is accepted and later shed (kDropOldest / deadline).
   void submit(Tensor x, Callback done);
+  void submit(Tensor x, Callback done, ErrorCallback fail,
+              SubmitOptions opts = {});
 
-  /// Future-returning form of submit(). Same error behavior — the errors
-  /// are thrown from the call, never stuffed into the future.
+  /// Future-returning forms. Synchronous errors (shape misuse, kReject
+  /// overload) are thrown from the call; shed-after-accept errors
+  /// (QueueFullError under kDropOldest, DeadlineExpiredError past
+  /// opts.deadline_us) arrive through the future.
   std::future<Tensor> submit(Tensor x);
+  std::future<Tensor> submit(Tensor x, SubmitOptions opts);
 
   /// Suspends batch formation: a batch already packed keeps executing, but
   /// once pause() returns no new batch forms — queued and newly submitted
@@ -120,39 +97,35 @@ class BatchServer {
   void pause();
   void resume();
 
-  /// Drains the queue, then joins the dispatcher. Idempotent; called by the
-  /// destructor.
+  /// Drains the queue, then joins the dispatcher. Idempotent; called by
+  /// the destructor.
   void stop();
 
   /// Requests currently queued (not yet dispatched).
   size_t pending() const;
 
+  /// Coherent snapshot: one struct copied under the queue mutex, so the
+  /// conservation identity accepted == completed + dropped_oldest +
+  /// expired + queued + in_flight holds exactly (see serve/types.hpp).
   ServeStats stats() const;
-  const Engine& engine() const { return engine_; }
+
+  /// Facade view of the hosted model, materialized lazily on first call
+  /// (an Engine owns an ExecContext arena the dispatch path never touches
+  /// — the workers run their own contexts — so the server does not keep
+  /// one alive unless someone asks). Shares the hosted Plan; thread-safe.
+  const Engine& engine() const;
+  /// The hosted compiled plan (what dispatch actually runs).
+  const std::shared_ptr<const Plan>& plan() const { return plan_; }
   const Config& config() const { return cfg_; }
 
  private:
-  struct Request {
-    Tensor x;
-    size_t n = 0;
-    Callback done;
-  };
+  static constexpr const char* kModel = "default";
 
-  void dispatch_loop();
-
-  Engine engine_;
+  std::shared_ptr<const Plan> plan_;
+  mutable std::once_flag engine_once_;
+  mutable std::unique_ptr<Engine> engine_;  ///< engine() accessor only
   Config cfg_;
-  Tensor in_;   ///< [batch, Ci, H, W] packing buffer (dispatcher-only)
-  Tensor out_;  ///< [batch, classes] logits buffer (dispatcher-only)
-
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  size_t queued_images_ = 0;
-  bool paused_ = false;
-  bool stop_ = false;
-  ServeStats stats_;
-  std::thread dispatcher_;
+  ModelServer server_;
 };
 
 }  // namespace alf

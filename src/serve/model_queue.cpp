@@ -1,0 +1,99 @@
+#include "serve/model_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.hpp"
+
+namespace alf::serve {
+
+ModelQueue::ModelQueue(std::string name, std::shared_ptr<const Plan> plan,
+                       Config cfg)
+    : name_(std::move(name)), plan_(std::move(plan)), cfg_(cfg) {
+  ALF_CHECK(plan_ != nullptr) << "ModelQueue: null plan";
+  ALF_CHECK(cfg_.weight > 0.0)
+      << "ModelQueue '" << name_ << "': weight must be positive, got "
+      << cfg_.weight;
+}
+
+ModelQueue::Admit ModelQueue::admit(Request&& r, Request* dropped) {
+  if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
+    if (cfg_.shed == ShedPolicy::kReject) {
+      // Fail fast under overload: counting happens under the server lock,
+      // so stats().rejected is exact, and the request is never owned by
+      // the server (no callback, nothing to drain).
+      ++stats_.rejected;
+      return Admit::kRejected;
+    }
+    // kDropOldest: the new request carries fresher work than the stale
+    // head; shed the oldest in its favor. The dropped request WAS
+    // accepted, so it leaves through dropped_oldest (conservation:
+    // accepted = completed + dropped + expired + queued + in_flight).
+    ALF_CHECK(dropped != nullptr);
+    *dropped = std::move(queue_.front());
+    queue_.pop_front();
+    queued_images_ -= dropped->n;
+    ++stats_.dropped_oldest;
+    queue_.push_back(std::move(r));
+    queued_images_ += queue_.back().n;
+    ++stats_.accepted;
+    return Admit::kDropped;
+  }
+  queue_.push_back(std::move(r));
+  queued_images_ += queue_.back().n;
+  ++stats_.accepted;
+  return Admit::kOk;
+}
+
+void ModelQueue::purge_expired(std::chrono::steady_clock::time_point now,
+                               std::vector<Request>& expired) {
+  // Deadlines are per-request, not FIFO-ordered, so scan the whole queue
+  // (erase-compact in one pass; queues are short by design — max_queue).
+  size_t kept = 0;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    Request& r = queue_[i];
+    if (r.has_deadline && r.deadline <= now) {
+      queued_images_ -= r.n;
+      ++stats_.expired;
+      expired.push_back(std::move(r));
+      continue;
+    }
+    if (kept != i) queue_[kept] = std::move(r);
+    ++kept;
+  }
+  queue_.resize(kept);
+}
+
+std::vector<Request> ModelQueue::form_batch() {
+  std::vector<Request> take;
+  if (queue_.empty()) return take;
+  const size_t batch = plan_->batch();
+  size_t n = 0;
+  while (!queue_.empty() && n + queue_.front().n <= batch) {
+    n += queue_.front().n;
+    take.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  queued_images_ -= n;
+  stats_.batches += 1;
+  stats_.requests += take.size();
+  stats_.images += n;
+  stats_.max_fill = std::max(stats_.max_fill, n);
+  if (n == batch) stats_.full_batches += 1;
+  stats_.in_flight += take.size();
+  return take;
+}
+
+void ModelQueue::delivered(size_t nreq) {
+  ALF_CHECK(stats_.in_flight >= nreq);
+  stats_.in_flight -= nreq;
+  stats_.completed += nreq;
+}
+
+ServeStats ModelQueue::stats() const {
+  ServeStats s = stats_;
+  s.queued = queue_.size();
+  return s;
+}
+
+}  // namespace alf::serve

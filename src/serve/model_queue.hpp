@@ -1,0 +1,108 @@
+// ModelQueue: the per-model admission + batch-formation layer.
+//
+// One ModelQueue exists per model hosted by a ModelServer: a bounded FIFO
+// of accepted requests plus everything that decides what enters it
+// (admission control, shed policy) and what leaves it (deadline purge,
+// longest-prefix batch formation) — and the per-model ServeStats those
+// decisions update, all of it behind one struct so a stats() snapshot is
+// coherent by construction.
+//
+// THREADING: a ModelQueue has no lock of its own. Every method runs under
+// the owning server's queue mutex; the queue is pure bookkeeping and never
+// blocks, sleeps, or calls user code (callbacks are delivered by the
+// server AFTER it releases the mutex, from the Request lists these methods
+// hand back).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/plan.hpp"
+#include "serve/types.hpp"
+
+namespace alf::serve {
+
+class ModelQueue {
+ public:
+  struct Config {
+    /// How long a tick waits for the queue to fill once it holds at least
+    /// one request. 0 dispatches whatever is queued immediately (lowest
+    /// lone-request latency, least batching).
+    uint64_t max_wait_us = 200;
+    /// Admission control: maximum requests the queue may hold. 0 =
+    /// unbounded. What happens at the bound is `shed`.
+    size_t max_queue = 0;
+    /// Overload behavior at max_queue: fail the new submit (kReject) or
+    /// shed the oldest queued request in its favor (kDropOldest).
+    ShedPolicy shed = ShedPolicy::kReject;
+    /// Scheduling weight: under saturation this model receives a share of
+    /// dispatched images proportional to weight / sum(weights).
+    double weight = 1.0;
+  };
+
+  ModelQueue(std::string name, std::shared_ptr<const Plan> plan, Config cfg);
+
+  /// Admission verdict of one submit.
+  enum class Admit {
+    kOk,       ///< request entered the queue
+    kRejected, ///< queue full under kReject: request untouched, not owned
+    kDropped,  ///< request entered; *dropped received the shed oldest one
+  };
+
+  /// Applies admission control and, on success, enqueues `r`. On kDropped
+  /// the caller owns delivering QueueFullError to *dropped (off-lock). On
+  /// kRejected `r` is left intact for the caller to fail synchronously.
+  /// Updates accepted/rejected/dropped_oldest and the queued gauge.
+  Admit admit(Request&& r, Request* dropped);
+
+  /// Sheds every queued request whose deadline is at or before `now` into
+  /// `expired` (appended; the caller delivers DeadlineExpiredError
+  /// off-lock) and counts them in stats().expired. Runs at batch-formation
+  /// time — the last moment before the server would spend engine time on
+  /// the request.
+  void purge_expired(std::chrono::steady_clock::time_point now,
+                     std::vector<Request>& expired);
+
+  /// Pops the longest queue prefix whose images fit plan().batch() (the
+  /// head always fits: admission bounds every request by the batch) and
+  /// accounts the dispatch: batches/requests/images/full_batches/max_fill
+  /// and the in_flight gauge. Returns the popped requests in queue order;
+  /// empty when the queue is empty.
+  std::vector<Request> form_batch();
+
+  /// Marks `nreq` dispatched requests delivered (moves them from in_flight
+  /// to completed). Called by the server after the callbacks have run.
+  void delivered(size_t nreq);
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+  size_t queued_images() const { return queued_images_; }
+
+  /// Coherent snapshot (the caller holds the server mutex, so the copy is
+  /// atomic with respect to every counter update above).
+  ServeStats stats() const;
+
+  const std::string& name() const { return name_; }
+  const Plan& plan() const { return *plan_; }
+  const std::shared_ptr<const Plan>& plan_ptr() const { return plan_; }
+  const Config& config() const { return cfg_; }
+
+  /// Batch-formation ownership flag, maintained by the server: true while
+  /// one worker holds this model's tick (waiting for batch-mates or about
+  /// to pop). Other workers skip a forming model when picking, so exactly
+  /// one batch forms per model at a time; it lives here (not in the
+  /// worker) so eligibility is a pure function of the queue.
+  bool forming = false;
+
+ private:
+  std::string name_;
+  std::shared_ptr<const Plan> plan_;
+  Config cfg_;
+  std::deque<Request> queue_;
+  size_t queued_images_ = 0;
+  ServeStats stats_;
+};
+
+}  // namespace alf::serve

@@ -1,0 +1,343 @@
+#include "serve/model_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+
+namespace alf {
+
+using serve::ModelQueue;
+using serve::Request;
+using serve::WeightedScheduler;
+using std::chrono::steady_clock;
+
+ModelServer::PlanSlot::PlanSlot(std::shared_ptr<const Plan> plan)
+    : ctx(plan),
+      in(plan->batch() * plan->image_floats(), 0.0f),
+      out(plan->batch() * plan->classes(), 0.0f) {}
+
+ModelServer::ModelServer() : ModelServer(Config()) {}
+
+ModelServer::ModelServer(Config cfg) : cfg_(cfg), paused_(cfg.start_paused) {
+  ALF_CHECK(cfg_.workers >= 1) << "ModelServer: needs at least one worker";
+}
+
+ModelServer::~ModelServer() { stop(); }
+
+void ModelServer::add_model(const std::string& name,
+                            std::shared_ptr<const Plan> plan,
+                            ModelConfig cfg) {
+  ALF_CHECK(!started_) << "ModelServer: add_model after start";
+  ALF_CHECK(!name.empty()) << "ModelServer: empty model name";
+  ALF_CHECK(plan != nullptr) << "ModelServer: null plan for '" << name << "'";
+  ALF_CHECK(index_.find(name) == index_.end())
+      << "ModelServer: duplicate model '" << name << "'";
+  index_.emplace(name, models_.size());
+  models_.push_back(
+      std::make_unique<ModelQueue>(name, std::move(plan), cfg));
+  sched_.add(cfg.weight);
+}
+
+void ModelServer::start() {
+  ALF_CHECK(!started_) << "ModelServer: start called twice";
+  ALF_CHECK(!models_.empty()) << "ModelServer: start with no models";
+  workers_.resize(cfg_.workers);
+  for (Worker& wk : workers_) {
+    wk.slots.reserve(models_.size());
+    for (const auto& mq : models_) wk.slots.emplace_back(mq->plan_ptr());
+  }
+  started_ = true;
+  for (size_t wi = 0; wi < workers_.size(); ++wi)
+    workers_[wi].thread = std::thread([this, wi] { worker_loop(wi); });
+}
+
+size_t ModelServer::model_index(const std::string& name) const {
+  const auto it = index_.find(name);
+  ALF_CHECK(it != index_.end()) << "ModelServer: unknown model '" << name
+                                << "'";
+  return it->second;
+}
+
+void ModelServer::submit(const std::string& model, Tensor x, Callback done) {
+  submit(model, std::move(x), std::move(done), nullptr, SubmitOptions{});
+}
+
+void ModelServer::submit(const std::string& model, Tensor x, Callback done,
+                         ErrorCallback fail) {
+  submit(model, std::move(x), std::move(done), std::move(fail),
+         SubmitOptions{});
+}
+
+void ModelServer::submit(const std::string& model, Tensor x, Callback done,
+                         ErrorCallback fail, SubmitOptions opts) {
+  ALF_CHECK(started_) << "ModelServer: submit before start";
+  ALF_CHECK(done != nullptr) << "ModelServer: null completion callback";
+  const size_t mi = model_index(model);
+  const Plan& p = models_[mi]->plan();
+  ALF_CHECK_EQ(x.rank(), size_t{4});
+  const size_t n = x.dim(0);
+  ALF_CHECK(n >= 1 && n <= p.batch())
+      << "ModelServer: request of " << n << " images, model '" << model
+      << "' batch " << p.batch();
+  ALF_CHECK_EQ(x.dim(1), p.in_c());
+  ALF_CHECK_EQ(x.dim(2), p.in_h());
+  ALF_CHECK_EQ(x.dim(3), p.in_w());
+
+  Request r;
+  r.x = std::move(x);
+  r.n = n;
+  r.done = std::move(done);
+  r.fail = std::move(fail);
+  if (opts.deadline_us != 0) {
+    r.has_deadline = true;
+    r.deadline =
+        steady_clock::now() + std::chrono::microseconds(opts.deadline_us);
+  }
+
+  Request dropped;
+  bool have_dropped = false;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    ALF_CHECK(!stop_) << "ModelServer: submit after stop";
+    const ModelQueue::Admit verdict =
+        models_[mi]->admit(std::move(r), &dropped);
+    if (verdict == ModelQueue::Admit::kRejected) {
+      throw QueueFullError("ModelServer: queue full for model '" + model +
+                           "' (" + std::to_string(models_[mi]->size()) +
+                           " of max " +
+                           std::to_string(models_[mi]->config().max_queue) +
+                           " requests queued)");
+    }
+    have_dropped = verdict == ModelQueue::Admit::kDropped;
+  }
+  work_cv_.notify_all();
+  if (have_dropped && dropped.fail != nullptr) {
+    dropped.fail(std::make_exception_ptr(QueueFullError(
+        "ModelServer: request shed from model '" + model +
+        "' by kDropOldest admission (queue at max_queue)")));
+  }
+}
+
+std::future<Tensor> ModelServer::submit(const std::string& model, Tensor x) {
+  return submit(model, std::move(x), SubmitOptions{});
+}
+
+std::future<Tensor> ModelServer::submit(const std::string& model, Tensor x,
+                                        SubmitOptions opts) {
+  auto promise = std::make_shared<std::promise<Tensor>>();
+  std::future<Tensor> fut = promise->get_future();
+  submit(
+      model, std::move(x),
+      [promise](Tensor&& logits) { promise->set_value(std::move(logits)); },
+      [promise](std::exception_ptr err) { promise->set_exception(err); },
+      opts);
+  return fut;
+}
+
+void ModelServer::pause() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    paused_ = true;
+  }
+  // Wake mid-tick workers so an open tick is abandoned promptly, not at
+  // its batching deadline.
+  work_cv_.notify_all();
+}
+
+void ModelServer::resume() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void ModelServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+    paused_ = false;  // a paused server still drains on shutdown
+  }
+  work_cv_.notify_all();
+  for (Worker& wk : workers_)
+    if (wk.thread.joinable()) wk.thread.join();
+}
+
+size_t ModelServer::pending(const std::string& model) const {
+  const size_t mi = model_index(model);
+  std::lock_guard<std::mutex> lk(m_);
+  return models_[mi]->size();
+}
+
+size_t ModelServer::pending() const {
+  std::lock_guard<std::mutex> lk(m_);
+  size_t total = 0;
+  for (const auto& mq : models_) total += mq->size();
+  return total;
+}
+
+ServeStats ModelServer::stats(const std::string& model) const {
+  const size_t mi = model_index(model);
+  std::lock_guard<std::mutex> lk(m_);
+  return models_[mi]->stats();
+}
+
+ServeStats ModelServer::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  ServeStats total;
+  for (const auto& mq : models_) {
+    const ServeStats s = mq->stats();
+    total.accepted += s.accepted;
+    total.rejected += s.rejected;
+    total.dropped_oldest += s.dropped_oldest;
+    total.expired += s.expired;
+    total.requests += s.requests;
+    total.images += s.images;
+    total.batches += s.batches;
+    total.full_batches += s.full_batches;
+    total.max_fill = std::max(total.max_fill, s.max_fill);
+    total.completed += s.completed;
+    total.in_flight += s.in_flight;
+    total.queued += s.queued;
+  }
+  return total;
+}
+
+const Plan& ModelServer::plan(const std::string& model) const {
+  return models_[model_index(model)]->plan();
+}
+
+std::vector<std::string> ModelServer::model_names() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& mq : models_) names.push_back(mq->name());
+  return names;
+}
+
+bool ModelServer::any_eligible() const {
+  for (const auto& mq : models_)
+    if (!mq->forming && !mq->empty()) return true;
+  return false;
+}
+
+bool ModelServer::all_queues_empty() const {
+  for (const auto& mq : models_)
+    if (!mq->empty()) return false;
+  return true;
+}
+
+void ModelServer::deliver_failures(std::vector<Request>& reqs,
+                                   const char* what, bool queue_full) {
+  for (Request& r : reqs) {
+    if (r.fail == nullptr) continue;  // counted in stats either way
+    if (queue_full) {
+      r.fail(std::make_exception_ptr(QueueFullError(what)));
+    } else {
+      r.fail(std::make_exception_ptr(DeadlineExpiredError(what)));
+    }
+  }
+  reqs.clear();
+}
+
+void ModelServer::worker_loop(size_t wi) {
+  Worker& wk = workers_[wi];
+  // With a multi-worker pool each worker runs its batches inline so K
+  // batches get K-way parallelism instead of serializing on the process
+  // worker pool; a single worker keeps the pool fan-out of the original
+  // single-model dispatcher. Either way, bit-identical results (the chunk
+  // grid is fixed in the Plan).
+  std::unique_ptr<InlineExecutionGuard> inline_guard;
+  if (cfg_.workers > 1) inline_guard = std::make_unique<InlineExecutionGuard>();
+
+  std::vector<Request> expired;
+  std::unique_lock<std::mutex> lk(m_);
+  while (true) {
+    work_cv_.wait(lk, [&] {
+      return stop_ || (!paused_ && any_eligible());
+    });
+    if (stop_ && all_queues_empty()) return;
+    const size_t mi = sched_.pick([&](size_t i) {
+      return !models_[i]->forming && !models_[i]->empty();
+    });
+    if (mi == WeightedScheduler::npos) {
+      // Backlog exists but another worker holds every tick. During a stop
+      // drain the predicate above is always true, so yield briefly
+      // instead of spinning on the mutex.
+      if (stop_) work_cv_.wait_for(lk, std::chrono::microseconds(100));
+      continue;
+    }
+    ModelQueue& q = *models_[mi];
+    q.forming = true;
+    expired.clear();
+    q.purge_expired(steady_clock::now(), expired);
+    bool abandoned = q.empty();  // everything expired: nothing to form
+    if (!abandoned && !stop_ && q.config().max_wait_us > 0 &&
+        q.queued_images() < q.plan().batch()) {
+      // A tick is open: give arrivals max_wait_us to fill the batch,
+      // leaving early once enough images are queued. During shutdown the
+      // deadline is skipped so the drain runs back-to-back.
+      const auto tick_deadline =
+          steady_clock::now() + std::chrono::microseconds(q.config().max_wait_us);
+      while (!stop_ && !paused_ && q.queued_images() < q.plan().batch()) {
+        if (work_cv_.wait_until(lk, tick_deadline) == std::cv_status::timeout)
+          break;
+      }
+    }
+    // pause() landed mid-tick: abandon the tick and hold the backlog. Both
+    // flags are checked under m_, so once pause() returns no new batch can
+    // form until resume().
+    if (paused_ && !stop_) abandoned = true;
+    std::vector<Request> take;
+    size_t take_images = 0;
+    if (!abandoned) {
+      q.purge_expired(steady_clock::now(), expired);
+      take = q.form_batch();
+      for (const Request& r : take) take_images += r.n;
+      if (!take.empty()) sched_.charge(mi, take_images);
+    }
+    q.forming = false;
+    // The model may still be backlogged (prefix packing left a tail, or
+    // the tick was abandoned); peers skipped it while forming, so re-open
+    // it for them before the (lock-free) engine run.
+    if (!q.empty()) work_cv_.notify_all();
+    lk.unlock();
+
+    deliver_failures(expired, "ModelServer: deadline expired before batch "
+                              "formation", /*queue_full=*/false);
+    if (!take.empty()) {
+      // Pack request rows contiguously, one engine dispatch on THIS
+      // worker's context, scatter logit rows back.
+      PlanSlot& slot = wk.slots[mi];
+      const size_t img_floats = slot.ctx.plan().image_floats();
+      const size_t classes = slot.ctx.plan().classes();
+      float* dst = slot.in.data();
+      for (const Request& r : take) {
+        std::memcpy(dst, r.x.data(), r.n * img_floats * sizeof(float));
+        dst += r.n * img_floats;
+      }
+      slot.ctx.run_rows(slot.in.data(), take_images, slot.out.data());
+      const float* src = slot.out.data();
+      for (Request& r : take) {
+        Tensor logits({r.n, classes});
+        std::memcpy(logits.data(), src, r.n * classes * sizeof(float));
+        src += r.n * classes;
+        r.done(std::move(logits));
+      }
+    }
+
+    lk.lock();
+    if (!take.empty()) {
+      q.delivered(take.size());
+      take.clear();
+      // A stop() drain may be waiting on peers: completions change the
+      // exit predicate.
+      if (stop_) work_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace alf

@@ -1,0 +1,76 @@
+// WeightedScheduler: the cross-model arbitration layer.
+//
+// Deficit-round-robin-style weighted fair queuing over the hosted models,
+// in its simplest exact form: track the images each model has been served
+// and always pick the eligible model with the smallest weight-normalized
+// service (served / weight — a virtual time). Under saturation the
+// dispatched-image shares converge to weight_i / sum(weights); an idle
+// model never blocks a backlogged one (ineligible models are simply
+// skipped), and a model returning from idle re-enters at its accumulated
+// virtual time, so it cannot starve the others by hoarding credit.
+//
+// THREADING: no lock of its own — pick() and charge() run under the
+// owning server's mutex, like ModelQueue.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace alf::serve {
+
+class WeightedScheduler {
+ public:
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// Registers the next model (index = registration order).
+  void add(double weight) {
+    ALF_CHECK(weight > 0.0) << "scheduler: weight must be positive";
+    entries_.push_back(Entry{weight, 0});
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// Picks the eligible model with the smallest virtual time; ties go to
+  /// the lowest index (deterministic — the service counters themselves
+  /// rotate the pick). `eligible(i)` is any callable; returns npos when
+  /// nothing is eligible.
+  template <typename Eligible>
+  size_t pick(Eligible&& eligible) const {
+    size_t best = npos;
+    double best_vt = 0.0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!eligible(i)) continue;
+      const double vt =
+          static_cast<double>(entries_[i].served) / entries_[i].weight;
+      if (best == npos || vt < best_vt) {
+        best = i;
+        best_vt = vt;
+      }
+    }
+    return best;
+  }
+
+  /// Accounts `images` dispatched for model `idx`.
+  void charge(size_t idx, size_t images) {
+    ALF_CHECK(idx < entries_.size());
+    entries_[idx].served += images;
+  }
+
+  /// Images served so far (the scheduler's own view; tests compare shares).
+  uint64_t served(size_t idx) const {
+    ALF_CHECK(idx < entries_.size());
+    return entries_[idx].served;
+  }
+
+ private:
+  struct Entry {
+    double weight = 1.0;
+    uint64_t served = 0;  ///< images dispatched so far
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace alf::serve

@@ -190,6 +190,61 @@ TEST(Engine, RepeatedRunsReuseArenaWithNoGrowth) {
   }
 }
 
+TEST(Engine, SharedPlanAcrossEnginesIsBitIdenticalAndNotDuplicated) {
+  // The Plan/ExecContext split: two engines built from ONE compiled plan
+  // must (a) share the immutable plan object (same steps storage, no
+  // weight duplication), (b) own distinct arenas, and (c) produce the
+  // same bits as the engine that compiled it.
+  Rng rng(45);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+
+  Engine original = Engine::compile(*model, 4, mc.in_channels, kHw, kHw);
+  Engine alias_a(original.plan());
+  Engine alias_b(original.plan());
+  EXPECT_EQ(&alias_a.steps(), &original.steps());  // shared, not copied
+  EXPECT_EQ(alias_a.plan().get(), alias_b.plan().get());
+  EXPECT_NE(alias_a.workspace_data(), alias_b.workspace_data());
+  EXPECT_EQ(alias_a.workspace_floats(), alias_b.workspace_floats());
+  EXPECT_EQ(alias_a.workspace_floats(), original.plan()->workspace_floats());
+
+  Tensor x = random_input({4, mc.in_channels, kHw, kHw}, rng);
+  const Tensor want = original.run(x);
+  const Tensor got_a = alias_a.run(x);
+  const Tensor got_b = alias_b.run(x);
+  for (size_t i = 0; i < want.numel(); ++i) {
+    EXPECT_EQ(want.at(i), got_a.at(i)) << i;
+    EXPECT_EQ(want.at(i), got_b.at(i)) << i;
+  }
+}
+
+TEST(Engine, SharedPlanOutlivesTheCompilingEngine) {
+  // A served model's lifetime is the Plan's, not any one engine's: the
+  // compiling Engine may be destroyed while contexts on its plan live on.
+  Rng rng(46);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+
+  Tensor x = random_input({2, mc.in_channels, kHw, kHw}, rng);
+  std::shared_ptr<const Plan> plan;
+  Tensor want;
+  {
+    Engine compiler_engine =
+        Engine::compile(*model, 2, mc.in_channels, kHw, kHw);
+    plan = compiler_engine.plan();
+    want = compiler_engine.run(x);
+  }  // compiling engine (and its context) destroyed here
+  ExecContext ctx(plan);
+  const Tensor got = ctx.run(x);
+  for (size_t i = 0; i < want.numel(); ++i) EXPECT_EQ(want.at(i), got.at(i));
+}
+
 TEST(Engine, SmallerBatchesRunOnTheSamePlan) {
   Rng rng(36);
   ModelConfig mc;

@@ -1,11 +1,20 @@
-// BatchServer: dynamic batching correctness (batched results bit-identical
-// to direct per-request Engine::run), queue/CV behavior under concurrent
-// producers (the ThreadSanitizer CI target), starvation bounds, drain-on-
-// stop semantics, and loud rejection of malformed submissions.
+// Serving-layer tests, the ThreadSanitizer CI target:
+//  - BatchServer: dynamic batching correctness (batched results
+//    bit-identical to direct per-request Engine::run), queue/CV behavior
+//    under concurrent producers, starvation bounds, drain-on-stop, loud
+//    rejection of malformed submissions, shed policies, deadlines.
+//  - ModelServer: multi-model bit-identity (float + int8 plans on one
+//    shared worker pool), weighted-share convergence under saturation,
+//    concurrent submits to different models, drain-on-stop across all
+//    model queues, coherent stats snapshots (conservation identity).
+//  - Plan/ExecContext: concurrent contexts on one immutable Plan are
+//    race-free and bit-identical.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,6 +28,7 @@
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
 #include "serve/batch_server.hpp"
+#include "serve/model_server.hpp"
 
 namespace alf {
 namespace {
@@ -287,6 +297,419 @@ TEST(BatchServer, AdmissionControlRejectsPastMaxQueue) {
   const ServeStats st = server.stats();
   EXPECT_EQ(st.requests, cfg.max_queue + 1);
   EXPECT_EQ(st.rejected, size_t{2});
+}
+
+TEST(BatchServer, PlanConstructorAndLazyEngineAccessorShareOnePlan) {
+  // The facade can be built straight from a shared Plan (no transient
+  // ExecContext), and engine() materializes its view lazily on the same
+  // plan object — no recompilation anywhere.
+  Rng rng(62);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  auto plan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
+  Engine ref(plan);
+  BatchServer server(plan);
+  EXPECT_EQ(server.plan().get(), plan.get());
+  const Engine& view = server.engine();
+  EXPECT_EQ(view.plan().get(), plan.get());
+  EXPECT_EQ(&view, &server.engine());  // one lazy instance
+  EXPECT_EQ(view.batch(), kBatch);
+  Tensor x = random_input({2, kInC, kHw, kHw}, rng);
+  Tensor got = server.submit(x).get();
+  const Tensor want = ref.run(x);
+  for (size_t j = 0; j < want.numel(); ++j) EXPECT_EQ(want.at(j), got.at(j));
+}
+
+TEST(BatchServer, DropOldestShedsTheStaleHeadNotTheNewSubmit) {
+  Rng rng(59);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  Engine ref = toy_engine(*model);
+
+  BatchServer::Config cfg;
+  cfg.start_paused = true;  // hold the backlog so the bound is hit exactly
+  cfg.max_queue = 2;
+  cfg.shed = BatchServer::Config::ShedPolicy::kDropOldest;
+  BatchServer server(toy_engine(*model), cfg);
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (size_t i = 0; i < 3; ++i) {
+    inputs.push_back(random_input({1, kInC, kHw, kHw}, rng));
+    futures.push_back(server.submit(inputs.back()));
+  }
+  // The third submit found the queue full: it was ADMITTED and the oldest
+  // (request 0) was shed — its future completes with QueueFullError, the
+  // typed overload signal, not CheckError.
+  EXPECT_EQ(server.pending(), size_t{2});
+  EXPECT_THROW(futures[0].get(), QueueFullError);
+  ServeStats st = server.stats();
+  EXPECT_EQ(st.accepted, size_t{3});
+  EXPECT_EQ(st.dropped_oldest, size_t{1});
+  EXPECT_EQ(st.rejected, size_t{0});
+
+  // The survivors still serve exactly.
+  server.resume();
+  for (size_t i = 1; i < 3; ++i) {
+    Tensor got = futures[i].get();
+    const Tensor want = ref.run(inputs[i]);
+    for (size_t j = 0; j < want.numel(); ++j) EXPECT_EQ(want.at(j), got.at(j));
+  }
+  server.stop();  // joins: the delivered bookkeeping is final
+  st = server.stats();
+  EXPECT_EQ(st.completed, size_t{2});
+  EXPECT_EQ(st.accepted,
+            st.completed + st.dropped_oldest + st.expired + st.queued +
+                st.in_flight);
+}
+
+TEST(BatchServer, ExpiredDeadlinesAreShedBeforeBatchFormation) {
+  Rng rng(60);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  BatchServer::Config cfg;
+  cfg.start_paused = true;  // the pause guarantees the deadline passes
+  BatchServer server(toy_engine(*model), cfg);
+
+  BatchServer::SubmitOptions slo;
+  slo.deadline_us = 1;  // expires while the server is paused
+  std::future<Tensor> doomed =
+      server.submit(random_input({1, kInC, kHw, kHw}, rng), slo);
+  std::future<Tensor> unbounded =
+      server.submit(random_input({2, kInC, kHw, kHw}, rng));
+  BatchServer::SubmitOptions generous;
+  generous.deadline_us = 60'000'000;  // far future: must NOT be shed
+  std::future<Tensor> within =
+      server.submit(random_input({1, kInC, kHw, kHw}, rng), generous);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.resume();
+
+  EXPECT_THROW(doomed.get(), DeadlineExpiredError);
+  EXPECT_EQ(unbounded.get().dim(0), size_t{2});
+  EXPECT_EQ(within.get().dim(0), size_t{1});
+  server.stop();  // joins: the delivered bookkeeping is final
+  const ServeStats st = server.stats();
+  EXPECT_EQ(st.expired, size_t{1});
+  EXPECT_EQ(st.completed, size_t{2});
+  // Expired requests never reach the engine.
+  EXPECT_EQ(st.images, size_t{3});
+  EXPECT_EQ(st.accepted,
+            st.completed + st.dropped_oldest + st.expired + st.queued +
+                st.in_flight);
+}
+
+TEST(BatchServer, StatsSnapshotConservesRequestsUnderConcurrentLoad) {
+  // stats() copies one struct under the queue mutex, so the conservation
+  // identity must hold at EVERY instant — snapshot repeatedly while
+  // producers and the dispatcher race.
+  Rng rng(61);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  BatchServer server(toy_engine(*model));
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<Tensor>>> futs(3);
+  for (size_t p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      Rng prng(200 + p);
+      for (size_t i = 0; i < 30; ++i)
+        futs[p].push_back(
+            server.submit(random_input({1 + prng.uniform_index(3), kInC,
+                                        kHw, kHw}, prng)));
+    });
+  }
+  for (int snap = 0; snap < 200; ++snap) {
+    const ServeStats st = server.stats();
+    ASSERT_EQ(st.accepted, st.completed + st.dropped_oldest + st.expired +
+                               st.queued + st.in_flight)
+        << "snapshot " << snap;
+    if (done.load()) break;
+  }
+  for (auto& t : producers) t.join();
+  done = true;
+  for (auto& per : futs)
+    for (auto& f : per) f.get();
+  server.stop();
+  const ServeStats st = server.stats();
+  EXPECT_EQ(st.accepted, size_t{90});
+  EXPECT_EQ(st.completed, size_t{90});
+  EXPECT_EQ(st.in_flight, size_t{0});
+  EXPECT_EQ(st.queued, size_t{0});
+}
+
+// --- ModelServer: the multi-tenant layer the BatchServer facade sits on ---
+
+TEST(ModelServer, MultiModelBitIdenticalToDirectEngineRunOnSharedPool) {
+  // A float toy net and its int8 twin served concurrently from one
+  // 2-worker pool must produce exactly the bits of a direct
+  // single-threaded Engine::run per model — the Plans are SHARED between
+  // the server's worker contexts and the reference engines.
+  Rng rng(70);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  auto fplan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
+  auto qplan = Plan::compile(*model, kBatch, kInC, kHw, kHw,
+                             {.backend = "int8", .bits = 8});
+  ASSERT_FALSE(fplan->quantized());
+  ASSERT_TRUE(qplan->quantized());
+  Engine fref(fplan);
+  Engine qref(qplan);
+
+  ModelServer::Config cfg;
+  cfg.workers = 2;
+  ModelServer server(cfg);
+  server.add_model("toy_f32", fplan);
+  server.add_model("toy_int8", qplan);
+  server.start();
+
+  struct Issued {
+    const char* model;
+    Tensor x;
+    std::future<Tensor> fut;
+  };
+  std::vector<Issued> issued;
+  for (size_t i = 0; i < 24; ++i) {
+    const char* name = i % 2 == 0 ? "toy_f32" : "toy_int8";
+    Tensor x = random_input({1 + rng.uniform_index(4), kInC, kHw, kHw}, rng);
+    std::future<Tensor> fut = server.submit(name, x);
+    issued.push_back(Issued{name, std::move(x), std::move(fut)});
+  }
+  for (Issued& rq : issued) {
+    Tensor got = rq.fut.get();
+    Engine& ref = std::string(rq.model) == "toy_f32" ? fref : qref;
+    const Tensor want = ref.run(rq.x);
+    ASSERT_TRUE(same_shape(want, got)) << rq.model;
+    for (size_t j = 0; j < want.numel(); ++j)
+      EXPECT_EQ(want.at(j), got.at(j)) << rq.model << " elem " << j;
+  }
+  server.stop();
+  EXPECT_EQ(server.stats("toy_f32").completed, size_t{12});
+  EXPECT_EQ(server.stats("toy_int8").completed, size_t{12});
+}
+
+TEST(ModelServer, ConcurrentSubmitsToDifferentModelsAllServed) {
+  Rng rng(71);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  auto fplan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
+  auto qplan = Plan::compile(*model, kBatch, kInC, kHw, kHw,
+                             {.backend = "int8", .bits = 8});
+  Engine fref(fplan);
+  Engine qref(qplan);
+
+  ModelServer::Config cfg;
+  cfg.workers = 3;
+  ModelServer server(cfg);
+  server.add_model("f32", fplan);
+  server.add_model("int8", qplan);
+  server.start();
+
+  constexpr size_t kProducers = 4, kPerProducer = 12;
+  struct Issued {
+    bool quant;
+    Tensor x;
+    std::future<Tensor> fut;
+  };
+  std::vector<std::vector<Issued>> issued(kProducers);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng prng(300 + p);
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        const bool quant = prng.uniform() < 0.5;
+        Tensor x =
+            random_input({1 + prng.uniform_index(4), kInC, kHw, kHw}, prng);
+        std::future<Tensor> fut =
+            server.submit(quant ? "int8" : "f32", x);
+        issued[p].push_back(Issued{quant, std::move(x), std::move(fut)});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& per : issued) {
+    for (Issued& rq : per) {
+      Tensor got = rq.fut.get();
+      const Tensor want = (rq.quant ? qref : fref).run(rq.x);
+      ASSERT_TRUE(same_shape(want, got));
+      for (size_t j = 0; j < want.numel(); ++j)
+        EXPECT_EQ(want.at(j), got.at(j));
+    }
+  }
+  server.stop();
+  const ServeStats total = server.stats();
+  EXPECT_EQ(total.completed, kProducers * kPerProducer);
+  EXPECT_EQ(total.accepted, total.completed);
+}
+
+TEST(ModelServer, WeightedSharesConvergeUnderSaturation) {
+  // Weights 3:1 on two saturated queues: while BOTH are backlogged the
+  // scheduler must hand model A ~3x the images of model B. Single worker +
+  // full staged backlog makes the dispatch order deterministic; the
+  // callbacks record it, and the share is measured at the moment B's last
+  // request completes (afterwards A drains alone, which would wash the
+  // ratio out to the queue lengths).
+  Rng rng(72);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  auto plan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
+
+  ModelServer::Config cfg;
+  cfg.workers = 1;
+  cfg.start_paused = true;
+  ModelServer server(cfg);
+  ModelServer::ModelConfig heavy, light;
+  heavy.weight = 3.0;
+  heavy.max_wait_us = 0;  // saturated queues need no batching wait
+  light.weight = 1.0;
+  light.max_wait_us = 0;
+  server.add_model("heavy", plan, heavy);
+  server.add_model("light", plan, light);
+  server.start();
+
+  // Full-batch requests so every dispatch moves exactly kBatch images.
+  constexpr size_t kHeavyBatches = 40, kLightBatches = 10;
+  std::mutex order_m;
+  std::vector<char> order;  // 'h' / 'l' per completed batch
+  std::vector<std::future<void>> sync;
+  Tensor x = random_input({kBatch, kInC, kHw, kHw}, rng);
+  const auto submit_batches = [&](const char* name, char tag, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      server.submit(name, x, [&order_m, &order, tag](Tensor&&) {
+        std::lock_guard<std::mutex> lk(order_m);
+        order.push_back(tag);
+      });
+    }
+  };
+  submit_batches("heavy", 'h', kHeavyBatches);
+  submit_batches("light", 'l', kLightBatches);
+  server.resume();
+  server.stop();  // drains everything; `order` is final
+
+  ASSERT_EQ(order.size(), kHeavyBatches + kLightBatches);
+  size_t last_l = 0;
+  for (size_t i = 0; i < order.size(); ++i)
+    if (order[i] == 'l') last_l = i;
+  size_t h_before = 0;
+  for (size_t i = 0; i < last_l; ++i)
+    if (order[i] == 'h') ++h_before;
+  // While both queues were saturated, heavy got ~3x light's share. The
+  // exact deficit sequence gives 27..30 heavy batches before the 10th
+  // light one; the window tolerates scheduler tie-break changes.
+  const double ratio = static_cast<double>(h_before) /
+                       static_cast<double>(kLightBatches);
+  EXPECT_GE(ratio, 2.2) << "heavy " << h_before << " before light "
+                        << kLightBatches;
+  EXPECT_LE(ratio, 3.8) << "heavy " << h_before << " before light "
+                        << kLightBatches;
+  EXPECT_EQ(server.stats("heavy").images, kHeavyBatches * kBatch);
+  EXPECT_EQ(server.stats("light").images, kLightBatches * kBatch);
+}
+
+TEST(ModelServer, StopDrainsEveryModelQueue) {
+  Rng rng(73);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  auto fplan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
+  auto qplan = Plan::compile(*model, kBatch, kInC, kHw, kHw,
+                             {.backend = "int8", .bits = 8});
+
+  ModelServer::Config cfg;
+  cfg.workers = 2;
+  cfg.start_paused = true;
+  ModelServer server(cfg);
+  server.add_model("a", fplan);
+  server.add_model("b", qplan);
+  server.start();
+
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.submit("a", random_input({2, kInC, kHw, kHw},
+                                                      rng)));
+    futures.push_back(server.submit("b", random_input({1, kInC, kHw, kHw},
+                                                      rng)));
+  }
+  EXPECT_EQ(server.pending(), size_t{16});
+  EXPECT_EQ(server.pending("a"), size_t{8});
+  server.stop();  // overrides the pause and drains BOTH queues
+  EXPECT_EQ(server.pending(), size_t{0});
+  for (auto& fut : futures) {
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    fut.get();
+  }
+  EXPECT_EQ(server.stats("a").completed, size_t{8});
+  EXPECT_EQ(server.stats("b").completed, size_t{8});
+  EXPECT_THROW(server.submit("a", random_input({1, kInC, kHw, kHw}, rng)),
+               CheckError);
+}
+
+TEST(ModelServer, RegistryMisuseFailsLoudly) {
+  Rng rng(74);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  auto plan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
+
+  ModelServer server;
+  EXPECT_THROW(server.start(), CheckError);  // no models
+  EXPECT_THROW(server.submit("toy", Tensor({1, kInC, kHw, kHw})),
+               CheckError);  // before start
+  server.add_model("toy", plan);
+  EXPECT_THROW(server.add_model("toy", plan), CheckError);  // duplicate
+  EXPECT_THROW(server.add_model("", plan), CheckError);     // empty name
+  EXPECT_THROW(server.add_model("null", nullptr), CheckError);
+  server.start();
+  EXPECT_THROW(server.add_model("late", plan), CheckError);  // after start
+  EXPECT_THROW(server.submit("unknown", Tensor({1, kInC, kHw, kHw})),
+               CheckError);
+  EXPECT_THROW(server.stats("unknown"), CheckError);
+  // The hosted model still works after all that shouting.
+  EXPECT_EQ(server.submit("toy", random_input({1, kInC, kHw, kHw}, rng))
+                .get()
+                .dim(0),
+            size_t{1});
+  server.stop();
+}
+
+// --- Plan/ExecContext: the split the server is built on -------------------
+
+TEST(ExecContext, ConcurrentContextsOnOneImmutablePlanAreRaceFree) {
+  // The multi-tenant contract in one test: N threads, each with its OWN
+  // ExecContext, hammer the SAME Plan concurrently (this suite runs under
+  // TSan in CI — a mutable Plan would be flagged immediately) and every
+  // run must reproduce the single-threaded reference bits.
+  Rng rng(75);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  for (const char* backend : {"", "int8"}) {
+    EngineOptions opts;
+    opts.backend = backend;
+    auto plan = Plan::compile(*model, kBatch, kInC, kHw, kHw, opts);
+
+    Tensor x = random_input({kBatch, kInC, kHw, kHw}, rng);
+    ExecContext ref_ctx(plan);
+    const Tensor want = ref_ctx.run(x);
+
+    constexpr size_t kThreads = 4, kIters = 16;
+    std::atomic<size_t> mismatches{0};
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        // Inline execution, like the server's workers: the contexts race
+        // on the Plan only, never on the process pool's chunk handout.
+        InlineExecutionGuard inline_guard;
+        ExecContext ctx(plan);
+        Tensor out({kBatch, plan->classes()});
+        for (size_t it = 0; it < kIters; ++it) {
+          ctx.run(x, out);
+          for (size_t j = 0; j < want.numel(); ++j)
+            if (out.at(j) != want.at(j)) ++mismatches;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), size_t{0}) << "backend '" << backend << "'";
+  }
 }
 
 TEST(BatchServer, UnboundedQueueByDefault) {
