@@ -1,0 +1,68 @@
+// AddressSanitizer manual-poisoning helpers (no-ops without ASan).
+//
+// ASan only faults on accesses to memory it knows is bad; a long-lived
+// arena that recycles slots between plan steps looks like one big valid
+// allocation to it, so a step reading a DEAD slot (stale activations from
+// an earlier step or a previous run) silently succeeds. Manual poisoning
+// closes that gap: the engine poisons arena slots the moment their last
+// reader has run (exec_context.cpp), so any cross-slot read faults with
+// "use-after-poison" instead of silently consuming stale data.
+//
+// Poisoning granularity is ASan's 8-byte shadow granule; partial granules
+// at region edges stay addressable, which is conservative in the right
+// direction (no false positives). All helpers compile to nothing when the
+// build is not instrumented, so the hooks can stay in the hot path
+// unconditionally guarded by `if constexpr (asan_enabled())`.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ALF_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ALF_ASAN_ENABLED 1
+#endif
+#endif
+#ifndef ALF_ASAN_ENABLED
+#define ALF_ASAN_ENABLED 0
+#endif
+
+#if ALF_ASAN_ENABLED
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace alf {
+
+/// True when this translation unit is built with AddressSanitizer.
+constexpr bool asan_enabled() { return ALF_ASAN_ENABLED != 0; }
+
+/// Marks [p, p+n) as unreadable/unwritable until unpoisoned. The region
+/// must stay owned by the caller (heap blocks may be freed while poisoned;
+/// ASan's allocator handles that).
+inline void asan_poison([[maybe_unused]] const void* p,
+                       [[maybe_unused]] size_t n) {
+#if ALF_ASAN_ENABLED
+  __asan_poison_memory_region(p, n);
+#endif
+}
+
+/// Re-enables access to [p, p+n).
+inline void asan_unpoison([[maybe_unused]] const void* p,
+                         [[maybe_unused]] size_t n) {
+#if ALF_ASAN_ENABLED
+  __asan_unpoison_memory_region(p, n);
+#endif
+}
+
+/// True when the byte at `p` is currently poisoned (always false in
+/// uninstrumented builds). Test hook for the arena-poisoning contract.
+inline bool asan_is_poisoned([[maybe_unused]] const void* p) {
+#if ALF_ASAN_ENABLED
+  return __asan_address_is_poisoned(p) != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace alf

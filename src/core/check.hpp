@@ -58,7 +58,7 @@ class CheckMessage {
 /// Checks `cond`; on failure throws alf::CheckError. Extra context can be
 /// streamed: ALF_CHECK(i < n) << "i=" << i;
 #define ALF_CHECK(cond)                                         \
-  if (cond) {                                                   \
+  if ((cond)) {                                                 \
   } else                                                        \
     ::alf::detail::CheckMessage(__FILE__, __LINE__, #cond)
 

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/check.hpp"
+#include "core/mutex.hpp"
 
 namespace alf {
 namespace {
@@ -34,6 +34,15 @@ constexpr size_t kMaxPoolThreads = 64;
 // dispatch and then parked on a condition variable between jobs, so steady
 // state costs one notify + one wait per parallel region instead of a
 // thread-create/join per call.
+//
+// Locking discipline (machine-checked via core/mutex.hpp annotations):
+//   job_mutex_ — serializes whole jobs; held across run() only.
+//   m_        — guards epoch_/stop_/workers_ and pairs with the two CVs.
+// The job_* fields are deliberately NOT mutex-guarded: they are written
+// under m_ before the epoch-tagged claim_ word is release-published, and
+// workers read them only after an acquire load of claim_ commits them to a
+// chunk of that exact epoch — the claim protocol, not the mutex, is what
+// makes those reads safe (verified by the TSan CI leg).
 class ThreadPool {
  public:
   static ThreadPool& instance() {
@@ -50,10 +59,10 @@ class ThreadPool {
   void run(size_t begin, size_t end, size_t chunk, size_t nchunks,
            const std::function<void(size_t, size_t)>& fn) {
     // One job at a time; concurrent top-level callers serialize here.
-    std::lock_guard<std::mutex> job_lock(job_mutex_);
+    MutexLock job_lock(job_mutex_);
     uint64_t my_epoch;
     {
-      std::lock_guard<std::mutex> lk(m_);
+      MutexLock lk(m_);
       ensure_workers_locked(std::min(nchunks - 1, kMaxPoolThreads));
       job_begin_ = begin;
       job_end_ = end;
@@ -74,25 +83,26 @@ class ThreadPool {
     }
     wake_cv_.notify_all();
     work_on_job(my_epoch);
-    std::unique_lock<std::mutex> lk(m_);
-    done_cv_.wait(lk, [this] {
-      return remaining_.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lk(m_);
+    while (remaining_.load(std::memory_order_acquire) != 0)
+      lk.wait(done_cv_);
   }
 
  private:
   ThreadPool() = default;
 
   ~ThreadPool() {
+    std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lk(m_);
+      MutexLock lk(m_);
       stop_ = true;
+      workers.swap(workers_);
     }
     wake_cv_.notify_all();
-    for (auto& t : workers_) t.join();
+    for (auto& t : workers) t.join();
   }
 
-  void ensure_workers_locked(size_t n) {
+  void ensure_workers_locked(size_t n) ALF_REQUIRES(m_) {
     while (workers_.size() < n) {
       workers_.emplace_back([this] { worker_loop(); });
     }
@@ -124,7 +134,7 @@ class ThreadPool {
       if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last chunk done: lock pairs with the dispatcher's predicate check
         // so the notification cannot be missed.
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         done_cv_.notify_all();
       }
     }
@@ -133,9 +143,9 @@ class ThreadPool {
   void worker_loop() {
     t_in_parallel_region = true;
     uint64_t seen_epoch = 0;
-    std::unique_lock<std::mutex> lk(m_);
+    MutexLock lk(m_);
     while (true) {
-      wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      while (!stop_ && epoch_ == seen_epoch) lk.wait(wake_cv_);
       if (stop_) return;
       seen_epoch = epoch_;
       lk.unlock();
@@ -144,19 +154,22 @@ class ThreadPool {
     }
   }
 
-  std::mutex job_mutex_;  // serializes whole jobs
-  std::mutex m_;          // guards epoch_/stop_/workers_ and the cv pair
+  Mutex job_mutex_;  // serializes whole jobs
+  Mutex m_;          // guards the members below and pairs with the cv pair
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
-  uint64_t epoch_ = 0;
+  std::vector<std::thread> workers_ ALF_GUARDED_BY(m_);
+  bool stop_ ALF_GUARDED_BY(m_) = false;
+  uint64_t epoch_ ALF_GUARDED_BY(m_) = 0;
 
   // (epoch-tag << kChunkBits) | unclaimed-chunk-count. nchunks <=
   // parallel_threads() (an int), so the count always fits in 32 bits.
   static constexpr int kChunkBits = 32;
   static constexpr uint64_t kChunkMask = (uint64_t{1} << kChunkBits) - 1;
 
+  // Claim-protocol state: published under m_, read lock-free by workers
+  // after an acquire on claim_ (see the class comment — intentionally not
+  // ALF_GUARDED_BY).
   size_t job_begin_ = 0;
   size_t job_end_ = 0;
   size_t job_chunk_ = 0;

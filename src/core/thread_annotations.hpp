@@ -1,0 +1,69 @@
+// Clang Thread Safety Analysis macros (no-ops on other compilers).
+//
+// These turn the locking discipline of the serving stack — which used to
+// live only in comments ("runs under the server's mutex") — into contracts
+// the compiler checks at every call site and member access. The CI leg
+// building with clang and -Werror=thread-safety fails the build on any
+// access to an ALF_GUARDED_BY member without its mutex held, any call to an
+// ALF_REQUIRES function without the named capability, and any scoped-lock
+// misuse (double release, missing release path).
+//
+// How to guard a new member:
+//   1. Give the owning class an alf::Mutex (core/mutex.hpp), not a bare
+//      std::mutex — the std:: types carry no annotations, so the analysis
+//      cannot see their lock/unlock events.
+//   2. Declare the member `T x_ ALF_GUARDED_BY(m_);`.
+//   3. Touch it only inside a MutexLock scope (or a method annotated
+//      ALF_REQUIRES(m_)). Keep guarded reads out of lambda bodies: the
+//      analysis is per-function and does not know a lambda runs with the
+//      enclosing scope's locks held.
+//
+// Cross-object contracts (a helper class whose state is protected by its
+// OWNER's mutex, like serve::ModelQueue under ModelServer::m_) pass the
+// mutex as a parameter: `void admit(Mutex& m, ...) ALF_REQUIRES(m);`. At
+// the call site clang substitutes the argument, so `q.admit(m_, ...)`
+// requires m_ to be held — precise checking with no aliasing guesswork.
+#pragma once
+
+#if defined(__clang__)
+#define ALF_THREAD_ANNOTATION(x) __attribute__((x))  // NOLINT(bugprone-macro-parentheses)
+#else
+#define ALF_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define ALF_CAPABILITY(x) ALF_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define ALF_SCOPED_CAPABILITY ALF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member access requires the capability held (exclusive for writes).
+#define ALF_GUARDED_BY(x) ALF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the POINTED-TO data requires the capability held.
+#define ALF_PT_GUARDED_BY(x) ALF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and does not release).
+#define ALF_REQUIRES(...) \
+  ALF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not already be held).
+#define ALF_ACQUIRE(...) ALF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define ALF_RELEASE(...) ALF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `val`.
+#define ALF_TRY_ACQUIRE(val, ...) \
+  ALF_THREAD_ANNOTATION(try_acquire_capability(val, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define ALF_EXCLUDES(...) ALF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Accessor returning the mutex that guards something.
+#define ALF_RETURN_CAPABILITY(x) ALF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the function is safe without it.
+#define ALF_NO_THREAD_SAFETY_ANALYSIS \
+  ALF_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/asan.hpp"
 #include "core/check.hpp"
 #include "core/parallel.hpp"
 #include "kernels/backend.hpp"
@@ -97,6 +98,28 @@ ExecContext::ExecContext(std::shared_ptr<const Plan> plan)
   if (plan_->quantized()) {
     qws_.assign(plan_->qws_bytes(), 0);
     qbs_.assign(plan_->qbs_floats(), 0.0f);
+  }
+  if constexpr (asan_enabled()) {
+    // Arena-slot lifetime enforcement: record, per physical slot, the last
+    // step that touches it (the loop runs in step order, so each entry
+    // ends at its maximum). All activation slots start poisoned; run_rows
+    // unpoisons rows as their writer executes and re-poisons each slot the
+    // moment its last toucher retires, so the arena is fully poisoned
+    // between runs and a cross-lifetime read faults immediately. The conv
+    // scratch past the slots stays unpoisoned: GEMMs legitimately read
+    // their result region (beta accumulation) before first writing it.
+    const auto& steps = plan_->steps();
+    slot_last_touch_.assign(plan_->activation_slots() + 1, 0);
+    for (size_t i = 0; i < steps.size(); ++i) {
+      slot_last_touch_[steps[i].in] = i;
+      slot_last_touch_[steps[i].out] = i;
+    }
+    // The final activation outlives the step list: run_rows copies it to
+    // the caller's logit buffer after the last step.
+    slot_last_touch_[steps.back().out] = steps.size();
+    for (size_t s = 1; s <= plan_->activation_slots(); ++s)
+      asan_poison(workspace_.data() + (s - 1) * plan_->slot_stride(),
+                  plan_->slot_stride() * sizeof(float));
   }
 }
 
@@ -225,9 +248,16 @@ void ExecContext::run_rows(const float* x, size_t n, float* out) {
     return ws + (st.out - 1) * stride;
   };
 
-  for (const Step& st : p.steps()) {
+  for (size_t si = 0; si < p.steps().size(); ++si) {
+    const Step& st = p.steps()[si];
     const float* src = in_ptr(st);
     float* dst = out_ptr(st);
+    // Open exactly the rows this step writes; the rest of the slot (unused
+    // batch tail included) stays poisoned, so partial-batch overreads
+    // fault too. For kAdd the destination rows are already open — its
+    // producer unpoisoned them — and the unpoison is idempotent.
+    if constexpr (asan_enabled())
+      asan_unpoison(dst, n * st.out_sz * sizeof(float));
     switch (st.kind) {
       case OpKind::kConv:
         run_conv(st, src, dst, n);
@@ -322,10 +352,22 @@ void ExecContext::run_rows(const float* x, size_t n, float* out) {
         break;
       }
     }
+    // Kill slots whose last toucher just retired: any later read of them
+    // is a lifetime bug and now faults as use-after-poison.
+    if constexpr (asan_enabled()) {
+      if (st.in != 0 && slot_last_touch_[st.in] == si)
+        asan_poison(ws + (st.in - 1) * stride, stride * sizeof(float));
+      if (slot_last_touch_[st.out] == si)
+        asan_poison(ws + (st.out - 1) * stride, stride * sizeof(float));
+    }
   }
   const Step& last = p.steps().back();
   std::memcpy(out, ws + (last.out - 1) * stride,
               n * p.classes() * sizeof(float));
+  // The logits are delivered; the final slot dies too, restoring the
+  // fully-poisoned between-runs state the constructor established.
+  if constexpr (asan_enabled())
+    asan_poison(ws + (last.out - 1) * stride, stride * sizeof(float));
 }
 
 Tensor ExecContext::run(const Tensor& x) {

@@ -71,6 +71,15 @@ class ExecContext {
   std::vector<int8_t> qws_;  ///< int8 activation scratch (quantized plans)
   std::vector<float> qbs_;   ///< per-image scale/inverse scratch (2 slices
                              ///< of Plan::qbs_stride() per chunk)
+  /// ASan builds only (core/asan.hpp): index of the last step that reads
+  /// or writes each arena slot (entry 0 = the external input, unused; the
+  /// final step's output extends to steps().size() — the logit copy reads
+  /// it). run_rows poisons a slot the moment its last toucher retires and
+  /// unpoisons exactly the rows a step is about to write, so a kernel
+  /// reading a DEAD slot — stale activations the allocator recycled —
+  /// faults as use-after-poison instead of silently producing numbers.
+  /// Empty in uninstrumented builds.
+  std::vector<size_t> slot_last_touch_;
 };
 
 }  // namespace alf

@@ -536,6 +536,11 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
     st.out = static_cast<size_t>(slot_of[st.out]) + 1;
   }
   plan->steps_ = std::move(cc.steps);
+#ifndef NDEBUG
+  // Debug builds validate every freshly compiled plan; release builds
+  // rely on the test suite calling verify() explicitly (plan_verify.cpp).
+  plan->verify();
+#endif
   return plan;
 }
 

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,15 @@ struct Step {
   bool in_nonneg = false;
 };
 
+/// Typed error thrown by Plan::verify() when a compiled plan violates one
+/// of the invariants the execution layer relies on. The message names the
+/// first failing invariant and the step it failed on.
+class PlanVerifyError : public std::runtime_error {
+ public:
+  explicit PlanVerifyError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Compile-time options of a plan.
 struct EngineOptions {
   /// Kernel-backend name ("scalar" / "simd" / "int8" / a registered
@@ -185,8 +195,24 @@ class Plan {
   /// Human-readable plan: one line per step with fused ops and slots.
   std::string str() const;
 
+  /// Static validator (plan_verify.cpp): checks every invariant the
+  /// execution layer assumes instead of re-checking — slot indices and
+  /// arena bounds, def-before-use slot dataflow with per-step shape
+  /// chaining, scratch sizing against every conv's chunk geometry, weight
+  /// panel shapes, int8 steps carrying complete/finite scales, and that
+  /// the pinned backend is live in the kernel registry. Throws
+  /// PlanVerifyError naming the first violated invariant. Runs
+  /// automatically at the end of compile() in debug builds; tests call it
+  /// directly (including against deliberately corrupted plans).
+  void verify() const;
+
  private:
   Plan() = default;
+
+  /// Test-only backdoor (defined in tests): lets corruption fixtures
+  /// mutate a compiled plan to prove verify() rejects each broken
+  /// invariant. Nothing in the library defines or uses it.
+  friend struct PlanTestPeer;
 
   std::vector<Step> steps_;
   const kernels::KernelBackend* backend_ = nullptr;

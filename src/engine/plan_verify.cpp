@@ -1,0 +1,274 @@
+// Plan::verify(): the static validator over a compiled plan.
+//
+// The execution layer (exec_context.cpp) is deliberately check-free in its
+// hot loop — it trusts the Plan. This pass is where that trust is earned:
+// it re-derives, from nothing but the finished Plan, every invariant the
+// runtime assumes, and throws a typed PlanVerifyError naming the first
+// violation. It runs at the end of Plan::compile in debug builds and from
+// the test suite in all builds (including against hand-corrupted plans, so
+// a validator regression is itself caught).
+//
+// What is checked, and why the runtime needs it:
+//   1. Slot dataflow. Steps address activations by arena slot; the
+//      validator replays the step list over a slot-state machine (slot 0 =
+//      the external input, read-only). Every read must hit a slot that is
+//      live with exactly the byte size the step expects (kAdd reads BOTH
+//      its operands, including the slot it accumulates into), and every
+//      write must land inside the arena. This is the residual, physical
+//      form of the compiler's virtual-buffer liveness: any slot-assignment
+//      bug that makes two overlapping live ranges share a slot shows up
+//      here as a dead read or a size break in the chain.
+//   2. Arena geometry. slot_stride_ must cover every activation the steps
+//      move at the compiled batch; the im2col/result scratch offsets must
+//      tile the workspace exactly; every chunk-batched conv's unfold and
+//      GEMM result must fit its per-chunk scratch slice.
+//   3. Weight panels. Float steps must carry a weight matrix of exactly
+//      the GEMM shape the kernel will read ([Co, Ci*K*K] conv rows,
+//      [out, in] linear); shift-GEMM steps the packed [K*K, Co, Ci]
+//      repacking and a geometry the strategy supports.
+//   4. int8 lowering. A quantized step must carry the full quantized
+//      panel, one finite positive scale per output channel, a grid width
+//      in [2, 8] — and have released its float weights. Quantized plans
+//      must have sized the int8 scratch; float plans must carry none.
+//   5. Backend pinning. The plan's backend pointer must be live in the
+//      kernel registry under its own name, and the plan's quantized flag
+//      must match the backend's datapath.
+#include <cmath>
+#include <string>
+
+#include "engine/plan.hpp"
+#include "kernels/backend.hpp"
+
+namespace alf {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw PlanVerifyError("Plan::verify: " + what);
+}
+
+std::string tag(size_t i, const Step& st) {
+  return "step " + std::to_string(i) + " [" + op_kind_name(st.kind) + " '" +
+         st.name + "']";
+}
+
+/// Per-slot replay state: whether the slot currently holds a live
+/// activation, and its per-image element count when it does.
+struct SlotState {
+  bool live = false;
+  size_t sz = 0;
+};
+
+}  // namespace
+
+void Plan::verify() const {
+  // --- Plan-level basics -------------------------------------------------
+  if (steps_.empty()) fail("empty step list");
+  if (batch_ < 1 || in_c_ < 1 || in_h_ < 1 || in_w_ < 1)
+    fail("degenerate batch/input geometry");
+  if (classes_ < 1) fail("plan produces no output features");
+  if (nchunks_ < 1 || nchunks_ > batch_)
+    fail("chunk grid " + std::to_string(nchunks_) + " outside [1, batch=" +
+         std::to_string(batch_) + "]");
+
+  // --- Backend pinning ---------------------------------------------------
+  if (backend_ == nullptr) fail("no kernel backend pinned");
+  if (kernels::find_backend(backend_->name) != backend_)
+    fail(std::string("pinned backend '") + backend_->name +
+         "' is not live in the kernel registry");
+  if (quant_ != backend_->quantized_datapath)
+    fail(std::string("quantized flag disagrees with backend '") +
+         backend_->name + "' datapath");
+
+  // --- Arena layout arithmetic ------------------------------------------
+  if (slots_ < 1) fail("plan has no activation slots");
+  if (col_off_ != slots_ * slot_stride_)
+    fail("im2col scratch offset does not abut the activation slots");
+  if (res_off_ != col_off_ + nchunks_ * col_sz_)
+    fail("result scratch offset does not abut the im2col scratch");
+  const size_t chunk_imgs = (batch_ + nchunks_ - 1) / nchunks_;
+
+  // --- Step replay -------------------------------------------------------
+  // slot 0 is the external input; arena slots are 1..slots_.
+  std::vector<SlotState> slot(slots_ + 1);
+  slot[0] = SlotState{true, image_floats()};
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Step& st = steps_[i];
+    if (st.in > slots_)
+      fail(tag(i, st) + ": input slot " + std::to_string(st.in) +
+           " out of range (slots=" + std::to_string(slots_) + ")");
+    if (st.out < 1 || st.out > slots_)
+      fail(tag(i, st) + ": output slot " + std::to_string(st.out) +
+           " out of range (slot 0 is the read-only input)");
+    if (st.in_sz < 1 || st.out_sz < 1)
+      fail(tag(i, st) + ": empty activation");
+
+    // Reads: the input slot must be live with the expected size. A stale
+    // or size-mismatched read is exactly what an overlapping slot
+    // assignment (two live buffers sharing a slot) degenerates into once
+    // buffers are physical.
+    if (!slot[st.in].live)
+      fail(tag(i, st) + ": reads slot " + std::to_string(st.in) +
+           " which holds no live activation");
+    if (slot[st.in].sz != st.in_sz)
+      fail(tag(i, st) + ": reads slot " + std::to_string(st.in) + " as " +
+           std::to_string(st.in_sz) + " floats/image but the live value is " +
+           std::to_string(slot[st.in].sz));
+    if (st.kind == OpKind::kAdd) {
+      // out = act(out + in): the destination is an operand too.
+      if (!slot[st.out].live)
+        fail(tag(i, st) + ": accumulates into dead slot " +
+             std::to_string(st.out));
+      if (slot[st.out].sz != st.out_sz || st.in_sz != st.out_sz)
+        fail(tag(i, st) + ": residual operand shapes disagree");
+      if (st.in == st.out)
+        fail(tag(i, st) + ": residual add reads and writes the same slot");
+    }
+
+    // Arena coverage: every activation the step moves must fit its slot
+    // at the compiled batch (slot 0 is the caller's buffer, not ours).
+    if (st.in != 0 && batch_ * st.in_sz > slot_stride_)
+      fail(tag(i, st) + ": input activation overflows the slot stride");
+    if (batch_ * st.out_sz > slot_stride_)
+      fail(tag(i, st) + ": output activation overflows the slot stride");
+
+    // Per-kind geometry and weight-panel shape.
+    switch (st.kind) {
+      case OpKind::kConv: {
+        const ConvGeom& g = st.geom;
+        if (g.kernel < 1 || g.stride < 1) fail(tag(i, st) + ": bad geometry");
+        if (g.in_h + 2 * g.pad < g.kernel || g.in_w + 2 * g.pad < g.kernel)
+          fail(tag(i, st) + ": kernel larger than padded input");
+        if (st.in_sz != g.in_c * g.in_h * g.in_w)
+          fail(tag(i, st) + ": in_sz disagrees with conv geometry");
+        if (st.out_sz != st.out_c * g.out_h() * g.out_w())
+          fail(tag(i, st) + ": out_sz disagrees with conv geometry");
+        if (st.quantized) {
+          if (st.shift_gemm)
+            fail(tag(i, st) + ": quantized conv on the shift-GEMM path");
+        } else if (st.shift_gemm) {
+          if (g.stride != 1 || g.kernel % 2 == 0 || g.pad != (g.kernel - 1) / 2)
+            fail(tag(i, st) + ": shift-GEMM needs stride-1 same-size conv");
+          if (g.kernel > 1 &&
+              (st.w9.rank() != 3 || st.w9.dim(0) != g.kernel * g.kernel ||
+               st.w9.dim(1) != st.out_c || st.w9.dim(2) != g.in_c))
+            fail(tag(i, st) + ": shift-GEMM weight pack has the wrong shape");
+        } else {
+          // Chunk-batched im2col: the whole-chunk unfold and GEMM result
+          // must fit the per-chunk scratch slices.
+          if (g.col_rows() * g.col_cols() * chunk_imgs > col_sz_)
+            fail(tag(i, st) + ": im2col unfold overflows the col scratch");
+          if (st.out_sz * chunk_imgs > res_sz_)
+            fail(tag(i, st) + ": GEMM result overflows the result scratch");
+        }
+        if (!st.quantized &&
+            (st.w.rank() != 2 || st.w.dim(0) != st.out_c ||
+             st.w.dim(1) != g.col_rows()))
+          fail(tag(i, st) + ": weight matrix is not [Co, Ci*K*K]");
+        if (!st.bias.empty() && st.bias.numel() != st.out_c)
+          fail(tag(i, st) + ": bias length disagrees with out_c");
+        break;
+      }
+      case OpKind::kLinear: {
+        if (st.in_sz != st.in_features || st.out_sz != st.out_features)
+          fail(tag(i, st) + ": in/out sizes disagree with features");
+        if (!st.quantized &&
+            (st.w.rank() != 2 || st.w.dim(0) != st.out_features ||
+             st.w.dim(1) != st.in_features))
+          fail(tag(i, st) + ": weight matrix is not [out, in]");
+        if (!st.bias.empty() && st.bias.numel() != st.out_features)
+          fail(tag(i, st) + ": bias length disagrees with out_features");
+        break;
+      }
+      case OpKind::kMaxPool: {
+        if (st.window < 1 || st.geom.in_h % st.window != 0 ||
+            st.geom.in_w % st.window != 0)
+          fail(tag(i, st) + ": window does not tile the input map");
+        if (st.in_sz != st.geom.in_c * st.geom.in_h * st.geom.in_w ||
+            st.out_sz != st.in_sz / (st.window * st.window))
+          fail(tag(i, st) + ": pooled sizes disagree with geometry");
+        break;
+      }
+      case OpKind::kGlobalAvgPool: {
+        if (st.in_sz != st.geom.in_c * st.geom.in_h * st.geom.in_w ||
+            st.out_sz != st.geom.in_c)
+          fail(tag(i, st) + ": pooled sizes disagree with geometry");
+        break;
+      }
+      case OpKind::kScaleShift: {
+        if (st.in_sz != st.out_sz)
+          fail(tag(i, st) + ": affine step changes activation size");
+        if (st.scale.numel() != st.out_c || st.shift.numel() != st.out_c)
+          fail(tag(i, st) + ": scale/shift length disagrees with channels");
+        if (st.out_c == 0 || st.in_sz % st.out_c != 0)
+          fail(tag(i, st) + ": channel count does not divide the activation");
+        break;
+      }
+      case OpKind::kAdd:
+      case OpKind::kActivation: {
+        if (st.in_sz != st.out_sz)
+          fail(tag(i, st) + ": elementwise step changes activation size");
+        break;
+      }
+    }
+
+    // int8 lowering completeness. Only conv/linear steps may be lowered;
+    // a lowered step must carry the full panel + scales and have dropped
+    // its float weights; an unlowered conv/linear on a quantized plan (or
+    // vice versa) means compile and runtime disagree on the datapath.
+    const bool lowerable =
+        st.kind == OpKind::kConv || st.kind == OpKind::kLinear;
+    if (st.quantized && !lowerable)
+      fail(tag(i, st) + ": non-GEMM step marked quantized");
+    if (lowerable && st.quantized != quant_)
+      fail(tag(i, st) + (quant_ ? ": float step in a quantized plan"
+                                : ": quantized step in a float plan"));
+    if (st.quantized) {
+      if (st.qbits < 2 || st.qbits > 8)
+        fail(tag(i, st) + ": quantization grid outside [2, 8] bits");
+      const size_t rows =
+          st.kind == OpKind::kConv ? st.out_c : st.out_features;
+      const size_t cols =
+          st.kind == OpKind::kConv ? st.geom.col_rows() : st.in_features;
+      if (st.qw.size() != rows * cols)
+        fail(tag(i, st) + ": quantized panel has " +
+             std::to_string(st.qw.size()) + " weights, geometry needs " +
+             std::to_string(rows * cols));
+      if (st.qw_scales.size() != rows)
+        fail(tag(i, st) + ": expected one weight scale per output channel");
+      for (const float s : st.qw_scales)
+        if (!(s > 0.0f) || !std::isfinite(s))
+          fail(tag(i, st) + ": non-finite or non-positive weight scale");
+      if (!st.w.empty())
+        fail(tag(i, st) + ": float weights not released after int8 lowering");
+    }
+
+    // Write: the output slot now holds this step's activation.
+    slot[st.out] = SlotState{true, st.out_sz};
+  }
+
+  // --- Final output ------------------------------------------------------
+  if (steps_.back().out_sz != classes_)
+    fail("final step produces " + std::to_string(steps_.back().out_sz) +
+         " features, plan advertises " + std::to_string(classes_) +
+         " classes");
+
+  // --- int8 scratch sizing ----------------------------------------------
+  if (quant_) {
+    if (qws_sz_ < nchunks_ * col_sz_)
+      fail("int8 activation scratch smaller than the quantized unfold");
+    for (const Step& st : steps_) {
+      if (st.kind == OpKind::kLinear && qws_sz_ < batch_ * st.in_features)
+        fail("int8 activation scratch smaller than a linear input panel");
+      if (st.kind == OpKind::kConv && !st.shift_gemm &&
+          qbs_sz_ < st.geom.col_cols() * chunk_imgs)
+        fail("per-image scale scratch smaller than a conv's GEMM columns");
+    }
+    if (qbs_sz_ < batch_)
+      fail("per-image scale scratch smaller than the batch");
+  } else if (qws_sz_ != 0 || qbs_sz_ != 0) {
+    fail("float plan carries int8 scratch sizing");
+  }
+}
+
+}  // namespace alf

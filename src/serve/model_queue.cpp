@@ -16,7 +16,8 @@ ModelQueue::ModelQueue(std::string name, std::shared_ptr<const Plan> plan,
       << cfg_.weight;
 }
 
-ModelQueue::Admit ModelQueue::admit(Request&& r, Request* dropped) {
+ModelQueue::Admit ModelQueue::admit([[maybe_unused]] Mutex& m, Request&& r,
+                                   Request* dropped) {
   if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
     if (cfg_.shed == ShedPolicy::kReject) {
       // Fail fast under overload: counting happens under the server lock,
@@ -45,7 +46,8 @@ ModelQueue::Admit ModelQueue::admit(Request&& r, Request* dropped) {
   return Admit::kOk;
 }
 
-void ModelQueue::purge_expired(std::chrono::steady_clock::time_point now,
+void ModelQueue::purge_expired([[maybe_unused]] Mutex& m,
+                               std::chrono::steady_clock::time_point now,
                                std::vector<Request>& expired) {
   // Deadlines are per-request, not FIFO-ordered, so scan the whole queue
   // (erase-compact in one pass; queues are short by design — max_queue).
@@ -64,7 +66,7 @@ void ModelQueue::purge_expired(std::chrono::steady_clock::time_point now,
   queue_.resize(kept);
 }
 
-std::vector<Request> ModelQueue::form_batch() {
+std::vector<Request> ModelQueue::form_batch([[maybe_unused]] Mutex& m) {
   std::vector<Request> take;
   if (queue_.empty()) return take;
   const size_t batch = plan_->batch();
@@ -84,13 +86,13 @@ std::vector<Request> ModelQueue::form_batch() {
   return take;
 }
 
-void ModelQueue::delivered(size_t nreq) {
+void ModelQueue::delivered([[maybe_unused]] Mutex& m, size_t nreq) {
   ALF_CHECK(stats_.in_flight >= nreq);
   stats_.in_flight -= nreq;
   stats_.completed += nreq;
 }
 
-ServeStats ModelQueue::stats() const {
+ServeStats ModelQueue::stats([[maybe_unused]] Mutex& m) const {
   ServeStats s = stats_;
   s.queued = queue_.size();
   return s;

@@ -7,11 +7,15 @@
 // decisions update, all of it behind one struct so a stats() snapshot is
 // coherent by construction.
 //
-// THREADING: a ModelQueue has no lock of its own. Every method runs under
-// the owning server's queue mutex; the queue is pure bookkeeping and never
-// blocks, sleeps, or calls user code (callbacks are delivered by the
-// server AFTER it releases the mutex, from the Request lists these methods
-// hand back).
+// THREADING: a ModelQueue has no lock of its own, and the contract is no
+// longer a comment — it is machine-checked. Every method that touches
+// queue state takes the owning server's Mutex as its first parameter,
+// annotated ALF_REQUIRES(m): building with clang -Wthread-safety fails on
+// any call site that does not hold the server mutex it passes. The queue
+// is pure bookkeeping and never blocks, sleeps, or calls user code
+// (callbacks are delivered by the server AFTER it releases the mutex,
+// from the Request lists these methods hand back). Accessors of
+// construction-time immutable state (name/plan/config) need no lock.
 #pragma once
 
 #include <deque>
@@ -19,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 #include "engine/plan.hpp"
 #include "serve/types.hpp"
 
@@ -55,34 +61,40 @@ class ModelQueue {
   /// the caller owns delivering QueueFullError to *dropped (off-lock). On
   /// kRejected `r` is left intact for the caller to fail synchronously.
   /// Updates accepted/rejected/dropped_oldest and the queued gauge.
-  Admit admit(Request&& r, Request* dropped);
+  Admit admit(Mutex& m, Request&& r, Request* dropped) ALF_REQUIRES(m);
 
   /// Sheds every queued request whose deadline is at or before `now` into
   /// `expired` (appended; the caller delivers DeadlineExpiredError
   /// off-lock) and counts them in stats().expired. Runs at batch-formation
   /// time — the last moment before the server would spend engine time on
   /// the request.
-  void purge_expired(std::chrono::steady_clock::time_point now,
-                     std::vector<Request>& expired);
+  void purge_expired(Mutex& m, std::chrono::steady_clock::time_point now,
+                     std::vector<Request>& expired) ALF_REQUIRES(m);
 
   /// Pops the longest queue prefix whose images fit plan().batch() (the
   /// head always fits: admission bounds every request by the batch) and
   /// accounts the dispatch: batches/requests/images/full_batches/max_fill
   /// and the in_flight gauge. Returns the popped requests in queue order;
   /// empty when the queue is empty.
-  std::vector<Request> form_batch();
+  std::vector<Request> form_batch(Mutex& m) ALF_REQUIRES(m);
 
   /// Marks `nreq` dispatched requests delivered (moves them from in_flight
   /// to completed). Called by the server after the callbacks have run.
-  void delivered(size_t nreq);
+  void delivered(Mutex& m, size_t nreq) ALF_REQUIRES(m);
 
-  bool empty() const { return queue_.empty(); }
-  size_t size() const { return queue_.size(); }
-  size_t queued_images() const { return queued_images_; }
+  bool empty([[maybe_unused]] Mutex& m) const ALF_REQUIRES(m) {
+    return queue_.empty();
+  }
+  size_t size([[maybe_unused]] Mutex& m) const ALF_REQUIRES(m) {
+    return queue_.size();
+  }
+  size_t queued_images([[maybe_unused]] Mutex& m) const ALF_REQUIRES(m) {
+    return queued_images_;
+  }
 
   /// Coherent snapshot (the caller holds the server mutex, so the copy is
   /// atomic with respect to every counter update above).
-  ServeStats stats() const;
+  ServeStats stats(Mutex& m) const ALF_REQUIRES(m);
 
   const std::string& name() const { return name_; }
   const Plan& plan() const { return *plan_; }
@@ -94,15 +106,23 @@ class ModelQueue {
   /// to pop). Other workers skip a forming model when picking, so exactly
   /// one batch forms per model at a time; it lives here (not in the
   /// worker) so eligibility is a pure function of the queue.
-  bool forming = false;
+  bool forming([[maybe_unused]] Mutex& m) const ALF_REQUIRES(m) {
+    return forming_;
+  }
+  void set_forming([[maybe_unused]] Mutex& m, bool v) ALF_REQUIRES(m) {
+    forming_ = v;
+  }
 
  private:
   std::string name_;
   std::shared_ptr<const Plan> plan_;
   Config cfg_;
+  // Queue state: every access runs under the owning server's mutex,
+  // enforced by the ALF_REQUIRES(m) annotations on the methods above.
   std::deque<Request> queue_;
   size_t queued_images_ = 0;
   ServeStats stats_;
+  bool forming_ = false;
 };
 
 }  // namespace alf::serve

@@ -15,7 +15,7 @@ using serve::Request;
 using serve::WeightedScheduler;
 using std::chrono::steady_clock;
 
-ModelServer::PlanSlot::PlanSlot(std::shared_ptr<const Plan> plan)
+ModelServer::PlanSlot::PlanSlot(const std::shared_ptr<const Plan>& plan)
     : ctx(plan),
       in(plan->batch() * plan->image_floats(), 0.0f),
       out(plan->batch() * plan->classes(), 0.0f) {}
@@ -36,19 +36,25 @@ void ModelServer::add_model(const std::string& name,
   ALF_CHECK(plan != nullptr) << "ModelServer: null plan for '" << name << "'";
   ALF_CHECK(index_.find(name) == index_.end())
       << "ModelServer: duplicate model '" << name << "'";
+  // Registration is single-threaded by contract (before start), but the
+  // guarded members still demand the lock — the annotations don't know
+  // the workers haven't spawned yet, and the uncontended acquire is free.
+  MutexLock lk(m_);
   index_.emplace(name, models_.size());
+  plans_.push_back(plan);
+  names_.push_back(name);
   models_.push_back(
       std::make_unique<ModelQueue>(name, std::move(plan), cfg));
-  sched_.add(cfg.weight);
+  sched_.add(m_, cfg.weight);
 }
 
 void ModelServer::start() {
   ALF_CHECK(!started_) << "ModelServer: start called twice";
-  ALF_CHECK(!models_.empty()) << "ModelServer: start with no models";
+  ALF_CHECK(!plans_.empty()) << "ModelServer: start with no models";
   workers_.resize(cfg_.workers);
   for (Worker& wk : workers_) {
-    wk.slots.reserve(models_.size());
-    for (const auto& mq : models_) wk.slots.emplace_back(mq->plan_ptr());
+    wk.slots.reserve(plans_.size());
+    for (const auto& plan : plans_) wk.slots.emplace_back(plan);
   }
   started_ = true;
   for (size_t wi = 0; wi < workers_.size(); ++wi)
@@ -77,7 +83,9 @@ void ModelServer::submit(const std::string& model, Tensor x, Callback done,
   ALF_CHECK(started_) << "ModelServer: submit before start";
   ALF_CHECK(done != nullptr) << "ModelServer: null completion callback";
   const size_t mi = model_index(model);
-  const Plan& p = models_[mi]->plan();
+  // Shape checks run against the immutable Plan, off-lock (plans_ is
+  // frozen once start() returns and submit checks started_ above).
+  const Plan& p = *plans_[mi];
   ALF_CHECK_EQ(x.rank(), size_t{4});
   const size_t n = x.dim(0);
   ALF_CHECK(n >= 1 && n <= p.batch())
@@ -101,13 +109,13 @@ void ModelServer::submit(const std::string& model, Tensor x, Callback done,
   Request dropped;
   bool have_dropped = false;
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     ALF_CHECK(!stop_) << "ModelServer: submit after stop";
     const ModelQueue::Admit verdict =
-        models_[mi]->admit(std::move(r), &dropped);
+        models_[mi]->admit(m_, std::move(r), &dropped);
     if (verdict == ModelQueue::Admit::kRejected) {
       throw QueueFullError("ModelServer: queue full for model '" + model +
-                           "' (" + std::to_string(models_[mi]->size()) +
+                           "' (" + std::to_string(models_[mi]->size(m_)) +
                            " of max " +
                            std::to_string(models_[mi]->config().max_queue) +
                            " requests queued)");
@@ -140,7 +148,7 @@ std::future<Tensor> ModelServer::submit(const std::string& model, Tensor x,
 
 void ModelServer::pause() {
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     paused_ = true;
   }
   // Wake mid-tick workers so an open tick is abandoned promptly, not at
@@ -150,7 +158,7 @@ void ModelServer::pause() {
 
 void ModelServer::resume() {
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     paused_ = false;
   }
   work_cv_.notify_all();
@@ -158,7 +166,7 @@ void ModelServer::resume() {
 
 void ModelServer::stop() {
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     stop_ = true;
     paused_ = false;  // a paused server still drains on shutdown
   }
@@ -169,28 +177,28 @@ void ModelServer::stop() {
 
 size_t ModelServer::pending(const std::string& model) const {
   const size_t mi = model_index(model);
-  std::lock_guard<std::mutex> lk(m_);
-  return models_[mi]->size();
+  MutexLock lk(m_);
+  return models_[mi]->size(m_);
 }
 
 size_t ModelServer::pending() const {
-  std::lock_guard<std::mutex> lk(m_);
+  MutexLock lk(m_);
   size_t total = 0;
-  for (const auto& mq : models_) total += mq->size();
+  for (const auto& mq : models_) total += mq->size(m_);
   return total;
 }
 
 ServeStats ModelServer::stats(const std::string& model) const {
   const size_t mi = model_index(model);
-  std::lock_guard<std::mutex> lk(m_);
-  return models_[mi]->stats();
+  MutexLock lk(m_);
+  return models_[mi]->stats(m_);
 }
 
 ServeStats ModelServer::stats() const {
-  std::lock_guard<std::mutex> lk(m_);
+  MutexLock lk(m_);
   ServeStats total;
   for (const auto& mq : models_) {
-    const ServeStats s = mq->stats();
+    const ServeStats s = mq->stats(m_);
     total.accepted += s.accepted;
     total.rejected += s.rejected;
     total.dropped_oldest += s.dropped_oldest;
@@ -208,25 +216,20 @@ ServeStats ModelServer::stats() const {
 }
 
 const Plan& ModelServer::plan(const std::string& model) const {
-  return models_[model_index(model)]->plan();
+  return *plans_[model_index(model)];
 }
 
-std::vector<std::string> ModelServer::model_names() const {
-  std::vector<std::string> names;
-  names.reserve(models_.size());
-  for (const auto& mq : models_) names.push_back(mq->name());
-  return names;
-}
+std::vector<std::string> ModelServer::model_names() const { return names_; }
 
 bool ModelServer::any_eligible() const {
   for (const auto& mq : models_)
-    if (!mq->forming && !mq->empty()) return true;
+    if (!mq->forming(m_) && !mq->empty(m_)) return true;
   return false;
 }
 
 bool ModelServer::all_queues_empty() const {
   for (const auto& mq : models_)
-    if (!mq->empty()) return false;
+    if (!mq->empty(m_)) return false;
   return true;
 }
 
@@ -254,36 +257,42 @@ void ModelServer::worker_loop(size_t wi) {
   if (cfg_.workers > 1) inline_guard = std::make_unique<InlineExecutionGuard>();
 
   std::vector<Request> expired;
-  std::unique_lock<std::mutex> lk(m_);
+  std::vector<uint8_t> eligible;
+  MutexLock lk(m_);
   while (true) {
-    work_cv_.wait(lk, [&] {
-      return stop_ || (!paused_ && any_eligible());
-    });
+    // Explicit wait loop (not a predicate lambda): the predicate reads
+    // guarded state, and -Wthread-safety analyzes per function — a lambda
+    // body would sit outside its view of the held lock.
+    while (!stop_ && (paused_ || !any_eligible())) lk.wait(work_cv_);
     if (stop_ && all_queues_empty()) return;
-    const size_t mi = sched_.pick([&](size_t i) {
-      return !models_[i]->forming && !models_[i]->empty();
-    });
+    // Eligibility snapshot under the lock; the scheduler takes a bitmap
+    // for the same analysis-visibility reason as the wait loop above.
+    eligible.assign(models_.size(), 0);
+    for (size_t i = 0; i < models_.size(); ++i)
+      eligible[i] =
+          (!models_[i]->forming(m_) && !models_[i]->empty(m_)) ? 1 : 0;
+    const size_t mi = sched_.pick(m_, eligible);
     if (mi == WeightedScheduler::npos) {
       // Backlog exists but another worker holds every tick. During a stop
       // drain the predicate above is always true, so yield briefly
       // instead of spinning on the mutex.
-      if (stop_) work_cv_.wait_for(lk, std::chrono::microseconds(100));
+      if (stop_) lk.wait_for(work_cv_, std::chrono::microseconds(100));
       continue;
     }
     ModelQueue& q = *models_[mi];
-    q.forming = true;
+    q.set_forming(m_, true);
     expired.clear();
-    q.purge_expired(steady_clock::now(), expired);
-    bool abandoned = q.empty();  // everything expired: nothing to form
+    q.purge_expired(m_, steady_clock::now(), expired);
+    bool abandoned = q.empty(m_);  // everything expired: nothing to form
     if (!abandoned && !stop_ && q.config().max_wait_us > 0 &&
-        q.queued_images() < q.plan().batch()) {
+        q.queued_images(m_) < q.plan().batch()) {
       // A tick is open: give arrivals max_wait_us to fill the batch,
       // leaving early once enough images are queued. During shutdown the
       // deadline is skipped so the drain runs back-to-back.
       const auto tick_deadline =
           steady_clock::now() + std::chrono::microseconds(q.config().max_wait_us);
-      while (!stop_ && !paused_ && q.queued_images() < q.plan().batch()) {
-        if (work_cv_.wait_until(lk, tick_deadline) == std::cv_status::timeout)
+      while (!stop_ && !paused_ && q.queued_images(m_) < q.plan().batch()) {
+        if (lk.wait_until(work_cv_, tick_deadline) == std::cv_status::timeout)
           break;
       }
     }
@@ -294,16 +303,16 @@ void ModelServer::worker_loop(size_t wi) {
     std::vector<Request> take;
     size_t take_images = 0;
     if (!abandoned) {
-      q.purge_expired(steady_clock::now(), expired);
-      take = q.form_batch();
+      q.purge_expired(m_, steady_clock::now(), expired);
+      take = q.form_batch(m_);
       for (const Request& r : take) take_images += r.n;
-      if (!take.empty()) sched_.charge(mi, take_images);
+      if (!take.empty()) sched_.charge(m_, mi, take_images);
     }
-    q.forming = false;
+    q.set_forming(m_, false);
     // The model may still be backlogged (prefix packing left a tail, or
     // the tick was abandoned); peers skipped it while forming, so re-open
     // it for them before the (lock-free) engine run.
-    if (!q.empty()) work_cv_.notify_all();
+    if (!q.empty(m_)) work_cv_.notify_all();
     lk.unlock();
 
     deliver_failures(expired, "ModelServer: deadline expired before batch "
@@ -331,7 +340,9 @@ void ModelServer::worker_loop(size_t wi) {
 
     lk.lock();
     if (!take.empty()) {
-      q.delivered(take.size());
+      // Reacquired m_: the annotations see the relock through MutexLock,
+      // so these guarded calls check clean.
+      q.delivered(m_, take.size());
       take.clear();
       // A stop() drain may be waiting on peers: completions change the
       // exit predicate.

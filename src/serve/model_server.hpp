@@ -31,10 +31,15 @@
 // fixed at compile time, backends accumulate in thread-independent order,
 // and quantization scales are per-image.
 //
-// All queue/scheduler/stats state lives under ONE mutex, so stats() is a
-// coherent snapshot and the conservation identity in types.hpp holds
-// exactly. stop() (and the destructor) drains every accepted request of
-// every model before joining the workers.
+// LOCKING (machine-checked; see core/thread_annotations.hpp): all
+// queue/scheduler/dispatch state lives under the ONE annotated Mutex m_,
+// so stats() is a coherent snapshot and the conservation identity in
+// types.hpp holds exactly. The ALF_GUARDED_BY/ALF_REQUIRES annotations
+// below make clang -Wthread-safety reject any access outside the lock.
+// Registration metadata that submit() reads lock-free (name -> index map,
+// per-model Plan pointers) is split into separate members that become
+// immutable once start() spawns the workers. stop() (and the destructor)
+// drains every accepted request of every model before joining the workers.
 #pragma once
 
 #include <atomic>
@@ -42,12 +47,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 #include "engine/exec_context.hpp"
 #include "engine/plan.hpp"
 #include "serve/model_queue.hpp"
@@ -150,7 +156,7 @@ class ModelServer {
     ExecContext ctx;
     std::vector<float> in;   ///< [batch * image_floats] packed input rows
     std::vector<float> out;  ///< [batch * classes] packed logit rows
-    explicit PlanSlot(std::shared_ptr<const Plan> plan);
+    explicit PlanSlot(const std::shared_ptr<const Plan>& plan);
   };
   struct Worker {
     std::vector<PlanSlot> slots;  ///< one per hosted model, model order
@@ -159,26 +165,35 @@ class ModelServer {
 
   size_t model_index(const std::string& name) const;
   void worker_loop(size_t wi);
-  /// True when some model can take a tick right now (callers hold m_).
-  bool any_eligible() const;
-  bool all_queues_empty() const;
+  /// True when some model can take a tick right now.
+  bool any_eligible() const ALF_REQUIRES(m_);
+  bool all_queues_empty() const ALF_REQUIRES(m_);
   /// Completes shed requests with the given typed error (call off-lock).
   static void deliver_failures(std::vector<serve::Request>& reqs,
                                const char* what, bool queue_full);
 
   Config cfg_;
-  // Registration state; immutable after start() (read lock-free by
-  // submit), guarded by m_ for the queue internals.
-  std::vector<std::unique_ptr<serve::ModelQueue>> models_;
+  // Registration metadata, immutable once start() spawns the pool: the
+  // lock-free fast path of submit()/plan() reads these (name lookup,
+  // shape checks against the immutable Plan) without touching m_.
   std::unordered_map<std::string, size_t> index_;
-  serve::WeightedScheduler sched_;
-  std::vector<Worker> workers_;
+  std::vector<std::shared_ptr<const Plan>> plans_;
+  std::vector<std::string> names_;
+  std::vector<Worker> workers_;  ///< indexed state owned by each worker
   std::atomic<bool> started_{false};
 
-  mutable std::mutex m_;
+  mutable Mutex m_;
   std::condition_variable work_cv_;
-  bool paused_ = false;
-  bool stop_ = false;
+  // Everything below runs under m_ — enforced at compile time (clang
+  // -Wthread-safety) by the annotations, not by convention. The queue
+  // objects themselves are reached only through models_: GUARDED_BY
+  // covers the vector, PT_GUARDED_BY the pointed-to queues, and each
+  // ModelQueue method additionally REQUIRES the mutex it is passed.
+  std::vector<std::unique_ptr<serve::ModelQueue>> models_
+      ALF_GUARDED_BY(m_) ALF_PT_GUARDED_BY(m_);
+  serve::WeightedScheduler sched_ ALF_GUARDED_BY(m_);
+  bool paused_ ALF_GUARDED_BY(m_) = false;
+  bool stop_ ALF_GUARDED_BY(m_) = false;
 };
 
 }  // namespace alf

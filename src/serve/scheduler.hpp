@@ -9,8 +9,13 @@
 // skipped), and a model returning from idle re-enters at its accumulated
 // virtual time, so it cannot starve the others by hoarding credit.
 //
-// THREADING: no lock of its own — pick() and charge() run under the
-// owning server's mutex, like ModelQueue.
+// THREADING: no lock of its own — like ModelQueue, the owning server's
+// Mutex is threaded through every state-touching method and enforced with
+// ALF_REQUIRES(m) (core/thread_annotations.hpp), so "runs under the
+// server's mutex" is checked by clang -Wthread-safety, not trusted.
+// Eligibility arrives as a bitmap computed by the caller while it holds
+// the lock — a predicate callable would hide guarded reads inside a
+// lambda body, which the per-function analysis cannot see into.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +23,8 @@
 #include <vector>
 
 #include "core/check.hpp"
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace alf::serve {
 
@@ -26,23 +33,25 @@ class WeightedScheduler {
   static constexpr size_t npos = static_cast<size_t>(-1);
 
   /// Registers the next model (index = registration order).
-  void add(double weight) {
+  void add([[maybe_unused]] Mutex& m, double weight) ALF_REQUIRES(m) {
     ALF_CHECK(weight > 0.0) << "scheduler: weight must be positive";
     entries_.push_back(Entry{weight, 0});
   }
 
-  size_t size() const { return entries_.size(); }
+  size_t size([[maybe_unused]] Mutex& m) const ALF_REQUIRES(m) {
+    return entries_.size();
+  }
 
   /// Picks the eligible model with the smallest virtual time; ties go to
   /// the lowest index (deterministic — the service counters themselves
-  /// rotate the pick). `eligible(i)` is any callable; returns npos when
-  /// nothing is eligible.
-  template <typename Eligible>
-  size_t pick(Eligible&& eligible) const {
+  /// rotate the pick). `eligible[i] != 0` marks model i pickable (entries
+  /// past eligible.size() are skipped); returns npos when nothing is.
+  size_t pick([[maybe_unused]] Mutex& m,
+              const std::vector<uint8_t>& eligible) const ALF_REQUIRES(m) {
     size_t best = npos;
     double best_vt = 0.0;
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      if (!eligible(i)) continue;
+    for (size_t i = 0; i < entries_.size() && i < eligible.size(); ++i) {
+      if (eligible[i] == 0) continue;
       const double vt =
           static_cast<double>(entries_[i].served) / entries_[i].weight;
       if (best == npos || vt < best_vt) {
@@ -54,13 +63,15 @@ class WeightedScheduler {
   }
 
   /// Accounts `images` dispatched for model `idx`.
-  void charge(size_t idx, size_t images) {
+  void charge([[maybe_unused]] Mutex& m, size_t idx, size_t images)
+      ALF_REQUIRES(m) {
     ALF_CHECK(idx < entries_.size());
     entries_[idx].served += images;
   }
 
   /// Images served so far (the scheduler's own view; tests compare shares).
-  uint64_t served(size_t idx) const {
+  uint64_t served([[maybe_unused]] Mutex& m, size_t idx) const
+      ALF_REQUIRES(m) {
     ALF_CHECK(idx < entries_.size());
     return entries_[idx].served;
   }

@@ -579,4 +579,249 @@ TEST(Engine, NarrowBitWidthsDegradeGracefully) {
 }
 
 }  // namespace
+
+/// Test-only friend of Plan (declared in plan.hpp): corruption fixtures
+/// need a mutable view of a compiled plan's internals to prove verify()
+/// rejects each broken invariant. Nothing outside the tests defines this.
+struct PlanTestPeer {
+  static Plan& mut(const std::shared_ptr<const Plan>& p) {
+    return const_cast<Plan&>(*p);
+  }
+  static std::vector<Step>& steps(Plan& p) { return p.steps_; }
+  static size_t& slots(Plan& p) { return p.slots_; }
+  static size_t& slot_stride(Plan& p) { return p.slot_stride_; }
+  static size_t& col_off(Plan& p) { return p.col_off_; }
+  static size_t& res_off(Plan& p) { return p.res_off_; }
+  static size_t& res_sz(Plan& p) { return p.res_sz_; }
+  static size_t& classes(Plan& p) { return p.classes_; }
+  static size_t& qws_sz(Plan& p) { return p.qws_sz_; }
+  static bool& quantized(Plan& p) { return p.quant_; }
+  static const kernels::KernelBackend*& backend(Plan& p) {
+    return p.backend_;
+  }
+};
+
+namespace {
+
+/// One compiled ResNet-20 fixture per corruption case (the mutations are
+/// destructive, so every case starts from a fresh compile).
+std::shared_ptr<const Plan> verify_fixture(const char* backend = "") {
+  Rng rng(53);
+  ModelConfig mc;
+  mc.base_width = 8;
+  mc.in_hw = kHw;
+  auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
+  warm_bn(*model, mc.in_channels, kHw, rng);
+  return Plan::compile(*model, 4, mc.in_channels, kHw, kHw,
+                       {.backend = backend, .bits = 8});
+}
+
+/// EXPECT wrapper asserting the typed error and the invariant it names.
+void expect_verify_rejects(const std::shared_ptr<const Plan>& plan,
+                           const char* needle) {
+  try {
+    plan->verify();
+    FAIL() << "verify() accepted a plan corrupted at: " << needle;
+  } catch (const PlanVerifyError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "wrong invariant reported: " << e.what();
+  }
+}
+
+TEST(PlanVerify, AcceptsEveryZooModelFloatAndInt8) {
+  Rng rng(57);
+  struct Case {
+    const char* name;
+    std::unique_ptr<Sequential> model;
+    ModelConfig mc;
+  };
+  std::vector<Case> cases;
+  {
+    ModelConfig mc;
+    mc.base_width = 8;
+    mc.in_hw = kHw;
+    cases.push_back({"plain20",
+                     build_plain20(mc, rng,
+                                   standard_conv_maker(mc.init, &rng)),
+                     mc});
+    cases.push_back({"resnet20",
+                     build_resnet20(mc, rng,
+                                    standard_conv_maker(mc.init, &rng)),
+                     mc});
+  }
+  {
+    ModelConfig mc;
+    mc.base_width = 4;  // keep the 4-stage net small; in_hw stays 32
+    cases.push_back({"resnet18",
+                     build_resnet18(mc, rng,
+                                    standard_conv_maker(mc.init, &rng)),
+                     mc});
+  }
+  for (Case& c : cases) {
+    warm_bn(*c.model, c.mc.in_channels, c.mc.in_hw, rng);
+    for (const char* backend : {"", "int8"}) {
+      auto plan = Plan::compile(*c.model, 4, c.mc.in_channels, c.mc.in_hw,
+                                c.mc.in_hw, {.backend = backend, .bits = 8});
+      EXPECT_NO_THROW(plan->verify())
+          << c.name << " backend='" << backend << "'";
+    }
+  }
+}
+
+TEST(PlanVerify, RejectsEmptyStepList) {
+  auto plan = verify_fixture();
+  PlanTestPeer::steps(PlanTestPeer::mut(plan)).clear();
+  expect_verify_rejects(plan, "empty step list");
+}
+
+TEST(PlanVerify, RejectsOutOfRangeSlot) {
+  auto plan = verify_fixture();
+  Plan& p = PlanTestPeer::mut(plan);
+  PlanTestPeer::steps(p)[0].out = plan->activation_slots() + 5;
+  expect_verify_rejects(plan, "out of range");
+}
+
+TEST(PlanVerify, RejectsReadOfDeadSlot) {
+  auto plan = verify_fixture();
+  Plan& p = PlanTestPeer::mut(plan);
+  // The first step's input is the external image (slot 0); pointing it at
+  // its own not-yet-written output slot is a use-before-def.
+  Step& st = PlanTestPeer::steps(p)[0];
+  st.in = st.out;
+  expect_verify_rejects(plan, "no live activation");
+}
+
+TEST(PlanVerify, RejectsBrokenShapeChain) {
+  auto plan = verify_fixture();
+  Plan& p = PlanTestPeer::mut(plan);
+  // Step 1 consumes step 0's activation; shrinking its declared input
+  // breaks the producer/consumer size chain.
+  PlanTestPeer::steps(p)[1].in_sz -= 1;
+  expect_verify_rejects(plan, "live value");
+}
+
+TEST(PlanVerify, RejectsResidualAliasedOperands) {
+  auto plan = verify_fixture();
+  Plan& p = PlanTestPeer::mut(plan);
+  bool found = false;
+  for (Step& st : PlanTestPeer::steps(p)) {
+    if (st.kind != OpKind::kAdd) continue;
+    st.in = st.out;  // out = act(out + in) degenerates to doubling
+    found = true;
+    break;
+  }
+  ASSERT_TRUE(found) << "ResNet plan compiled without a residual add";
+  expect_verify_rejects(plan, "same slot");
+}
+
+TEST(PlanVerify, RejectsArenaLayoutBreaks) {
+  {
+    auto plan = verify_fixture();
+    PlanTestPeer::col_off(PlanTestPeer::mut(plan)) += 64;
+    expect_verify_rejects(plan, "does not abut");
+  }
+  {
+    auto plan = verify_fixture();
+    Plan& p = PlanTestPeer::mut(plan);
+    // Shrink every slot below one batch of the first activation, keeping
+    // the scratch offsets consistent so the stride check itself fires.
+    PlanTestPeer::slot_stride(p) = 1;
+    PlanTestPeer::col_off(p) = plan->activation_slots();
+    PlanTestPeer::res_off(p) =
+        plan->activation_slots() + plan->chunks() * plan->col_floats();
+    expect_verify_rejects(plan, "slot stride");
+  }
+  {
+    auto plan = verify_fixture();
+    PlanTestPeer::res_sz(PlanTestPeer::mut(plan)) = 0;
+    expect_verify_rejects(plan, "scratch");
+  }
+}
+
+TEST(PlanVerify, RejectsWrongWeightPanelShape) {
+  auto plan = verify_fixture();
+  Plan& p = PlanTestPeer::mut(plan);
+  Step& st = PlanTestPeer::steps(p)[0];
+  ASSERT_EQ(st.kind, OpKind::kConv);
+  st.w = Tensor({st.out_c, st.geom.col_rows() + 1});
+  expect_verify_rejects(plan, "Co, Ci*K*K");
+}
+
+TEST(PlanVerify, RejectsTruncatedBias) {
+  auto plan = verify_fixture();
+  Plan& p = PlanTestPeer::mut(plan);
+  Step& st = PlanTestPeer::steps(p)[0];
+  ASSERT_EQ(st.kind, OpKind::kConv);
+  st.bias = Tensor({st.out_c + 1});
+  expect_verify_rejects(plan, "bias");
+}
+
+TEST(PlanVerify, RejectsUnpinnedOrStaleBackend) {
+  auto plan = verify_fixture();
+  PlanTestPeer::backend(PlanTestPeer::mut(plan)) = nullptr;
+  expect_verify_rejects(plan, "no kernel backend");
+}
+
+TEST(PlanVerify, RejectsDatapathFlagMismatch) {
+  auto plan = verify_fixture();
+  PlanTestPeer::quantized(PlanTestPeer::mut(plan)) = true;
+  expect_verify_rejects(plan, "datapath");
+}
+
+TEST(PlanVerify, RejectsWrongClassCount) {
+  auto plan = verify_fixture();
+  PlanTestPeer::classes(PlanTestPeer::mut(plan)) += 1;
+  expect_verify_rejects(plan, "classes");
+}
+
+TEST(PlanVerify, RejectsInt8StepWithoutScales) {
+  auto plan = verify_fixture("int8");
+  Plan& p = PlanTestPeer::mut(plan);
+  Step& st = PlanTestPeer::steps(p)[0];
+  ASSERT_TRUE(st.quantized);
+  st.qw_scales.pop_back();
+  expect_verify_rejects(plan, "scale");
+}
+
+TEST(PlanVerify, RejectsInt8NonFiniteScale) {
+  auto plan = verify_fixture("int8");
+  Plan& p = PlanTestPeer::mut(plan);
+  Step& st = PlanTestPeer::steps(p)[0];
+  ASSERT_TRUE(st.quantized);
+  st.qw_scales[0] = 0.0f;
+  expect_verify_rejects(plan, "scale");
+}
+
+TEST(PlanVerify, RejectsInt8TruncatedPanel) {
+  auto plan = verify_fixture("int8");
+  Plan& p = PlanTestPeer::mut(plan);
+  Step& st = PlanTestPeer::steps(p)[0];
+  ASSERT_TRUE(st.quantized);
+  st.qw.pop_back();
+  expect_verify_rejects(plan, "panel");
+}
+
+TEST(PlanVerify, RejectsInt8RetainedFloatWeights) {
+  auto plan = verify_fixture("int8");
+  Plan& p = PlanTestPeer::mut(plan);
+  Step& st = PlanTestPeer::steps(p)[0];
+  ASSERT_TRUE(st.quantized);
+  st.w = Tensor({st.out_c, st.geom.col_rows()});
+  expect_verify_rejects(plan, "not released");
+}
+
+TEST(PlanVerify, RejectsInt8UndersizedScratch) {
+  auto plan = verify_fixture("int8");
+  PlanTestPeer::qws_sz(PlanTestPeer::mut(plan)) = 1;
+  expect_verify_rejects(plan, "scratch");
+}
+
+TEST(PlanVerify, RejectsBadQuantBits) {
+  auto plan = verify_fixture("int8");
+  Plan& p = PlanTestPeer::mut(plan);
+  PlanTestPeer::steps(p)[0].qbits = 11;
+  expect_verify_rejects(plan, "bits");
+}
+
+}  // namespace
 }  // namespace alf

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/asan.hpp"
 #include "core/check.hpp"
 #include "core/parallel.hpp"
 #include "grad_check.hpp"
@@ -727,6 +728,67 @@ TEST(BatchServer, UnboundedQueueByDefault) {
   EXPECT_EQ(server.stats().rejected, size_t{0});
   server.resume();
   for (auto& f : futs) f.get();
+}
+
+// --- Arena-slot poisoning (src/core/asan.hpp, exec_context.cpp) ------------
+// Under ASan the engine poisons every arena slot between runs and re-kills
+// each slot the moment its last reader retires, so a kernel consuming a
+// DEAD slot faults instead of silently reading stale activations. These
+// tests pin the contract from both sides: the arena really is poisoned
+// when instrumented (and really is not when not), results are unaffected,
+// and a deliberate dead-slot read dies with a use-after-poison report.
+
+TEST(ExecContext, ArenaIsPoisonedBetweenRunsExactlyWhenInstrumented) {
+  Rng rng(61);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  auto plan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
+  ExecContext ctx(plan);
+  // Freshly constructed: every activation slot starts dead.
+  EXPECT_EQ(asan_is_poisoned(ctx.workspace_data()), asan_enabled());
+
+  Tensor x = random_input({kBatch, kInC, kHw, kHw}, rng);
+  const Tensor got = ctx.run(x);
+  // Poisoning must be invisible in the results: a second context (and the
+  // reference Engine path) agrees bit-for-bit.
+  Engine ref = toy_engine(*model);
+  const Tensor want = ref.run(x);
+  for (size_t i = 0; i < want.numel(); ++i)
+    ASSERT_EQ(got.at(i), want.at(i)) << i;
+  // Between runs the whole slot region is dead again — first byte of
+  // every activation slot, not just the arena base.
+  for (size_t s = 0; s < plan->activation_slots(); ++s)
+    EXPECT_EQ(
+        asan_is_poisoned(ctx.workspace_data() + s * plan->slot_stride()),
+        asan_enabled())
+        << "slot " << s + 1;
+  // The conv scratch past the slots is never poisoned (GEMMs may read
+  // their result region before first writing it).
+  EXPECT_FALSE(asan_is_poisoned(ctx.workspace_data() + plan->col_offset()));
+}
+
+using ExecContextDeathTest = ::testing::Test;
+
+TEST(ExecContextDeathTest, DeadSlotReadFaultsUnderAsan) {
+  if (!asan_enabled()) {
+    GTEST_SKIP() << "arena poisoning is armed only in ASan builds";
+  }
+  Rng rng(62);
+  auto model = toy_model(rng);
+  warm_bn(*model, rng);
+  auto plan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
+  ExecContext ctx(plan);
+  Tensor x = random_input({kBatch, kInC, kHw, kHw}, rng);
+  (void)ctx.run(x);
+  // Every slot is dead after the run; touching one is exactly the bug the
+  // poisoning exists to catch, and must die with a use-after-poison
+  // report, not return stale activations.
+  EXPECT_DEATH(
+      {
+        volatile float stale = ctx.workspace_data()[0];
+        (void)stale;
+      },
+      "use-after-poison");
 }
 
 }  // namespace
