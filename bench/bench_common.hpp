@@ -106,6 +106,9 @@ struct BenchRow {
   double accuracy = std::nan("");     ///< fraction in [0, 1]
   double compression = std::nan("");  ///< remaining-parameter fraction
   std::map<std::string, double> extra;
+  /// Free-form string annotations (CPU features, backend names, ...);
+  /// emitted as JSON string fields alongside the numeric extras.
+  std::map<std::string, std::string> extra_str;
 };
 
 /// Collects rows and writes `{"bench":..., "scale":..., "rows":[...]}`.
@@ -142,6 +145,9 @@ class BenchJson {
       field("accuracy", r.accuracy);
       field("compression", r.compression);
       for (const auto& [key, v] : r.extra) field(key, v);
+      for (const auto& [key, v] : r.extra_str)
+        std::fprintf(f, ", \"%s\": \"%s\"", json_escape(key).c_str(),
+                     json_escape(v).c_str());
       std::fprintf(f, "}");
     }
     std::fprintf(f, "\n]}\n");

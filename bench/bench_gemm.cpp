@@ -52,6 +52,16 @@ struct Problem {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --list-backends: registered backend names, one per line (lets CI loop
+  // test_kernels over every backend via ALF_BACKEND without hardcoding the
+  // list).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-backends") == 0) {
+      for (const auto& name : kernels::backend_names())
+        std::printf("%s\n", name.c_str());
+      return 0;
+    }
+  }
   const Scale s = parse_scale(argc, argv);
   std::string json_path = parse_json_path(argc, argv);
   if (json_path.empty()) json_path = "BENCH_gemm.json";
@@ -63,10 +73,31 @@ int main(int argc, char** argv) {
   std::printf("registered backends:");
   for (const auto& name : kernels::backend_names())
     std::printf(" %s", name.c_str());
-  std::printf("\n\n");
+  std::printf("\ncpu features: detected [%s], allowed [%s]\n",
+              kernels::cpu_feature_names(kernels::detected_cpu_features())
+                  .c_str(),
+              kernels::cpu_feature_names(kernels::allowed_cpu_features())
+                  .c_str());
+  std::printf("dispatch: default=%s best_quantized=%s\n\n",
+              kernels::default_backend()->name,
+              kernels::best_quantized_backend()->name);
 
   BenchJson json("bench_gemm", s.name);
   Rng rng(61);
+
+  // Stamp the machine and the dispatch decisions into the record: a perf
+  // trajectory across PRs is only comparable when the ISA the kernels ran
+  // on rides along with the numbers.
+  {
+    BenchRow& meta = json.row("meta/kernel_dispatch");
+    meta.extra_str["cpu_detected"] =
+        kernels::cpu_feature_names(kernels::detected_cpu_features());
+    meta.extra_str["cpu_allowed"] =
+        kernels::cpu_feature_names(kernels::allowed_cpu_features());
+    meta.extra_str["default_backend"] = kernels::default_backend()->name;
+    meta.extra_str["best_quantized_backend"] =
+        kernels::best_quantized_backend()->name;
+  }
 
   // --- 1. Raw GEMM problems, single-threaded. -----------------------------
   std::vector<Problem> problems = {
@@ -96,9 +127,14 @@ int main(int argc, char** argv) {
     Tensor b = random_input({p.k, p.n}, rng);
     Tensor c({p.m, p.n});
     const double gmadds = static_cast<double>(p.m) * p.k * p.n / 1e9;
+    // Small problems finish in microseconds, where scheduler noise swamps
+    // a best-of-3: take the min over many more runs so the recorded number
+    // is the kernel, not the jitter.
+    const bool small = p.m * p.k * p.n <= size_t{256} * 256 * 256;
+    const size_t preps = small ? reps * 8 : reps;
 
     const auto bench_f32 = [&](const kernels::KernelBackend* be) {
-      return time_ms(reps, [&] {
+      return time_ms(preps, [&] {
         be->gemm(a.data(), p.k, false, b.data(), p.n, false, c.data(), p.n,
                  p.m, p.k, p.n, 1.0f, 0.0f);
       });
@@ -110,10 +146,12 @@ int main(int argc, char** argv) {
     kernels::QgemmParams qp;
     qp.a_scale = qa.params.scale;
     qp.b_scale = qb.params.scale;
-    const double int8_ms = time_ms(reps, [&] {
-      int8->qgemm(qa.data.data(), p.k, qb.data.data(), p.n, c.data(), p.n,
+    const auto bench_q8 = [&](const kernels::KernelBackend* be) {
+      return time_ms(preps, [&] {
+        be->qgemm(qa.data.data(), p.k, qb.data.data(), p.n, c.data(), p.n,
                   p.m, p.k, p.n, qp);
-    });
+      });
+    };
 
     struct Entry {
       const char* backend;
@@ -121,7 +159,14 @@ int main(int argc, char** argv) {
     };
     std::vector<Entry> entries = {{"scalar", scalar_ms}};
     if (simd != nullptr) entries.push_back({"simd", bench_f32(simd)});
-    entries.push_back({"int8", int8_ms});
+    entries.push_back({"int8", bench_q8(int8)});
+    // The ISA-specific qgemm backends, when this host registered them —
+    // their rows make regressions attributable to one kernel rather than
+    // to whatever "int8" happened to dispatch to.
+    for (const char* qname : {"int8-avx2", "int8-vnni"}) {
+      const kernels::KernelBackend* qbe = kernels::find_backend(qname);
+      if (qbe != nullptr) entries.push_back({qname, bench_q8(qbe)});
+    }
 
     for (const Entry& e : entries) {
       const double speedup = scalar_ms / e.ms;
@@ -224,6 +269,7 @@ int main(int argc, char** argv) {
   q8_row.extra["speedup_vs_float"] = int8_vs_float;
   q8_row.extra["bits"] = 8.0;
   q8_row.extra["images"] = static_cast<double>(images);
+  q8_row.extra_str["qgemm_backend"] = kernels::best_quantized_backend()->name;
 
   // --- 3. Measured int8 timing wired into the hwmodel energy tables. ------
   // The same conv stack costed on the Eyeriss model at 16-bit words and at

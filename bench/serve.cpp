@@ -31,6 +31,7 @@
 
 #include "bench_common.hpp"
 #include "core/parallel.hpp"
+#include "kernels/backend.hpp"
 #include "serve/batch_server.hpp"
 #include "serve/model_server.hpp"
 
@@ -366,6 +367,26 @@ int main(int argc, char** argv) {
   };
   add_model_row(kF32, mixed.per_model[0], weight_f32, st_f);
   add_model_row(kInt8, mixed.per_model[1], weight_int8, st_q);
+  // Explicit float-vs-int8 comparison under the same mixed load: per-tail
+  // latency ratios (f32 / int8 — > 1 means the quantized twin is faster)
+  // plus which qgemm kernel served it, so the serving-path effect of a
+  // kernel change is diffable without cross-referencing the per-model rows.
+  {
+    const double f50 = pct(mixed.per_model[0].latencies_ms, 0.50);
+    const double q50 = pct(mixed.per_model[1].latencies_ms, 0.50);
+    BenchRow& cmp = json.row("model_server/int8_vs_float");
+    cmp.extra["p50_f32_ms"] = f50;
+    cmp.extra["p50_int8_ms"] = q50;
+    cmp.extra["p95_f32_ms"] = pct(mixed.per_model[0].latencies_ms, 0.95);
+    cmp.extra["p95_int8_ms"] = pct(mixed.per_model[1].latencies_ms, 0.95);
+    cmp.extra["p99_f32_ms"] = pct(mixed.per_model[0].latencies_ms, 0.99);
+    cmp.extra["p99_int8_ms"] = pct(mixed.per_model[1].latencies_ms, 0.99);
+    if (q50 > 0.0) cmp.extra["p50_speedup_int8"] = f50 / q50;
+    cmp.extra_str["qgemm_backend"] =
+        kernels::best_quantized_backend()->name;
+    cmp.extra_str["cpu_allowed"] =
+        kernels::cpu_feature_names(kernels::allowed_cpu_features());
+  }
   // Aggregate latency is the p50 over BOTH models' requests merged, not a
   // per-model alias.
   std::vector<double> all_lat = mixed.per_model[0].latencies_ms;

@@ -20,6 +20,45 @@ namespace {
 /// rejects taller maps (plan.cpp keeps the matching constant).
 constexpr size_t kMaxShiftH = 512;
 
+/// One row of an image's im2col unfold: dst[oh*wo + ow] = the (c, kh, kw)
+/// tap of output position (oh, ow), zero where the tap lands in padding.
+/// Identical values to the matching row of im2col_view — the quantized
+/// conv path assembles rows one at a time (into an L2-resident staging
+/// buffer) instead of materializing the whole float unfold.
+void unfold_row_view(const float* src, const ConvGeom& g, size_t c, size_t kh,
+                     size_t kw, float* dst) {
+  const size_t ho = g.out_h(), wo = g.out_w();
+  const size_t hw = g.in_h * g.in_w;
+  const long base = static_cast<long>(kw) - static_cast<long>(g.pad);
+  size_t lo = 0;
+  if (base < 0) lo = (static_cast<size_t>(-base) + g.stride - 1) / g.stride;
+  size_t hi = 0;
+  const long top = static_cast<long>(g.in_w) - base;
+  if (top > 0)
+    hi = std::min(wo, (static_cast<size_t>(top) + g.stride - 1) / g.stride);
+  lo = std::min(lo, hi);
+  for (size_t oh = 0; oh < ho; ++oh) {
+    const long ih =
+        static_cast<long>(oh * g.stride + kh) - static_cast<long>(g.pad);
+    float* d = dst + oh * wo;
+    if (ih < 0 || ih >= static_cast<long>(g.in_h)) {
+      std::memset(d, 0, wo * sizeof(float));
+      continue;
+    }
+    const float* srow = src + c * hw + static_cast<size_t>(ih) * g.in_w;
+    if (lo > 0) std::memset(d, 0, lo * sizeof(float));
+    if (g.stride == 1) {
+      std::memcpy(d + lo, srow + (static_cast<long>(lo) + base),
+                  (hi - lo) * sizeof(float));
+    } else {
+      const float* s = srow + (static_cast<long>(lo * g.stride) + base);
+      for (size_t ow = lo; ow < hi; ++ow, s += g.stride) d[ow] = *s;
+    }
+    if (hi < wo) std::memset(d + hi, 0, (wo - hi) * sizeof(float));
+  }
+}
+
+
 /// Single-image shifted-GEMM convolution (stride 1, pad = (K-1)/2, output
 /// size == input size). For each kernel offset (kh, kw) the valid output
 /// range is a contiguous window of the flattened [H*W] plane, so the
@@ -152,8 +191,6 @@ void ExecContext::run_conv(const Step& st, const float* in, float* out,
           float* col = workspace_.data() + p.col_offset() + ci * p.col_floats();
           float* res =
               workspace_.data() + p.result_offset() + ci * p.result_floats();
-          for (size_t j = 0; j < imgs; ++j)
-            im2col_view(in + (i0 + j) * st.in_sz, g, col + j * cols, ld);
           if (st.quantized) {
             // Quantize the chunk's im2col matrix with one max-abs scale
             // PER IMAGE (image j owns columns [j*cols, (j+1)*cols)); the
@@ -171,26 +208,46 @@ void ExecContext::run_conv(const Step& st, const float* in, float* out,
             // resolution of the symmetric grid on [0, max].
             const float span = st.in_nonneg ? 2.0f * levels : levels;
             const float zp = st.in_nonneg ? -levels : 0.0f;
+            // Per-image dynamic range from the *input image*, not the col
+            // matrix: every col entry is an input pixel or a padding zero,
+            // so the image max always bounds the col max (it can exceed it
+            // only when stride > kernel skips pixels — still a valid, just
+            // coarser, grid). One contiguous scan of in_sz floats instead
+            // of K*K times that over the unfolded matrix; this scan was
+            // the hottest part of the int8 path. Knowing the scale before
+            // unfolding also lets each image quantize right after its own
+            // im2col, while the stripe is still cache-hot, instead of
+            // re-reading the whole chunk's col matrix in a second pass.
+            thread_local std::vector<float> imax;
+            imax.resize(imgs);
+            kernels::max_abs_col_blocks(in + i0 * st.in_sz, /*rows=*/1,
+                                        /*ld=*/0, st.in_sz, imgs,
+                                        imax.data());
             for (size_t j = 0; j < imgs; ++j) {
-              float imax = 0.0f;
-              for (size_t r = 0; r < rows; ++r)
-                imax = std::max(
-                    imax, max_abs_view(col + r * ld + j * cols, cols));
-              const float scale = imax > 0.0f ? imax / span : 1.0f;
+              const float scale = imax[j] > 0.0f ? imax[j] / span : 1.0f;
               for (size_t jj = j * cols; jj < (j + 1) * cols; ++jj) {
                 bscales[jj] = scale;
                 binv[jj] = 1.0f / scale;
               }
             }
-            for (size_t r = 0; r < rows; ++r) {
-              const float* src_row = col + r * ld;
-              int8_t* dst_row = qcol + r * ld;
-              for (size_t jj = 0; jj < ld; ++jj) {
-                float q = std::round(src_row[jj] * binv[jj]) + zp;
-                q = std::max(-levels, std::min(levels, q));
-                dst_row[jj] = static_cast<int8_t>(q);
-              }
-            }
+            // Assemble and quantize the unfold ROW-major through a staging
+            // buffer of one row (ld floats — L2-resident), instead of
+            // materializing the full float col matrix: the float taps are
+            // quantized while still in cache, so the only full-matrix
+            // traffic is the int8 write.
+            thread_local std::vector<float> rowbuf;
+            rowbuf.resize(ld);
+            size_t r = 0;
+            for (size_t ch = 0; ch < g.in_c; ++ch)
+              for (size_t kh = 0; kh < g.kernel; ++kh)
+                for (size_t kw = 0; kw < g.kernel; ++kw, ++r) {
+                  for (size_t j = 0; j < imgs; ++j)
+                    unfold_row_view(in + (i0 + j) * st.in_sz, g, ch, kh, kw,
+                                    rowbuf.data() + j * cols);
+                  kernels::quantize_cols_i8(rowbuf.data(), qcol + r * ld, ld,
+                                            binv, static_cast<int32_t>(zp),
+                                            static_cast<int32_t>(levels));
+                }
             kernels::QgemmParams params;
             params.a_scales = st.qw_scales.data();  // per-output-channel
             params.b_scales = bscales;              // per-image
@@ -198,6 +255,8 @@ void ExecContext::run_conv(const Step& st, const float* in, float* out,
             p.backend()->qgemm(st.qw.data(), rows, qcol, ld, res, ld,
                                st.out_c, rows, ld, params);
           } else {
+            for (size_t j = 0; j < imgs; ++j)
+              im2col_view(in + (i0 + j) * st.in_sz, g, col + j * cols, ld);
             p.backend()->gemm(st.w.data(), g.col_rows(), false, col, ld,
                               false, res, ld, st.out_c, g.col_rows(), ld,
                               1.0f, 0.0f);
@@ -279,11 +338,9 @@ void ExecContext::run_rows(const float* x, size_t n, float* out) {
             const float inv = 1.0f / scale;
             ascales[i] = scale;
             int8_t* qrow = qws_.data() + i * st.in_features;
-            for (size_t j = 0; j < st.in_features; ++j) {
-              float q = std::round(row[j] * inv) + zp;
-              q = std::max(-levels, std::min(levels, q));
-              qrow[j] = static_cast<int8_t>(q);
-            }
+            kernels::quantize_row_i8(row, qrow, st.in_features, inv,
+                                     static_cast<int32_t>(zp),
+                                     static_cast<int32_t>(levels));
           }
           kernels::QgemmParams params;
           params.a_scales = ascales;              // per-image

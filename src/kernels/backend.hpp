@@ -48,6 +48,45 @@
 
 namespace alf::kernels {
 
+// --- CPU feature gating ----------------------------------------------------
+//
+// Backends compiled for a wider ISA than the baseline declare what they
+// need in KernelBackend::required_features; auto-selection (the process
+// default and the int8 datapath's best-kernel pick) only considers a
+// backend whose requirements are a subset of allowed_cpu_features().
+// Explicit forcing (ALF_BACKEND= / set_default_backend / find_backend)
+// deliberately bypasses the mask — the user asked for that backend by
+// name — but registration itself is still gated on the *detected* CPU, so
+// a forced backend is always executable.
+
+enum CpuFeature : uint32_t {
+  kCpuAvx2 = 1u << 0,
+  kCpuFma = 1u << 1,
+  kCpuAvxVnni = 1u << 2,      ///< VEX-encoded AVX-VNNI (vpdpbusd)
+  kCpuAvx512Vnni = 1u << 3,   ///< EVEX AVX512-VNNI (paired with AVX512VL)
+};
+
+/// Features the host CPU can actually execute (cached cpuid probe; 0 on
+/// non-x86 hosts).
+uint32_t detected_cpu_features();
+
+/// detected_cpu_features() minus anything disabled via the ALF_CPU_DISABLE
+/// environment variable (comma-separated names: "avx2,fma,avxvnni,
+/// avx512vnni") or set_cpu_feature_mask(). This — not the raw detection —
+/// is what auto-selection consults, so dispatch decisions are testable on
+/// hardware that has (or lacks) any given ISA.
+uint32_t allowed_cpu_features();
+
+/// Test/benchmark seam: caps allowed_cpu_features() to `detected & mask`
+/// (pass ~0u to lift the cap). Masking can only *restrict*, never enable
+/// an ISA the CPU lacks. Resets every cached auto-selection (the process
+/// default backend and the int8 datapath's kernel pick) so subsequent
+/// dispatch re-resolves under the new mask.
+void set_cpu_feature_mask(uint32_t mask);
+
+/// "avx2,fma,avxvnni"-style name list for a feature set (bench stamping).
+std::string cpu_feature_names(uint32_t features);
+
 /// Quantization metadata of one qgemm call. The in-tree scheme is
 /// symmetric (zero-points are 0); the zp fields exist so an asymmetric
 /// backend drops in without an interface change. Scales are per-tensor by
@@ -78,6 +117,11 @@ struct KernelBackend {
   /// registers under its own name and still triggers the lowering.
   bool quantized_datapath = false;
 
+  /// CpuFeature bits this backend's kernels execute. Auto-selection skips
+  /// the backend unless required_features ⊆ allowed_cpu_features(); 0
+  /// (baseline ISA) is never skipped.
+  uint32_t required_features = 0;
+
   /// f32 GEMM over row-major views — the gemm_view contract: op(A) is
   /// [M, K] with leading dimension lda (of the *stored* matrix), op(B) is
   /// [K, N] with ldb, C is an [M, N] block with ldc >= n.
@@ -101,9 +145,9 @@ struct KernelBackend {
 /// or plugin can override a built-in. Thread-safe.
 void register_backend(const KernelBackend* backend);
 
-/// Looks up a backend by name; nullptr if absent. The three built-ins
-/// ("scalar", "simd", "int8") are always present, except "simd" on hosts
-/// whose CPU cannot execute the instructions it was compiled with.
+/// Looks up a backend by name; nullptr if absent. "scalar" and "int8" are
+/// always present; "simd", "int8-avx2" and "int8-vnni" only on hosts whose
+/// CPU can execute the instructions they were compiled with.
 const KernelBackend* find_backend(const std::string& name);
 
 /// Registered backend names, registration order.
@@ -129,7 +173,52 @@ const KernelBackend* scalar_backend();
 const KernelBackend* simd_backend();
 
 /// Quantized backend: real int8 qgemm; f32 gemm forwards to the best float
-/// backend. Never nullptr.
+/// backend. Never nullptr. Its qgemm entry dispatches to the fastest
+/// registered quantized kernel the feature mask allows (int8-vnni →
+/// int8-avx2 → the auto-vectorized portable body), resolved once and
+/// cached.
 const KernelBackend* int8_backend();
+
+/// Register-tiled int8 qgemm over AVX2 pmaddwd (sign-extended 16-bit
+/// pairs — exact, unlike pmaddubsw, which saturates). nullptr when the
+/// host CPU (or the build) lacks AVX2.
+const KernelBackend* int8_avx2_backend();
+
+/// Register-tiled int8 qgemm over the vpdpbusd dot-product instruction
+/// (VEX AVX-VNNI or EVEX AVX512-VNNI+VL, whichever the CPU has). nullptr
+/// when the host supports neither encoding.
+const KernelBackend* int8_vnni_backend();
+
+/// The quantized backend auto-selection would hand the engine under the
+/// current feature mask: best of int8-vnni / int8-avx2 / the generic int8
+/// fallback. Exposed so dispatch decisions are testable.
+const KernelBackend* best_quantized_backend();
+
+// --- Quantization helpers --------------------------------------------------
+//
+// The engine's dynamic activation quantization is pure element-wise work
+// (scale, round, clamp, narrow) over the full im2col matrix of every
+// lowered step — at small M it rivals the GEMM itself, so it lives here
+// where a wide-ISA TU can serve it. Rounding is round-to-nearest-even
+// (rintf semantics — what float->int conversion hardware implements), and
+// the scalar fallback uses the identical expression, so results never
+// depend on which path ran.
+
+/// dst[i] = clamp(rint(src[i] * inv) + zp, -levels, levels) as int8.
+void quantize_row_i8(const float* src, int8_t* dst, size_t n, float inv,
+                     int32_t zp, int32_t levels);
+
+/// Same with a per-element inverse scale (the conv path's per-image column
+/// blocks): dst[i] = clamp(rint(src[i] * inv[i]) + zp, -levels, levels).
+void quantize_cols_i8(const float* src, int8_t* dst, size_t n,
+                      const float* inv, int32_t zp, int32_t levels);
+
+/// Per-column-block max-abs over a row-major [rows x ld] panel:
+/// out[j] = max |src[r*ld + j*block + c]| over r < rows, c < block.
+/// The engine's per-image dynamic-range scan of an im2col matrix (image j
+/// owns one `block`-wide column stripe). max is order-independent, so the
+/// vectorized and baseline paths agree exactly.
+void max_abs_col_blocks(const float* src, size_t rows, size_t ld,
+                        size_t block, size_t nblocks, float* out);
 
 }  // namespace alf::kernels

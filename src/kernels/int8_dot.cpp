@@ -1,0 +1,666 @@
+// Register-tiled int8 qgemm kernels over x86 dot-product instructions:
+//
+//   int8-avx2 — sign-extends A/B to int16 pairs at pack time and uses
+//               vpmaddwd (exact: s8-ranged products can never saturate the
+//               32-bit lanes, unlike vpmaddubsw whose 16-bit intermediate
+//               overflows at 255*127*2).
+//   int8-vnni — vpdpbusd, VEX (AVX-VNNI) or EVEX-256 (AVX512-VNNI+VL)
+//               encoding, whichever the CPU has. vpdpbusd is u8*s8, so A
+//               is packed as u8 = s8 + 128 (a byte XOR 0x80) and the shift
+//               is folded into the zero-point decomposition by using
+//               azp_eff = a_zp + 128 against the unsigned row sums.
+//
+// Both kernels share one structure: B is packed once per call (serially,
+// by the calling thread) into kNr-column-interleaved panels whose k groups
+// match the instruction's step (int16 pairs / byte quads), then the row
+// range is partitioned exactly like every other backend (rows are the only
+// parallel axis) and each worker packs its own A rows into kMr-row panels
+// and sweeps all B panels with an 8-accumulator 4x16 register tile.
+//
+// Bit-identity with the scalar oracle (qgemm_int8_body) is structural:
+// integer accumulation is exact in any order, zero-point corrections are
+// integer, and store_tile() replicates the oracle's float expressions
+// operation for operation. That also makes results independent of the
+// thread partition for free.
+//
+// This TU is compiled with -mavx2 when CMake's ALF_SIMD is ON (see
+// set_source_files_properties); without it — or on non-x86 hosts — the
+// factories return nullptr and the generic int8 backend stays on the
+// portable body.
+#include <cmath>
+#include <cstdint>
+
+#include "kernels/internal.hpp"
+
+#if defined(__AVX2__) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ALF_INT8_DOT 1
+// vpdpbusd needs per-function target support and the avxvnni intrinsic
+// header; both arrived in GCC 11 / clang 12. Older compilers still build
+// the AVX2 kernel.
+#if (defined(__clang__) && __clang_major__ >= 12) || \
+    (!defined(__clang__) && defined(__GNUC__) && __GNUC__ >= 11)
+#define ALF_INT8_VNNI 1
+#endif
+#endif
+
+#if defined(ALF_INT8_DOT)
+#include <immintrin.h>
+#endif
+
+namespace alf::kernels {
+
+#if defined(ALF_INT8_DOT)
+
+namespace {
+
+constexpr size_t kMr = 4;   // register-tile rows
+constexpr size_t kNr = 16;  // register-tile columns (two ymm of int32)
+/// Below this madd count the pack/correction overhead loses to the plain
+/// body; delegate there (bit-identical, so the cutoff is invisible).
+constexpr size_t kScalarCutoffMadds = size_t{1} << 12;
+/// Same per-worker floor as the other backends (core/parallel chunking).
+constexpr size_t kMaddsPerWorker = size_t{1} << 16;
+
+inline int32_t load_i32(const void* p) {
+  int32_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Applies the zero-point corrections to one kMr x kNr integer tile and
+/// requantizes into C. The float expressions below must stay operation-
+/// for-operation identical to qgemm_int8_body's store loop — that is what
+/// makes every backend bit-identical.
+///
+/// `acc` holds the raw dot products Σ_k a'[i,k]*b[k,j] (a' being whatever
+/// encoding the kernel packed: signed for avx2, +128-shifted unsigned for
+/// vnni). `azp_eff` is the zero point in that same encoding and `rowsum`
+/// (nullable when bzp == 0) the per-row sums of a', indexed from the tile's
+/// first row. `colsum` (nullable when azp_eff == 0) has global column
+/// indices.
+inline void store_tile(const int32_t* acc, size_t i0, size_t pr, size_t j0,
+                       size_t cols, size_t k, const int32_t* colsum,
+                       const int32_t* rowsum, int32_t azp_eff, int32_t bzp,
+                       const QgemmParams& p, float* c, size_t ldc) {
+  const int32_t kzz = static_cast<int32_t>(k) * azp_eff * bzp;
+  if (cols == kNr) {
+    // Full tile: the whole epilogue in two ymm per row. The integer
+    // corrections are exact either way and the float ops below pair up
+    // 1:1 (same association) with the scalar branch, so both store
+    // bit-identical values.
+    __m256i corr0 = _mm256_setzero_si256();
+    __m256i corr1 = _mm256_setzero_si256();
+    if (azp_eff != 0) {
+      const __m256i az = _mm256_set1_epi32(azp_eff);
+      corr0 = _mm256_mullo_epi32(
+          az, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(colsum + j0)));
+      corr1 = _mm256_mullo_epi32(
+          az, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(colsum + j0 + 8)));
+    }
+    __m256 bs0 = _mm256_setzero_ps(), bs1 = _mm256_setzero_ps();
+    if (p.b_scales != nullptr) {
+      bs0 = _mm256_loadu_ps(p.b_scales + j0);
+      bs1 = _mm256_loadu_ps(p.b_scales + j0 + 8);
+    }
+    for (size_t r = 0; r < pr; ++r) {
+      const size_t i = i0 + r;
+      const int32_t row_corr =
+          kzz - (rowsum != nullptr ? bzp * rowsum[r] : 0);
+      const float sa = p.a_scales != nullptr ? p.a_scales[i] : p.a_scale;
+      const int32_t* arow = acc + r * kNr;
+      const __m256i rc = _mm256_set1_epi32(row_corr);
+      __m256i v0 = _mm256_add_epi32(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arow)), rc);
+      __m256i v1 = _mm256_add_epi32(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arow + 8)),
+          rc);
+      v0 = _mm256_sub_epi32(v0, corr0);
+      v1 = _mm256_sub_epi32(v1, corr1);
+      __m256 s0, s1;
+      if (p.b_scales == nullptr) {
+        s0 = s1 = _mm256_set1_ps(sa * p.b_scale);
+      } else {
+        const __m256 sav = _mm256_set1_ps(sa);
+        s0 = _mm256_mul_ps(sav, bs0);
+        s1 = _mm256_mul_ps(sav, bs1);
+      }
+      float* crow = c + i * ldc + j0;
+      _mm256_storeu_ps(crow, _mm256_mul_ps(s0, _mm256_cvtepi32_ps(v0)));
+      _mm256_storeu_ps(crow + 8,
+                       _mm256_mul_ps(s1, _mm256_cvtepi32_ps(v1)));
+    }
+    return;
+  }
+  for (size_t r = 0; r < pr; ++r) {
+    const size_t i = i0 + r;
+    const int32_t row_corr = kzz - (rowsum != nullptr ? bzp * rowsum[r] : 0);
+    const float sa = p.a_scales != nullptr ? p.a_scales[i] : p.a_scale;
+    const float scale = sa * p.b_scale;
+    float* crow = c + i * ldc + j0;
+    const int32_t* arow = acc + r * kNr;
+    for (size_t j = 0; j < cols; ++j) {
+      int32_t v = arow[j] + row_corr;
+      if (azp_eff != 0) v -= azp_eff * colsum[j0 + j];
+      crow[j] = p.b_scales == nullptr
+                    ? scale * static_cast<float>(v)
+                    : sa * p.b_scales[j0 + j] * static_cast<float>(v);
+    }
+  }
+}
+
+/// Row partition shared by both drivers: identical gating to the other
+/// backends, so call sites see one consistent threading policy.
+template <typename F>
+void partition_rows(size_t m, size_t k, size_t n, const F& process_rows) {
+  const size_t madds_per_row = std::max<size_t>(1, k * n);
+  const size_t min_rows = std::max<size_t>(1, kMaddsPerWorker / madds_per_row);
+  if (in_parallel_region() || m <= min_rows || parallel_threads() <= 1) {
+    process_rows(0, m);
+    return;
+  }
+  parallel_for_chunked(0, m, process_rows, min_rows);
+}
+
+// --- AVX2 vpmaddwd kernel --------------------------------------------------
+
+/// 4x16 tile over int16 pairs: `ap` is [k/2][4 rows][2 k] int16, `bp` is
+/// [k/2][16 cols][2 k] int16 (64 bytes — a cache line — per pair step).
+/// vpmaddwd multiplies the (k0,k1) pair against each column's matching pair
+/// and adds horizontally into the int32 lane; s8-ranged operands keep
+/// every intermediate far from the lane limits, so accumulation is exact.
+void qgemm_micro_avx2(const int16_t* ap, const int16_t* bp, size_t kp,
+                      int32_t* acc) {
+  __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+  __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+  __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+  __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+  for (size_t q = 0; q < kp; ++q) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 16));
+    bp += 32;
+    __m256i va = _mm256_set1_epi32(load_i32(ap));
+    c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(va, b0));
+    c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(va, b1));
+    va = _mm256_set1_epi32(load_i32(ap + 2));
+    c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(va, b0));
+    c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(va, b1));
+    va = _mm256_set1_epi32(load_i32(ap + 4));
+    c20 = _mm256_add_epi32(c20, _mm256_madd_epi16(va, b0));
+    c21 = _mm256_add_epi32(c21, _mm256_madd_epi16(va, b1));
+    va = _mm256_set1_epi32(load_i32(ap + 6));
+    c30 = _mm256_add_epi32(c30, _mm256_madd_epi16(va, b0));
+    c31 = _mm256_add_epi32(c31, _mm256_madd_epi16(va, b1));
+    ap += 8;
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 0), c00);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 8), c01);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 16), c10);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 24), c11);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 32), c20);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 40), c21);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 48), c30);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 56), c31);
+}
+
+/// colsum[j] = sum over k of B[kk][j], vectorized 16 columns at a time
+/// with the accumulators held in registers across the whole k sweep.
+inline void colsum_s8(const int8_t* b, size_t ldb, size_t k, size_t n,
+                      int32_t* colsum) {
+  size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256i lo = _mm256_setzero_si256();
+    __m256i hi = _mm256_setzero_si256();
+    for (size_t kk = 0; kk < k; ++kk) {
+      const __m256i v16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + kk * ldb + j)));
+      lo = _mm256_add_epi32(
+          lo, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(v16)));
+      hi = _mm256_add_epi32(
+          hi, _mm256_cvtepi16_epi32(_mm256_extracti128_si256(v16, 1)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(colsum + j), lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(colsum + j + 8), hi);
+  }
+  for (; j < n; ++j) {
+    int32_t s = 0;
+    for (size_t kk = 0; kk < k; ++kk)
+      s += static_cast<int32_t>(b[kk * ldb + j]);
+    colsum[j] = s;
+  }
+}
+
+/// Packs one full 2-k x 16-col B tile into the [16 cols][2 k] int16 pair
+/// layout: sign-extend both rows, interleave words, then fix the lane
+/// order (unpack interleaves per 128-bit lane).
+inline void pack_b_pair16(const int8_t* r0, const int8_t* r1, int16_t* dst) {
+  const __m256i a = _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0)));
+  const __m256i b = _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1)));
+  const __m256i lo = _mm256_unpacklo_epi16(a, b);
+  const __m256i hi = _mm256_unpackhi_epi16(a, b);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                      _mm256_permute2x128_si256(lo, hi, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 16),
+                      _mm256_permute2x128_si256(lo, hi, 0x31));
+}
+
+/// Packs one full 4-k x 16-col B tile into the [16 cols][4 k] byte-quad
+/// layout — a 4x16 byte transpose in two unpack stages.
+inline void pack_b_quad16(const int8_t* r0, const int8_t* r1,
+                          const int8_t* r2, const int8_t* r3, int8_t* dst) {
+  const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0));
+  const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1));
+  const __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r2));
+  const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r3));
+  const __m128i ab_lo = _mm_unpacklo_epi8(a, b);  // a0 b0 a1 b1 .. (cols 0-7)
+  const __m128i ab_hi = _mm_unpackhi_epi8(a, b);  // cols 8-15
+  const __m128i cd_lo = _mm_unpacklo_epi8(c, d);
+  const __m128i cd_hi = _mm_unpackhi_epi8(c, d);
+  __m128i* out = reinterpret_cast<__m128i*>(dst);
+  _mm_storeu_si128(out + 0, _mm_unpacklo_epi16(ab_lo, cd_lo));  // cols 0-3
+  _mm_storeu_si128(out + 1, _mm_unpackhi_epi16(ab_lo, cd_lo));  // cols 4-7
+  _mm_storeu_si128(out + 2, _mm_unpacklo_epi16(ab_hi, cd_hi));  // cols 8-11
+  _mm_storeu_si128(out + 3, _mm_unpackhi_epi16(ab_hi, cd_hi));  // 12-15
+}
+
+void qgemm_avx2(const int8_t* a, size_t lda, const int8_t* b, size_t ldb,
+                float* c, size_t ldc, size_t m, size_t k, size_t n,
+                const QgemmParams& p) {
+  if (m * k * n < kScalarCutoffMadds) {
+    detail::qgemm_int8(a, lda, b, ldb, c, ldc, m, k, n, p);
+    return;
+  }
+  const int32_t azp = p.a_zp, bzp = p.b_zp;
+  const size_t kp = (k + 1) / 2;
+  const size_t npan = (n + kNr - 1) / kNr;
+  const size_t b_panel_words = kp * 2 * kNr;
+  // Pack op-ready B panels once, shared read-only across the row
+  // partition (the caller blocks in parallel_for_chunked, so the
+  // thread_local buffers outlive every worker's use of them).
+  thread_local std::vector<int16_t> bpack_tls;
+  thread_local std::vector<int32_t> colsum_tls;
+  bpack_tls.resize(npan * b_panel_words);
+  int16_t* const bpack = bpack_tls.data();
+  int32_t* colsum = nullptr;
+  if (azp != 0) {
+    colsum_tls.resize(n);
+    colsum = colsum_tls.data();
+    colsum_s8(b, ldb, k, n, colsum);
+  }
+  for (size_t jp = 0; jp < npan; ++jp) {
+    int16_t* panel = bpack + jp * b_panel_words;
+    const size_t j0 = jp * kNr;
+    const size_t cols = std::min(kNr, n - j0);
+    for (size_t q = 0; q < kp; ++q) {
+      const size_t k0 = 2 * q;
+      const size_t ks = std::min<size_t>(2, k - k0);
+      int16_t* dst = panel + q * (2 * kNr);
+      if (cols == kNr && ks == 2) {
+        // Full tile: vector transpose (16-byte loads stay in bounds —
+        // j0 + kNr <= n <= ldb).
+        const int8_t* brow = b + k0 * ldb + j0;
+        pack_b_pair16(brow, brow + ldb, dst);
+        continue;
+      }
+      std::memset(dst, 0, 2 * kNr * sizeof(int16_t));
+      for (size_t s = 0; s < ks; ++s) {
+        const int8_t* brow = b + (k0 + s) * ldb + j0;
+        for (size_t cc = 0; cc < cols; ++cc)
+          dst[cc * 2 + s] = static_cast<int16_t>(brow[cc]);
+      }
+    }
+  }
+
+  const auto process_rows = [=](size_t r0, size_t r1) {
+    thread_local std::vector<int16_t> apack_tls;
+    thread_local std::vector<int32_t> rowsum_tls;
+    const size_t rows = r1 - r0;
+    const size_t rpan = (rows + kMr - 1) / kMr;
+    const size_t a_panel_words = kp * 2 * kMr;
+    apack_tls.resize(rpan * a_panel_words);
+    int16_t* const apack = apack_tls.data();
+    int32_t* rowsum = nullptr;
+    if (bzp != 0) {
+      rowsum_tls.resize(rows);
+      rowsum = rowsum_tls.data();
+    }
+    for (size_t rp = 0; rp < rpan; ++rp) {
+      int16_t* panel = apack + rp * a_panel_words;
+      const size_t i0 = r0 + rp * kMr;
+      const size_t pr = std::min(kMr, r1 - i0);
+      for (size_t q = 0; q < kp; ++q) {
+        const size_t k0 = 2 * q;
+        const size_t ks = std::min<size_t>(2, k - k0);
+        int16_t* dst = panel + q * (2 * kMr);
+        std::memset(dst, 0, 2 * kMr * sizeof(int16_t));
+        for (size_t r = 0; r < pr; ++r) {
+          const int8_t* arow = a + (i0 + r) * lda + k0;
+          for (size_t s = 0; s < ks; ++s)
+            dst[r * 2 + s] = static_cast<int16_t>(arow[s]);
+        }
+      }
+      if (rowsum != nullptr) {
+        for (size_t r = 0; r < pr; ++r) {
+          const int8_t* arow = a + (i0 + r) * lda;
+          int32_t s = 0;
+          for (size_t kk = 0; kk < k; ++kk)
+            s += static_cast<int32_t>(arow[kk]);
+          rowsum[i0 - r0 + r] = s;
+        }
+      }
+    }
+    alignas(32) int32_t acc[kMr * kNr];
+    for (size_t jp = 0; jp < npan; ++jp) {
+      const size_t j0 = jp * kNr;
+      const size_t cols = std::min(kNr, n - j0);
+      const int16_t* bpanel = bpack + jp * b_panel_words;
+      for (size_t rp = 0; rp < rpan; ++rp) {
+        const size_t i0 = r0 + rp * kMr;
+        const size_t pr = std::min(kMr, r1 - i0);
+        qgemm_micro_avx2(apack + rp * a_panel_words, bpanel, kp, acc);
+        store_tile(acc, i0, pr, j0, cols, k, colsum,
+                   rowsum != nullptr ? rowsum + (i0 - r0) : nullptr, azp, bzp,
+                   p, c, ldc);
+      }
+    }
+  };
+  partition_rows(m, k, n, process_rows);
+}
+
+// --- Quantize helpers ------------------------------------------------------
+
+/// Narrows two ymm of clamped int32 (16 lanes, in order) to 16 int8.
+/// packs_epi32/16 interleave per 128-bit lane, hence the qword shuffle;
+/// saturation never fires — the inputs are pre-clamped to ±levels.
+inline void store_16xi8(__m256i a, __m256i b, int8_t* dst) {
+  __m256i w = _mm256_packs_epi32(a, b);   // [a0-3 b0-3 | a4-7 b4-7] words
+  w = _mm256_permute4x64_epi64(w, 0xD8);  // [a0-7 | b0-7] words
+  const __m256i bytes = _mm256_packs_epi16(w, w);
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(dst),
+                   _mm256_castsi256_si128(bytes));
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + 8),
+                   _mm256_extracti128_si256(bytes, 1));
+}
+
+inline __m256i quant_8(__m256 v, __m256 vinv, __m256i vzp, __m256i vlo,
+                       __m256i vhi) {
+  // cvtps_epi32 rounds per MXCSR — nearest-even, exactly the scalar
+  // tail's rintf. Inputs are bounded by the caller's max-abs scaling, so
+  // the out-of-range indefinite result can't occur.
+  __m256i q = _mm256_cvtps_epi32(_mm256_mul_ps(v, vinv));
+  q = _mm256_add_epi32(q, vzp);
+  return _mm256_min_epi32(_mm256_max_epi32(q, vlo), vhi);
+}
+
+void quantize_row_i8_avx2(const float* src, int8_t* dst, size_t n, float inv,
+                          int32_t zp, int32_t levels) {
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256i vzp = _mm256_set1_epi32(zp);
+  const __m256i vlo = _mm256_set1_epi32(-levels);
+  const __m256i vhi = _mm256_set1_epi32(levels);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i a =
+        quant_8(_mm256_loadu_ps(src + i), vinv, vzp, vlo, vhi);
+    const __m256i b =
+        quant_8(_mm256_loadu_ps(src + i + 8), vinv, vzp, vlo, vhi);
+    store_16xi8(a, b, dst + i);
+  }
+  for (; i < n; ++i) {
+    int32_t v = static_cast<int32_t>(std::rintf(src[i] * inv)) + zp;
+    v = std::min(levels, std::max(-levels, v));
+    dst[i] = static_cast<int8_t>(v);
+  }
+}
+
+void quantize_cols_i8_avx2(const float* src, int8_t* dst, size_t n,
+                           const float* inv, int32_t zp, int32_t levels) {
+  const __m256i vzp = _mm256_set1_epi32(zp);
+  const __m256i vlo = _mm256_set1_epi32(-levels);
+  const __m256i vhi = _mm256_set1_epi32(levels);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i a = quant_8(_mm256_loadu_ps(src + i),
+                              _mm256_loadu_ps(inv + i), vzp, vlo, vhi);
+    const __m256i b = quant_8(_mm256_loadu_ps(src + i + 8),
+                              _mm256_loadu_ps(inv + i + 8), vzp, vlo, vhi);
+    store_16xi8(a, b, dst + i);
+  }
+  for (; i < n; ++i) {
+    int32_t v = static_cast<int32_t>(std::rintf(src[i] * inv[i])) + zp;
+    v = std::min(levels, std::max(-levels, v));
+    dst[i] = static_cast<int8_t>(v);
+  }
+}
+
+void max_abs_col_blocks_avx2(const float* src, size_t rows, size_t ld,
+                             size_t block, size_t nblocks, float* out) {
+  const __m256 absmask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const size_t vend = block & ~size_t{7};
+  for (size_t jb = 0; jb < nblocks; ++jb) {
+    const float* base = src + jb * block;
+    __m256 vmax = _mm256_setzero_ps();
+    float smax = 0.0f;
+    for (size_t r = 0; r < rows; ++r) {
+      const float* p = base + r * ld;
+      for (size_t c = 0; c < vend; c += 8)
+        vmax = _mm256_max_ps(
+            vmax, _mm256_and_ps(_mm256_loadu_ps(p + c), absmask));
+      for (size_t c = vend; c < block; ++c)
+        smax = std::max(smax, std::fabs(p[c]));
+    }
+    __m128 m = _mm_max_ps(_mm256_castps256_ps128(vmax),
+                          _mm256_extractf128_ps(vmax, 1));
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+    out[jb] = std::max(smax, _mm_cvtss_f32(m));
+  }
+}
+
+// --- VNNI vpdpbusd kernel --------------------------------------------------
+
+#if defined(ALF_INT8_VNNI)
+
+using VnniMicroFn = void (*)(const uint8_t*, const int8_t*, size_t, int32_t*);
+
+#define ALF_VNNI_FN qgemm_micro_vnni_vex
+#define ALF_VNNI_TARGET "avx2,avxvnni"
+#define ALF_VNNI_DPBUSD _mm256_dpbusd_avx_epi32
+#include "kernels/int8_dot_vnni.inc"
+
+#define ALF_VNNI_FN qgemm_micro_vnni_evex
+#define ALF_VNNI_TARGET "avx2,avx512vnni,avx512vl"
+#define ALF_VNNI_DPBUSD _mm256_dpbusd_epi32
+#include "kernels/int8_dot_vnni.inc"
+
+/// The flavor the host can execute; VEX preferred (no EVEX prefix cost,
+/// and it is what AVX512-less client cores ship). Resolved once.
+VnniMicroFn vnni_micro() {
+  static const VnniMicroFn fn =
+      (detected_cpu_features() & kCpuAvxVnni) != 0 ? &qgemm_micro_vnni_vex
+                                                   : &qgemm_micro_vnni_evex;
+  return fn;
+}
+
+void qgemm_vnni(const int8_t* a, size_t lda, const int8_t* b, size_t ldb,
+                float* c, size_t ldc, size_t m, size_t k, size_t n,
+                const QgemmParams& p) {
+  if (m * k * n < kScalarCutoffMadds) {
+    detail::qgemm_int8(a, lda, b, ldb, c, ldc, m, k, n, p);
+    return;
+  }
+  const VnniMicroFn micro = vnni_micro();
+  // A is packed unsigned (s8 + 128 == byte XOR 0x80), so the effective A
+  // zero point is a_zp + 128 — never zero, so the column-sum correction is
+  // always on. B stays signed; padding bytes are 0 on both sides, so
+  // padded k positions contribute 0 to every accumulator.
+  const int32_t azp_eff = p.a_zp + 128;
+  const int32_t bzp = p.b_zp;
+  const size_t kq = (k + 3) / 4;
+  const size_t npan = (n + kNr - 1) / kNr;
+  const size_t b_panel_bytes = kq * 4 * kNr;
+  thread_local std::vector<int8_t> bpack_tls;
+  thread_local std::vector<int32_t> colsum_tls;
+  bpack_tls.resize(npan * b_panel_bytes);
+  colsum_tls.resize(n);
+  int8_t* const bpack = bpack_tls.data();
+  int32_t* const colsum = colsum_tls.data();
+  colsum_s8(b, ldb, k, n, colsum);
+  for (size_t jp = 0; jp < npan; ++jp) {
+    int8_t* panel = bpack + jp * b_panel_bytes;
+    const size_t j0 = jp * kNr;
+    const size_t cols = std::min(kNr, n - j0);
+    for (size_t q = 0; q < kq; ++q) {
+      const size_t k0 = 4 * q;
+      const size_t ks = std::min<size_t>(4, k - k0);
+      int8_t* dst = panel + q * (4 * kNr);
+      if (cols == kNr && ks == 4) {
+        // Full tile: 4x16 byte transpose (16-byte loads stay in bounds —
+        // j0 + kNr <= n <= ldb).
+        const int8_t* brow = b + k0 * ldb + j0;
+        pack_b_quad16(brow, brow + ldb, brow + 2 * ldb, brow + 3 * ldb, dst);
+        continue;
+      }
+      std::memset(dst, 0, 4 * kNr);
+      for (size_t s = 0; s < ks; ++s) {
+        const int8_t* brow = b + (k0 + s) * ldb + j0;
+        for (size_t cc = 0; cc < cols; ++cc) dst[cc * 4 + s] = brow[cc];
+      }
+    }
+  }
+
+  const auto process_rows = [=](size_t r0, size_t r1) {
+    thread_local std::vector<uint8_t> apack_tls;
+    thread_local std::vector<int32_t> rowsum_tls;
+    const size_t rows = r1 - r0;
+    const size_t rpan = (rows + kMr - 1) / kMr;
+    const size_t a_panel_bytes = kq * 4 * kMr;
+    apack_tls.resize(rpan * a_panel_bytes);
+    uint8_t* const apack = apack_tls.data();
+    int32_t* rowsum = nullptr;
+    if (bzp != 0) {
+      rowsum_tls.resize(rows);
+      rowsum = rowsum_tls.data();
+    }
+    for (size_t rp = 0; rp < rpan; ++rp) {
+      uint8_t* panel = apack + rp * a_panel_bytes;
+      const size_t i0 = r0 + rp * kMr;
+      const size_t pr = std::min(kMr, r1 - i0);
+      for (size_t q = 0; q < kq; ++q) {
+        const size_t k0 = 4 * q;
+        const size_t ks = std::min<size_t>(4, k - k0);
+        uint8_t* dst = panel + q * (4 * kMr);
+        std::memset(dst, 0, 4 * kMr);
+        for (size_t r = 0; r < pr; ++r) {
+          const int8_t* arow = a + (i0 + r) * lda + k0;
+          for (size_t s = 0; s < ks; ++s)
+            dst[r * 4 + s] =
+                static_cast<uint8_t>(static_cast<uint8_t>(arow[s]) ^ 0x80u);
+        }
+      }
+      if (rowsum != nullptr) {
+        for (size_t r = 0; r < pr; ++r) {
+          const int8_t* arow = a + (i0 + r) * lda;
+          int32_t s = 0;
+          for (size_t kk = 0; kk < k; ++kk)
+            s += static_cast<int32_t>(arow[kk]);
+          // Row sum of the *unsigned* packed row: signed sum + 128k.
+          rowsum[i0 - r0 + r] = s + 128 * static_cast<int32_t>(k);
+        }
+      }
+    }
+    alignas(32) int32_t acc[kMr * kNr];
+    for (size_t jp = 0; jp < npan; ++jp) {
+      const size_t j0 = jp * kNr;
+      const size_t cols = std::min(kNr, n - j0);
+      const int8_t* bpanel = bpack + jp * b_panel_bytes;
+      for (size_t rp = 0; rp < rpan; ++rp) {
+        const size_t i0 = r0 + rp * kMr;
+        const size_t pr = std::min(kMr, r1 - i0);
+        micro(apack + rp * a_panel_bytes, bpanel, kq, acc);
+        store_tile(acc, i0, pr, j0, cols, k, colsum,
+                   rowsum != nullptr ? rowsum + (i0 - r0) : nullptr, azp_eff,
+                   bzp, p, c, ldc);
+      }
+    }
+  };
+  partition_rows(m, k, n, process_rows);
+}
+
+#endif  // ALF_INT8_VNNI
+
+}  // namespace
+
+#endif  // ALF_INT8_DOT
+
+namespace detail {
+
+QuantizeRowFn quantize_row_i8_vec() {
+#if defined(ALF_INT8_DOT)
+  if ((detected_cpu_features() & kCpuAvx2) != 0)
+    return &quantize_row_i8_avx2;
+#endif
+  return nullptr;
+}
+
+QuantizeColsFn quantize_cols_i8_vec() {
+#if defined(ALF_INT8_DOT)
+  if ((detected_cpu_features() & kCpuAvx2) != 0)
+    return &quantize_cols_i8_avx2;
+#endif
+  return nullptr;
+}
+
+MaxAbsBlocksFn max_abs_col_blocks_vec() {
+#if defined(ALF_INT8_DOT)
+  if ((detected_cpu_features() & kCpuAvx2) != 0)
+    return &max_abs_col_blocks_avx2;
+#endif
+  return nullptr;
+}
+
+}  // namespace detail
+
+const KernelBackend* int8_avx2_backend() {
+#if defined(ALF_INT8_DOT)
+  if ((detected_cpu_features() & kCpuAvx2) != 0) {
+    static const KernelBackend be{
+        .name = "int8-avx2",
+        .quantized_datapath = true,
+        .required_features = kCpuAvx2,
+        .gemm = &detail::gemm_forward_best_float,
+        .qgemm = &qgemm_avx2,
+    };
+    return &be;
+  }
+#endif
+  return nullptr;
+}
+
+const KernelBackend* int8_vnni_backend() {
+#if defined(ALF_INT8_VNNI)
+  const uint32_t det = detected_cpu_features();
+  if ((det & (kCpuAvxVnni | kCpuAvx512Vnni)) != 0) {
+    static const KernelBackend be{
+        .name = "int8-vnni",
+        .quantized_datapath = true,
+        .required_features = (detected_cpu_features() & kCpuAvxVnni) != 0
+                                 ? static_cast<uint32_t>(kCpuAvxVnni)
+                                 : static_cast<uint32_t>(kCpuAvx512Vnni),
+        .gemm = &detail::gemm_forward_best_float,
+        .qgemm = &qgemm_vnni,
+    };
+    return &be;
+  }
+#endif
+  return nullptr;
+}
+
+}  // namespace alf::kernels

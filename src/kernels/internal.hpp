@@ -28,6 +28,44 @@ void gemm_scalar(const float* a, size_t lda, bool trans_a, const float* b,
                  size_t ldb, bool trans_b, float* c, size_t ldc, size_t m,
                  size_t k, size_t n, float alpha, float beta);
 
+/// f32 gemm entry shared by every quantized backend: forwards to the best
+/// float backend the feature mask allows (simd when usable, else scalar),
+/// so non-lowered steps of an int8 plan keep full float speed. Defined in
+/// int8.cpp; the pick is cached and flushed by reset_int8_dispatch_cache.
+void gemm_forward_best_float(const float* a, size_t lda, bool trans_a,
+                             const float* b, size_t ldb, bool trans_b,
+                             float* c, size_t ldc, size_t m, size_t k,
+                             size_t n, float alpha, float beta);
+
+/// Flushes the cached kernel picks of the generic "int8" backend (best
+/// qgemm variant + best float forward). Called by set_cpu_feature_mask so
+/// dispatch re-resolves under the new mask. Defined in int8.cpp.
+void reset_int8_dispatch_cache();
+
+/// The vectorized int8 qgemm kernels (defined in int8_dot.cpp, compiled
+/// with wide vector-ISA flags; both are bit-identical to qgemm_int8_body —
+/// integer accumulation is exact, and the requantizing store replicates
+/// the oracle's float expression order). Null on hosts or builds without
+/// the ISA; backed by the "int8-avx2" / "int8-vnni" backends.
+using QgemmFn = void (*)(const int8_t*, size_t, const int8_t*, size_t,
+                         float*, size_t, size_t, size_t, size_t,
+                         const QgemmParams&);
+
+/// Vectorized bodies of the public quantize_row_i8 / quantize_cols_i8
+/// helpers. Defined in int8_dot.cpp (the -mavx2 TU); the getters return
+/// nullptr when the build or the detected CPU lacks AVX2, and int8.cpp
+/// substitutes its baseline loops — same rint-based expression, so both
+/// paths agree bit for bit.
+using QuantizeRowFn = void (*)(const float*, int8_t*, size_t, float,
+                               int32_t, int32_t);
+using QuantizeColsFn = void (*)(const float*, int8_t*, size_t, const float*,
+                                int32_t, int32_t);
+using MaxAbsBlocksFn = void (*)(const float*, size_t, size_t, size_t, size_t,
+                                float*);
+QuantizeRowFn quantize_row_i8_vec();
+QuantizeColsFn quantize_cols_i8_vec();
+MaxAbsBlocksFn max_abs_col_blocks_vec();
+
 /// Body of the int8 GEMM, inline so each backend TU instantiates it under
 /// its own ISA flags. Row-parallel (same per-worker floor as the float
 /// backends); per-thread int32 accumulator row reused across calls.
@@ -45,16 +83,22 @@ inline void qgemm_int8_body(const int8_t* a, size_t lda, const int8_t* b,
   // Column sums of B are shared by every row; integer, so computing them
   // up front (outside the row partition) keeps determinism trivial. The
   // scratch is thread_local so steady-state calls never allocate (the
-  // engine's run path relies on that).
-  thread_local std::vector<int32_t> colsum;
+  // engine's run path relies on that), but workers must reach the CALLER's
+  // buffer — a thread_local name inside the lambda would resolve to each
+  // worker's own (empty) instance — so the lambda captures a plain
+  // pointer. The caller blocks in parallel_for_chunked, so the buffer
+  // outlives every worker's use of it.
+  thread_local std::vector<int32_t> colsum_tls;
+  const int32_t* colsum = nullptr;
   if (azp != 0) {
-    colsum.resize(n);
-    std::memset(colsum.data(), 0, n * sizeof(int32_t));
+    colsum_tls.resize(n);
+    int32_t* cs = colsum_tls.data();
+    std::memset(cs, 0, n * sizeof(int32_t));
     for (size_t kk = 0; kk < k; ++kk) {
       const int8_t* brow = b + kk * ldb;
-      for (size_t j = 0; j < n; ++j)
-        colsum[j] += static_cast<int32_t>(brow[j]);
+      for (size_t j = 0; j < n; ++j) cs[j] += static_cast<int32_t>(brow[j]);
     }
+    colsum = cs;
   }
   const int32_t kzz = static_cast<int32_t>(k) * azp * bzp;
 

@@ -3,11 +3,19 @@
 // The inner kernel is a 4x16 register tile — four C rows times two 8-float
 // vectors — expressed in portable GCC/Clang vector extensions (no
 // intrinsics): the k-loop broadcasts one packed A element per row and FMAs
-// it against two B vectors, keeping 8 vector accumulators live. A panels
-// are packed per (row-block, k-block) into MR-interleaved strips, so both
-// orientations of A (and in particular the strided trans_a reads of the
-// backward pass) stream contiguously through the kernel; trans_b packs the
-// active B strip once per k-block for the same reason.
+// it against two B vectors, keeping 8 vector accumulators live.
+//
+// Both operands are packed. op(B) is packed once per call (by the calling
+// thread, before the row partition) into kNr-column-interleaved panels —
+// each k step of a panel is one contiguous 64-byte line — which also
+// absorbs trans_b at pack time. A panels are packed per (row-block,
+// k-block) into kMr-interleaved strips, so both orientations of A (and in
+// particular the strided trans_a reads of the backward pass) stream
+// contiguously through the kernel. The sweep is blocked over columns
+// (kNc) and k (kKc) so the resident set — one kKc x kNc B block plus one
+// kMc x kKc A block — fits in L2 and each B panel is reused across the
+// full M sweep; without the column blocking, im2col conv shapes (n in the
+// thousands) re-stream all of B from memory once per row panel.
 //
 // Blocking mirrors the scalar backend: a global k-block grid fixes the
 // accumulation order of every C element independent of the thread
@@ -39,6 +47,7 @@ constexpr size_t kMr = 4;    // C rows per register tile
 constexpr size_t kNr = 16;   // C cols per register tile (two v8)
 constexpr size_t kMc = 64;   // rows packed per A block (~64KB with kKc)
 constexpr size_t kKc = 256;  // k extent of one block (global grid)
+constexpr size_t kNc = 256;  // cols per B block (kKc x kNc = 256KB in L2)
 
 // Below this many multiply-adds the packing overhead outweighs the wider
 // kernel; delegate to the scalar backend (also covers degenerate shapes).
@@ -77,19 +86,17 @@ void pack_a(const float* a, size_t lda, bool trans_a, size_t i0, size_t rows,
   }
 }
 
-/// The register tile: C[0:pr, j:j+16] += alpha * panel * B. `b` points at
-/// the first B element of column j in the active k-block (leading dimension
-/// ldb between k steps).
-inline void micro_4x16(const float* panel, size_t kb, const float* b,
-                       size_t ldb, float alpha, float* c, size_t ldc,
-                       size_t pr) {
+/// The register tile over packed panels: C[0:pr, 16 cols] += alpha *
+/// apanel * bpanel. `bpanel` walks one packed B panel — 16 contiguous
+/// floats (one cache line) per k step.
+inline void micro_4x16p(const float* apanel, size_t kb, const float* bpanel,
+                        float alpha, float* c, size_t ldc, size_t pr) {
   v8 acc[kMr][2] = {};
-  const float* bp = b;
   for (size_t kk = 0; kk < kb; ++kk) {
-    const v8 b0 = loadu(bp);
-    const v8 b1 = loadu(bp + 8);
-    bp += ldb;
-    const float* ap = panel + kk * kMr;
+    const v8 b0 = loadu(bpanel);
+    const v8 b1 = loadu(bpanel + 8);
+    bpanel += kNr;
+    const float* ap = apanel + kk * kMr;
     for (size_t r = 0; r < kMr; ++r) {
       const v8 av = splat(ap[r]);
       acc[r][0] += av * b0;
@@ -104,20 +111,29 @@ inline void micro_4x16(const float* panel, size_t kb, const float* b,
   }
 }
 
-/// Column tail (n % 16): scalar per-column accumulation over the same
-/// packed panel, preserving the per-element k order of the vector path.
-inline void micro_tail(const float* panel, size_t kb, const float* b,
-                       size_t ldb, float alpha, float* c, size_t ldc,
-                       size_t pr, size_t cols) {
-  for (size_t j = 0; j < cols; ++j) {
-    float acc[kMr] = {};
-    const float* bp = b + j;
-    for (size_t kk = 0; kk < kb; ++kk) {
-      const float bv = bp[kk * ldb];
-      const float* ap = panel + kk * kMr;
-      for (size_t r = 0; r < kMr; ++r) acc[r] += ap[r] * bv;
+/// Column tail (n % 16): same vector accumulation over the zero-padded
+/// last panel, spilled to a stack row so only the live columns store.
+inline void micro_4x16p_partial(const float* apanel, size_t kb,
+                                const float* bpanel, float alpha, float* c,
+                                size_t ldc, size_t pr, size_t cols) {
+  v8 acc[kMr][2] = {};
+  for (size_t kk = 0; kk < kb; ++kk) {
+    const v8 b0 = loadu(bpanel);
+    const v8 b1 = loadu(bpanel + 8);
+    bpanel += kNr;
+    const float* ap = apanel + kk * kMr;
+    for (size_t r = 0; r < kMr; ++r) {
+      const v8 av = splat(ap[r]);
+      acc[r][0] += av * b0;
+      acc[r][1] += av * b1;
     }
-    for (size_t r = 0; r < pr; ++r) c[r * ldc + j] += alpha * acc[r];
+  }
+  float tmp[kNr];
+  for (size_t r = 0; r < pr; ++r) {
+    storeu(tmp, acc[r][0]);
+    storeu(tmp + 8, acc[r][1]);
+    float* crow = c + r * ldc;
+    for (size_t j = 0; j < cols; ++j) crow[j] += alpha * tmp[j];
   }
 }
 
@@ -135,30 +151,53 @@ void gemm_simd(const float* pa, size_t lda, bool trans_a, const float* pb,
   const bool inline_run =
       in_parallel_region() || m <= min_rows || parallel_threads() <= 1;
 
-  // A parallel trans_b call would otherwise re-transpose the same B strip
-  // once per worker per k-block (each worker's process_rows walks every
-  // k-block); transpose the whole matrix once up front instead and run the
-  // fast non-transposed path. Inline calls keep the cheaper per-k-block
-  // strip packing below.
-  thread_local std::vector<float> btrans;
-  if (trans_b && !inline_run) {
-    btrans.resize(k * n);
-    for (size_t j = 0; j < n; ++j) {
-      const float* bcol = pb + j * ldb;
-      for (size_t kk = 0; kk < k; ++kk) btrans[kk * n + j] = bcol[kk];
+  // Pack op(B) once into kNr-column panels: panel jp holds columns
+  // [jp*16, jp*16+16) laid out [kk][16] (zero-padded past n), so every k
+  // step of the microkernel is one contiguous cache line and trans_b costs
+  // nothing downstream. Packed by the calling thread, then shared
+  // read-only across the row partition (the caller blocks in
+  // parallel_for_chunked, so the buffer outlives every worker's use).
+  const size_t npan = (n + kNr - 1) / kNr;
+  const size_t panel_stride = k * kNr;
+  thread_local std::vector<float> bpack_tls;
+  bpack_tls.resize(npan * panel_stride);
+  float* const bp = bpack_tls.data();
+  if (!trans_b) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* brow = pb + kk * ldb;
+      for (size_t jp = 0; jp < npan; ++jp) {
+        const size_t j0 = jp * kNr;
+        const size_t cols = std::min(kNr, n - j0);
+        float* dst = bp + jp * panel_stride + kk * kNr;
+        size_t jj = 0;
+        for (; jj < cols; ++jj) dst[jj] = brow[j0 + jj];
+        for (; jj < kNr; ++jj) dst[jj] = 0.0f;
+      }
     }
-    pb = btrans.data();
-    ldb = n;
-    trans_b = false;
+  } else {
+    // B is stored [N, K]: each source row is one output column, read
+    // contiguously and scattered down its panel.
+    for (size_t jp = 0; jp < npan; ++jp) {
+      float* panel = bp + jp * panel_stride;
+      for (size_t jj = 0; jj < kNr; ++jj) {
+        const size_t j = jp * kNr + jj;
+        if (j < n) {
+          const float* bcol = pb + j * ldb;
+          for (size_t kk = 0; kk < k; ++kk) panel[kk * kNr + jj] = bcol[kk];
+        } else {
+          for (size_t kk = 0; kk < k; ++kk) panel[kk * kNr + jj] = 0.0f;
+        }
+      }
+    }
   }
 
-  const auto process_rows = [&](size_t r0, size_t r1) {
-    // Per-thread packing scratch, persistent across calls (pool workers
-    // live for the process): an A block and, for trans_b, the active
-    // [kb x n] B strip.
-    thread_local std::vector<float> apack;
-    thread_local std::vector<float> bpack;
-    apack.resize(kMc * kKc);
+  constexpr size_t kPanPerBlock = kNc / kNr;  // B panels per column block
+  const auto process_rows = [=](size_t r0, size_t r1) {
+    // Per-thread A packing scratch, persistent across calls (pool workers
+    // live for the process).
+    thread_local std::vector<float> apack_tls;
+    apack_tls.resize(kMc * kKc);
+    float* const apack = apack_tls.data();
 
     for (size_t i = r0; i < r1; ++i) {
       float* crow = pc + i * ldc;
@@ -168,37 +207,28 @@ void gemm_simd(const float* pa, size_t lda, bool trans_a, const float* pb,
         for (size_t j = 0; j < n; ++j) crow[j] *= beta;
       }
     }
-    for (size_t k0 = 0; k0 < k; k0 += kKc) {
-      const size_t kb = std::min(k, k0 + kKc) - k0;
-      const float* bsrc;
-      size_t ldb_eff;
-      if (trans_b) {
-        // B is stored [N, K]: transpose the active strip once so the
-        // kernel streams it row-major like the non-transposed case.
-        bpack.resize(kb * n);
-        for (size_t j = 0; j < n; ++j) {
-          const float* bcol = pb + j * ldb + k0;
-          for (size_t kk = 0; kk < kb; ++kk) bpack[kk * n + j] = bcol[kk];
-        }
-        bsrc = bpack.data();
-        ldb_eff = n;
-      } else {
-        bsrc = pb + k0 * ldb;
-        ldb_eff = ldb;
-      }
-      for (size_t i0 = r0; i0 < r1; i0 += kMc) {
-        const size_t rows = std::min(r1, i0 + kMc) - i0;
-        pack_a(pa, lda, trans_a, i0, rows, k0, kb, apack.data());
-        for (size_t p = 0; p < rows; p += kMr) {
-          const size_t pr = std::min(kMr, rows - p);
-          const float* panel = apack.data() + p * kb;
-          float* cpan = pc + (i0 + p) * ldc;
-          size_t j = 0;
-          for (; j + kNr <= n; j += kNr)
-            micro_4x16(panel, kb, bsrc + j, ldb_eff, alpha, cpan + j, ldc, pr);
-          if (j < n)
-            micro_tail(panel, kb, bsrc + j, ldb_eff, alpha, cpan + j, ldc, pr,
-                       n - j);
+    for (size_t bj = 0; bj < npan; bj += kPanPerBlock) {
+      const size_t pe = std::min(npan, bj + kPanPerBlock);
+      for (size_t k0 = 0; k0 < k; k0 += kKc) {
+        const size_t kb = std::min(k, k0 + kKc) - k0;
+        for (size_t i0 = r0; i0 < r1; i0 += kMc) {
+          const size_t rows = std::min(r1, i0 + kMc) - i0;
+          pack_a(pa, lda, trans_a, i0, rows, k0, kb, apack);
+          for (size_t jp = bj; jp < pe; ++jp) {
+            const float* bpanel = bp + jp * panel_stride + k0 * kNr;
+            const size_t j0 = jp * kNr;
+            const size_t cols = std::min(kNr, n - j0);
+            for (size_t p = 0; p < rows; p += kMr) {
+              const size_t pr = std::min(kMr, rows - p);
+              const float* apanel = apack + p * kb;
+              float* cpan = pc + (i0 + p) * ldc + j0;
+              if (cols == kNr)
+                micro_4x16p(apanel, kb, bpanel, alpha, cpan, ldc, pr);
+              else
+                micro_4x16p_partial(apanel, kb, bpanel, alpha, cpan, ldc, pr,
+                                    cols);
+            }
+          }
         }
       }
     }
@@ -233,8 +263,12 @@ bool cpu_supported() {
 
 const KernelBackend* simd_backend() {
   if (!cpu_supported()) return nullptr;
-  static const KernelBackend be{
-      .name = "simd", .gemm = &gemm_simd, .qgemm = &qgemm_simd};
+  static const KernelBackend be{.name = "simd",
+#if defined(__AVX2__) && defined(__x86_64__)
+                                .required_features = kCpuAvx2 | kCpuFma,
+#endif
+                                .gemm = &gemm_simd,
+                                .qgemm = &qgemm_simd};
   return &be;
 }
 

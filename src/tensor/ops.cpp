@@ -112,22 +112,39 @@ void im2col_view(const float* src, const ConvGeom& g, float* dst,
     for (size_t kh = 0; kh < g.kernel; ++kh) {
       for (size_t kw = 0; kw < g.kernel; ++kw) {
         float* drow = dst + ((c * g.kernel + kh) * g.kernel + kw) * ld_col;
+        // Padding only touches the ends of each output row, so hoist the
+        // bounds out of the inner loop: iw = ow*stride + base is in
+        // [0, in_w) iff ow is in [lo, hi). The interior is then a straight
+        // copy (memcpy at stride 1, branchless gather otherwise).
+        const long base = static_cast<long>(kw) - static_cast<long>(g.pad);
+        size_t lo = 0;
+        if (base < 0)
+          lo = (static_cast<size_t>(-base) + g.stride - 1) / g.stride;
+        size_t hi = 0;
+        const long top = static_cast<long>(g.in_w) - base;
+        if (top > 0)
+          hi = std::min(wo, (static_cast<size_t>(top) + g.stride - 1) /
+                                g.stride);
+        lo = std::min(lo, hi);
         for (size_t oh = 0; oh < ho; ++oh) {
           const long ih = static_cast<long>(oh * g.stride + kh) -
                           static_cast<long>(g.pad);
+          float* d = drow + oh * wo;
           if (ih < 0 || ih >= static_cast<long>(g.in_h)) {
-            std::memset(drow + oh * wo, 0, wo * sizeof(float));
+            std::memset(d, 0, wo * sizeof(float));
             continue;
           }
           const float* srow = src + c * hw + static_cast<size_t>(ih) * g.in_w;
-          for (size_t ow = 0; ow < wo; ++ow) {
-            const long iw = static_cast<long>(ow * g.stride + kw) -
-                            static_cast<long>(g.pad);
-            drow[oh * wo + ow] =
-                (iw < 0 || iw >= static_cast<long>(g.in_w))
-                    ? 0.0f
-                    : srow[static_cast<size_t>(iw)];
+          if (lo > 0) std::memset(d, 0, lo * sizeof(float));
+          if (g.stride == 1) {
+            std::memcpy(d + lo, srow + (static_cast<long>(lo) + base),
+                        (hi - lo) * sizeof(float));
+          } else {
+            const float* s =
+                srow + (static_cast<long>(lo * g.stride) + base);
+            for (size_t ow = lo; ow < hi; ++ow, s += g.stride) d[ow] = *s;
           }
+          if (hi < wo) std::memset(d + hi, 0, (wo - hi) * sizeof(float));
         }
       }
     }

@@ -68,6 +68,8 @@ TEST(BenchJson, WriteEscapesEveryStringField) {
   BenchRow& row = json.row("resnet/policy=\"batch=32\"\nline2");
   row.wall_ms = 1.5;
   row.extra["images\"per\"s"] = 42.0;
+  row.extra_str["qgemm_backend"] = "int8-vnni";
+  row.extra_str["cpu\"mask"] = "avx2\\fma";  // both key and value escaped
   BenchRow& plain = json.row("plain_row");
   plain.accuracy = 0.75;
 
@@ -92,6 +94,11 @@ TEST(BenchJson, WriteEscapesEveryStringField) {
   EXPECT_NE(content.find("policy=\\\"batch=32\\\"\\nline2"),
             std::string::npos);
   EXPECT_NE(content.find("\"images\\\"per\\\"s\": 42"), std::string::npos);
+  // String-valued extras come out quoted AND escaped.
+  EXPECT_NE(content.find("\"qgemm_backend\": \"int8-vnni\""),
+            std::string::npos);
+  EXPECT_NE(content.find("\"cpu\\\"mask\": \"avx2\\\\fma\""),
+            std::string::npos);
   EXPECT_NE(content.find("\"name\": \"plain_row\", \"accuracy\": 0.75"),
             std::string::npos);
 }

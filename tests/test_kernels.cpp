@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/check.hpp"
@@ -59,9 +61,12 @@ TEST(KernelRegistry, BuiltinsPresent) {
   const auto names = kernels::backend_names();
   EXPECT_GE(names.size(), size_t{2});
   EXPECT_EQ(names.front(), "scalar");
-  // default_backend never returns the quantized backend implicitly.
   ASSERT_NE(kernels::default_backend(), nullptr);
-  EXPECT_STRNE(kernels::default_backend()->name, "int8");
+  // default_backend never returns a quantized backend implicitly — unless
+  // the run forces one by name (CI loops the suite over ALF_BACKEND).
+  if (std::getenv("ALF_BACKEND") == nullptr) {
+    EXPECT_FALSE(kernels::default_backend()->quantized_datapath);
+  }
 }
 
 TEST(KernelRegistry, RegisterAndFind) {
@@ -85,15 +90,85 @@ TEST(KernelRegistry, SetDefaultBackendOverridesAndResets) {
 }
 
 TEST(KernelRegistry, EnvSelection) {
+  // Save whatever the run was launched with (CI forces ALF_BACKEND to loop
+  // the suite over every backend) and restore it on the way out.
+  const char* prev = std::getenv("ALF_BACKEND");
+  const std::string saved = prev != nullptr ? prev : "";
   ASSERT_EQ(setenv("ALF_BACKEND", "scalar", 1), 0);
   kernels::set_default_backend("");  // force re-resolution from the env
   EXPECT_STREQ(kernels::default_backend()->name, "scalar");
   ASSERT_EQ(setenv("ALF_BACKEND", "no-such-backend", 1), 0);
   kernels::set_default_backend("");
   EXPECT_THROW(kernels::default_backend(), CheckError);
-  ASSERT_EQ(unsetenv("ALF_BACKEND"), 0);
+  if (prev != nullptr) {
+    ASSERT_EQ(setenv("ALF_BACKEND", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("ALF_BACKEND"), 0);
+  }
   kernels::set_default_backend("");
   ASSERT_NE(kernels::default_backend(), nullptr);
+}
+
+TEST(KernelRegistry, EnvForcingSelectsVectorQgemmBackends) {
+  // ALF_BACKEND forcing must work for the ISA-specific quantized backends
+  // exactly like for the built-ins (forcing bypasses the feature mask, but
+  // registration already guaranteed the host can execute them).
+  const char* prev = std::getenv("ALF_BACKEND");
+  const std::string saved = prev != nullptr ? prev : "";
+  for (const char* name : {"int8-avx2", "int8-vnni"}) {
+    if (kernels::find_backend(name) == nullptr) continue;
+    ASSERT_EQ(setenv("ALF_BACKEND", name, 1), 0);
+    kernels::set_default_backend("");
+    EXPECT_STREQ(kernels::default_backend()->name, name);
+    EXPECT_TRUE(kernels::default_backend()->quantized_datapath);
+  }
+  if (prev != nullptr) {
+    ASSERT_EQ(setenv("ALF_BACKEND", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("ALF_BACKEND"), 0);
+  }
+  kernels::set_default_backend("");
+}
+
+TEST(KernelDispatch, FeatureMaskGatesAutoSelection) {
+  // Auto-selection must never hand out a backend whose required features
+  // the mask forbids. With everything masked off, the quantized pick falls
+  // back to the baseline "int8" dispatcher and the process default (when
+  // not name-forced) to "scalar".
+  kernels::set_cpu_feature_mask(0);
+  EXPECT_EQ(kernels::allowed_cpu_features(), 0u);
+  const kernels::KernelBackend* best = kernels::best_quantized_backend();
+  EXPECT_EQ(best->required_features, 0u);
+  EXPECT_STREQ(best->name, "int8");
+  if (std::getenv("ALF_BACKEND") == nullptr) {
+    kernels::set_default_backend("");
+    EXPECT_EQ(kernels::default_backend()->required_features, 0u);
+    EXPECT_STREQ(kernels::default_backend()->name, "scalar");
+  }
+
+  // With only AVX2+FMA allowed, the VNNI kernel stays forbidden but the
+  // AVX2 one (when this host registered it) becomes the best pick.
+  kernels::set_cpu_feature_mask(kernels::kCpuAvx2 | kernels::kCpuFma);
+  const kernels::KernelBackend* avx_best = kernels::best_quantized_backend();
+  EXPECT_EQ(avx_best->required_features &
+                ~static_cast<uint32_t>(kernels::kCpuAvx2 | kernels::kCpuFma),
+            0u);
+  if (kernels::find_backend("int8-avx2") != nullptr &&
+      (kernels::allowed_cpu_features() & kernels::kCpuAvx2) != 0u) {
+    EXPECT_STREQ(avx_best->name, "int8-avx2");
+  }
+
+  // Lift the cap: the best pick must be the widest registered kernel.
+  kernels::set_cpu_feature_mask(~0u);
+  const kernels::KernelBackend* full = kernels::best_quantized_backend();
+  if (kernels::find_backend("int8-vnni") != nullptr) {
+    EXPECT_STREQ(full->name, "int8-vnni");
+  } else if (kernels::find_backend("int8-avx2") != nullptr) {
+    EXPECT_STREQ(full->name, "int8-avx2");
+  } else {
+    EXPECT_STREQ(full->name, "int8");
+  }
+  kernels::set_default_backend("");
 }
 
 TEST(KernelEquivalence, SimdMatchesScalarAllVariants) {
@@ -155,23 +230,28 @@ TEST(KernelEquivalence, StridedCOutput) {
 
 TEST(KernelDeterminism, BitIdenticalAcrossThreadCounts) {
   Rng rng(13);
-  // Large enough that the row partition actually splits (k*n madds per row
-  // is small against the per-worker floor).
-  const size_t m = 96, k = 80, n = 72;
-  Tensor a = random2d(m, k, rng);
-  Tensor b = random2d(k, n, rng);
-  for (const std::string& name : kernels::backend_names()) {
-    const kernels::KernelBackend* be = kernels::find_backend(name);
-    set_parallel_threads(1);
-    const auto ref = run_gemm(be, a, false, b, false, m, k, n);
-    for (const int threads : {2, 3, 5}) {
-      set_parallel_threads(threads);
-      const auto got = run_gemm(be, a, false, b, false, m, k, n);
-      EXPECT_EQ(std::memcmp(ref.data(), got.data(), ref.size() * sizeof(float)),
-                0)
-          << name << " not bit-identical at " << threads << " threads";
+  // First shape: large enough that the row partition actually splits (k*n
+  // madds per row is small against the per-worker floor). Second shape:
+  // wide-N, so the simd backend takes its packed B-panel path.
+  const size_t shapes[][3] = {{96, 80, 72}, {24, 48, 1024}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Tensor a = random2d(m, k, rng);
+    Tensor b = random2d(k, n, rng);
+    for (const std::string& name : kernels::backend_names()) {
+      const kernels::KernelBackend* be = kernels::find_backend(name);
+      set_parallel_threads(1);
+      const auto ref = run_gemm(be, a, false, b, false, m, k, n);
+      for (const int threads : {2, 3, 5}) {
+        set_parallel_threads(threads);
+        const auto got = run_gemm(be, a, false, b, false, m, k, n);
+        EXPECT_EQ(
+            std::memcmp(ref.data(), got.data(), ref.size() * sizeof(float)), 0)
+            << name << " not bit-identical at " << threads << " threads, n="
+            << n;
+      }
+      set_parallel_threads(0);
     }
-    set_parallel_threads(0);
   }
 }
 
@@ -291,6 +371,120 @@ TEST(Qgemm, DeterministicAcrossThreadCounts) {
   set_parallel_threads(0);
   EXPECT_EQ(std::memcmp(ref.data(), got.data(), ref.size() * sizeof(float)),
             0);
+}
+
+// Full-range int8 panel with a deliberate sprinkle of the ±127 saturation
+// edges, so the widening multiplies in the vector kernels see their worst
+// case (e.g. -127*-127 pairs that would overflow a 16-bit accumulator if a
+// kernel widened too late).
+std::vector<int8_t> random_i8(size_t numel, Rng& rng) {
+  std::vector<int8_t> v(numel);
+  for (size_t i = 0; i < numel; ++i) {
+    const double u = rng.uniform(0.0, 1.0);
+    if (u < 0.05) {
+      v[i] = 127;
+    } else if (u < 0.10) {
+      v[i] = -127;
+    } else {
+      v[i] = static_cast<int8_t>(
+          static_cast<int>(std::lrint(rng.uniform(-127.0, 127.0))));
+    }
+  }
+  return v;
+}
+
+TEST(QgemmBitIdentity, VectorBackendsMatchScalarOracle) {
+  // The ISA backends must reproduce the scalar qgemm oracle bit for bit:
+  // integer accumulation is exact and the float store pairs its multiplies
+  // 1:1 with the scalar epilogue. Covers zero-point combinations, odd
+  // shapes (nothing aligned to the 4x16 register tile), per-channel
+  // scales, and a strided C; memcmp over the full strided buffer also
+  // proves the kernels never write the ldc padding.
+  Rng rng(41);
+  const kernels::KernelBackend* oracle = kernels::find_backend("scalar");
+  ASSERT_NE(oracle, nullptr);
+  struct Shape {
+    size_t m, k, n;
+  };
+  // Mix of below-cutoff (delegates to scalar), odd, tile-aligned, and
+  // wide-N shapes; the larger ones exceed the scalar-delegation cutoff so
+  // the vector drivers genuinely run.
+  const Shape shapes[] = {{1, 1, 1},    {3, 7, 5},     {5, 31, 47},
+                          {17, 64, 129}, {8, 192, 512}, {4, 80, 2048}};
+  const int32_t zps[][2] = {
+      {0, 0}, {-127, 0}, {0, -127}, {-127, -127}, {5, -3}};
+  for (const char* name : {"int8-avx2", "int8-vnni"}) {
+    const kernels::KernelBackend* be = kernels::find_backend(name);
+    if (be == nullptr) continue;  // host lacks the ISA; registration skipped
+    for (const Shape& sh : shapes) {
+      const auto a = random_i8(sh.m * sh.k, rng);
+      const auto b = random_i8(sh.k * sh.n, rng);
+      std::vector<float> as(sh.m), bs(sh.n);
+      for (size_t i = 0; i < sh.m; ++i)
+        as[i] = 0.03f + 0.01f * static_cast<float>(i % 7);
+      for (size_t j = 0; j < sh.n; ++j)
+        bs[j] = 0.11f - 0.005f * static_cast<float>(j % 13);
+      for (const auto& zp : zps) {
+        for (const bool per_channel : {false, true}) {
+          kernels::QgemmParams p;
+          p.a_scale = 0.0625f;
+          p.b_scale = 0.125f;
+          p.a_zp = zp[0];
+          p.b_zp = zp[1];
+          if (per_channel) {
+            p.a_scales = as.data();
+            p.b_scales = bs.data();
+          }
+          const size_t ldc = sh.n + 3;  // strided C with poisoned padding
+          std::vector<float> ref(sh.m * ldc, -7.0f);
+          std::vector<float> got(sh.m * ldc, -7.0f);
+          oracle->qgemm(a.data(), sh.k, b.data(), sh.n, ref.data(), ldc,
+                        sh.m, sh.k, sh.n, p);
+          be->qgemm(a.data(), sh.k, b.data(), sh.n, got.data(), ldc, sh.m,
+                    sh.k, sh.n, p);
+          ASSERT_EQ(std::memcmp(ref.data(), got.data(),
+                                ref.size() * sizeof(float)),
+                    0)
+              << name << " m=" << sh.m << " k=" << sh.k << " n=" << sh.n
+              << " azp=" << zp[0] << " bzp=" << zp[1]
+              << " per_channel=" << per_channel;
+        }
+      }
+    }
+  }
+}
+
+TEST(QgemmBitIdentity, WideNAcrossThreadCounts) {
+  // Wide-N quantized matmul, per backend, across thread counts: the k-block
+  // accumulation grid is fixed by the shape, so the partition must not leak
+  // into results. Integer accumulation makes this exact.
+  Rng rng(43);
+  const size_t m = 64, k = 96, n = 2048;
+  const auto a = random_i8(m * k, rng);
+  const auto b = random_i8(k * n, rng);
+  kernels::QgemmParams p;
+  p.a_scale = 0.01f;
+  p.b_scale = 0.02f;
+  p.a_zp = -5;
+  p.b_zp = 7;
+  for (const std::string& name : kernels::backend_names()) {
+    const kernels::KernelBackend* be = kernels::find_backend(name);
+    const auto run = [&] {
+      std::vector<float> c(m * n, 0.0f);
+      be->qgemm(a.data(), k, b.data(), n, c.data(), n, m, k, n, p);
+      return c;
+    };
+    set_parallel_threads(1);
+    const auto ref = run();
+    for (const int threads : {2, 5}) {
+      set_parallel_threads(threads);
+      const auto got = run();
+      EXPECT_EQ(
+          std::memcmp(ref.data(), got.data(), ref.size() * sizeof(float)), 0)
+          << name << " qgemm not bit-identical at " << threads << " threads";
+    }
+    set_parallel_threads(0);
+  }
 }
 
 TEST(PackedInt8, RoundTripWithinHalfStep) {
