@@ -9,10 +9,12 @@
 // >= 1.5x over the layer tree on ResNet-20 at batch 32.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_common.hpp"
 #include "core/parallel.hpp"
 #include "engine/engine.hpp"
+#include "engine/plan_io.hpp"
 
 using namespace alf;
 using namespace alf::bench;
@@ -137,6 +139,51 @@ int main(int argc, char** argv) {
     }
   }
   set_parallel_threads(0);
+
+  // --- Cold start: Plan::compile from the model vs alf::plan::load of a
+  // saved blob (the compile-once/deploy-many split). Per zoo model and
+  // datapath: the compile cost a deploying process avoids, the load cost
+  // it pays instead, and the blob it ships. ---
+  namespace fs = std::filesystem;
+  Table cold("Cold start: Plan::compile vs plan::load (batch 32)");
+  cold.set_header(
+      {"model", "dtype", "compile[ms]", "load[ms]", "speedup", "blob[KiB]"});
+  const fs::path blob_dir = fs::temp_directory_path() / "alf_bench_plans";
+  fs::create_directories(blob_dir);
+  for (auto& mut : models) {
+    for (const char* backend : {"", "int8"}) {
+      const char* dtype = *backend ? "int8" : "f32";
+      const auto compile = [&] {
+        return Plan::compile(*mut.model, 32, mc.in_channels, s.hw, s.hw,
+                             {.backend = backend, .bits = 8,
+                              .name = std::string(mut.name)});
+      };
+      const double compile_ms = time_ms(reps, [&] { compile(); });
+      const fs::path file =
+          blob_dir / (std::string(mut.name) + "_" + dtype + ".plan");
+      plan::save(*compile(), file.string());
+      const double blob_kib =
+          static_cast<double>(fs::file_size(file)) / 1024.0;
+      const double load_ms =
+          time_ms(reps, [&] { plan::load(file.string()); });
+      cold.add_row({mut.name, dtype, Table::fmt(compile_ms, 2),
+                    Table::fmt(load_ms, 2),
+                    Table::fmt(compile_ms / load_ms, 1),
+                    Table::fmt(blob_kib, 1)});
+      char row_name[96];
+      std::snprintf(row_name, sizeof(row_name), "cold_start/%s_%s",
+                    mut.name, dtype);
+      BenchRow& row = json.row(row_name);
+      row.wall_ms = load_ms;
+      row.extra["compile_ms"] = compile_ms;
+      row.extra["plan_load_ms"] = load_ms;
+      row.extra["speedup_vs_compile"] = compile_ms / load_ms;
+      row.extra["blob_kib"] = blob_kib;
+    }
+  }
+  std::error_code cleanup_ec;
+  fs::remove_all(blob_dir, cleanup_ec);
+  cold.print();
 
   table.print();
   if (json.write(json_path)) {

@@ -222,7 +222,7 @@ int main(int argc, char** argv) {
 
   Engine fp = Engine::compile(*model, batch, mc.in_channels, s.hw, s.hw);
   Engine q8 = Engine::compile(*model, batch, mc.in_channels, s.hw, s.hw,
-                              {.backend = "int8", .bits = 8});
+                              {.backend = "int8", .bits = 8, .name = ""});
   const size_t img_floats = fp.image_floats();
   Tensor out_fp({images, fp.classes()});
   Tensor out_q8({images, q8.classes()});

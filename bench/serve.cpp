@@ -22,15 +22,24 @@
 // BENCH_serve.json (row names deliberately include quoted policy strings —
 // the writer must escape them).
 //
+// With --plan-dir DIR the two served plans are not compiled but loaded
+// from DIR/resnet20_{f32,int8}.plan (blobs written by alf_planc at the
+// same scale) — the deploy-many half of compile-once/deploy-many. The run
+// then also records cold_start/* rows: the plan::load cost actually paid
+// vs the Plan::compile cost avoided.
+//
 //   ./serve [--quick|--full] [--requests N] [--clients N] [--workers N]
-//           [--weight-f32 W] [--weight-int8 W] [--json <path>]
+//           [--weight-f32 W] [--weight-int8 W] [--plan-dir DIR]
+//           [--json <path>]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "core/parallel.hpp"
+#include "engine/plan_io.hpp"
 #include "kernels/backend.hpp"
 #include "serve/batch_server.hpp"
 #include "serve/model_server.hpp"
@@ -191,6 +200,7 @@ int main(int argc, char** argv) {
   }
   size_t workers = 2;
   double weight_f32 = 3.0, weight_int8 = 1.0;
+  std::string plan_dir;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0)
       per_client = static_cast<size_t>(std::max(1L, std::atol(argv[i + 1])));
@@ -202,6 +212,7 @@ int main(int argc, char** argv) {
       weight_f32 = std::max(0.001, std::atof(argv[i + 1]));
     if (std::strcmp(argv[i], "--weight-int8") == 0)
       weight_int8 = std::max(0.001, std::atof(argv[i + 1]));
+    if (std::strcmp(argv[i], "--plan-dir") == 0) plan_dir = argv[i + 1];
   }
   const size_t max_batch = 32;
   const uint64_t max_wait_us = 200;
@@ -243,10 +254,40 @@ int main(int argc, char** argv) {
       [&](size_t c, const Tensor& x) { replicas[c]->forward(x, false); });
 
   // --- Engine path: shared BatchServer, dynamic batching. The float plan
-  // is compiled ONCE and shared with the multi-model path below (the
-  // whole point of the Plan/ExecContext split). ---
+  // is created ONCE and shared with the multi-model path below (the whole
+  // point of the Plan/ExecContext split) — compiled from the model, or
+  // with --plan-dir loaded from its alf_planc blob. The compile runs (and
+  // is timed) either way, so the cold_start rows always have a baseline.
+  const auto dur_ms = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const auto load_blob = [&](const char* stem, double* load_ms,
+                             double* blob_kib) {
+    const std::string path = plan_dir + "/" + stem + ".plan";
+    const auto t0 = std::chrono::steady_clock::now();
+    auto loaded = plan::load(path);
+    *load_ms = dur_ms(t0);
+    *blob_kib =
+        static_cast<double>(std::filesystem::file_size(path)) / 1024.0;
+    if (loaded->batch() != max_batch || loaded->in_h() != s.hw ||
+        loaded->in_c() != mc.in_channels) {
+      std::fprintf(stderr,
+                   "serve: %s was generated at a different scale (batch %zu "
+                   "hw %zu); regenerate with alf_planc at --%s\n",
+                   path.c_str(), loaded->batch(), loaded->in_h(), s.name);
+      std::exit(1);
+    }
+    return loaded;
+  };
+  const auto t_cf = std::chrono::steady_clock::now();
   auto fplan =
       Plan::compile(*replicas[0], max_batch, mc.in_channels, s.hw, s.hw);
+  const double compile_f32_ms = dur_ms(t_cf);
+  double load_f32_ms = 0.0, blob_f32_kib = 0.0;
+  if (!plan_dir.empty())
+    fplan = load_blob("resnet20_f32", &load_f32_ms, &blob_f32_kib);
   BatchServer::Config cfg;
   cfg.max_wait_us = max_wait_us;
   BatchServer server(fplan, cfg);
@@ -266,8 +307,13 @@ int main(int argc, char** argv) {
   // weighted scheduling between the two queues. ---
   const char* kF32 = "resnet20_f32";
   const char* kInt8 = "resnet20_int8";
+  const auto t_cq = std::chrono::steady_clock::now();
   auto qplan = Plan::compile(*replicas[0], max_batch, mc.in_channels, s.hw,
-                             s.hw, {.backend = "int8", .bits = 8});
+                             s.hw, {.backend = "int8", .bits = 8, .name = ""});
+  const double compile_int8_ms = dur_ms(t_cq);
+  double load_int8_ms = 0.0, blob_int8_kib = 0.0;
+  if (!plan_dir.empty())
+    qplan = load_blob("resnet20_int8", &load_int8_ms, &blob_int8_kib);
   ModelServer::Config ms_cfg;
   ms_cfg.workers = workers;
   ModelServer multi(ms_cfg);
@@ -399,6 +445,27 @@ int main(int argc, char** argv) {
   agg.extra["images_per_s"] = mixed.aggregate_images_per_s;
   agg.extra["workers"] = static_cast<double>(workers);
   agg.extra["models"] = 2.0;
+  if (!plan_dir.empty()) {
+    // Cold start actually paid on this run (plan::load of the served
+    // blobs) vs the Plan::compile cost it replaced. Budget: < 10ms/model.
+    const auto cold = [&](const char* model, double load_ms,
+                          double compile_ms, double blob_kib) {
+      char row[64];
+      std::snprintf(row, sizeof(row), "cold_start/%s", model);
+      BenchRow& br = json.row(row);
+      br.wall_ms = load_ms;
+      br.extra["plan_load_ms"] = load_ms;
+      br.extra["compile_ms"] = compile_ms;
+      br.extra["speedup_vs_compile"] = compile_ms / load_ms;
+      br.extra["blob_kib"] = blob_kib;
+    };
+    cold(kF32, load_f32_ms, compile_f32_ms, blob_f32_kib);
+    cold(kInt8, load_int8_ms, compile_int8_ms, blob_int8_kib);
+    std::printf(
+        "plan-dir cold start: f32 %.2fms (compile %.2fms), int8 %.2fms "
+        "(compile %.2fms) — budget 10ms/model\n",
+        load_f32_ms, compile_f32_ms, load_int8_ms, compile_int8_ms);
+  }
   if (json.write(json_path)) {
     std::printf("wrote %s\n", json_path.c_str());
   } else {

@@ -14,14 +14,22 @@
 // Engine and the model server shares its immutable Plan — no duplicated
 // weights anywhere.
 //
-//   ./serve_latency [--quick|--full] [--requests N]
+// With --plan <file> the served plan is loaded from an alf_planc blob
+// (engine/plan_io.hpp) instead of compiled — load-once/share-everywhere:
+// the direct engine, the batch server, and the model server all host the
+// one loaded Plan, and the cold-start cost drops from compile work to a
+// checksummed mmap.
+//
+//   ./serve_latency [--quick|--full] [--requests N] [--plan <file>]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/table.hpp"
+#include "engine/plan_io.hpp"
 #include "serve/batch_server.hpp"
 #include "serve/model_server.hpp"
 
@@ -32,6 +40,7 @@ using alf::bench::warm_bn;
 
 int main(int argc, char** argv) {
   size_t hw = 16, width = 8, requests = 200;
+  std::string plan_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) requests = 40;
     if (std::strcmp(argv[i], "--full") == 0) {
@@ -41,6 +50,8 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
       requests = static_cast<size_t>(std::max(1L, std::atol(argv[++i])));
+    if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc)
+      plan_path = argv[++i];
   }
   const size_t max_batch = 32;
 
@@ -63,8 +74,28 @@ int main(int argc, char** argv) {
   for (const size_t n : sizes)
     if (reqs_by_n[n].empty())
       reqs_by_n[n] = random_input({n, mc.in_channels, hw, hw}, rng);
-  Engine eng = Engine::compile(*model, max_batch, mc.in_channels, hw, hw);
+  // Compile once — or, with --plan, load the blob once; every serving
+  // path below shares this single Plan either way.
+  const auto t_cold = std::chrono::steady_clock::now();
+  Engine eng = plan_path.empty()
+                   ? Engine::compile(*model, max_batch, mc.in_channels, hw, hw)
+                   : Engine(alf::plan::load(plan_path));
+  const double cold_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t_cold)
+                             .count();
+  if (!plan_path.empty() &&
+      (eng.plan()->batch() != max_batch || eng.plan()->in_h() != hw)) {
+    std::fprintf(stderr,
+                 "serve_latency: %s was generated at a different scale "
+                 "(batch %zu hw %zu); regenerate with alf_planc\n",
+                 plan_path.c_str(), eng.plan()->batch(), eng.plan()->in_h());
+    return 1;
+  }
   std::printf("%s\n", eng.plan_str().c_str());
+  std::printf("cold start (%s): %.2fms\n\n",
+              plan_path.empty() ? "Plan::compile"
+                                : ("plan::load " + plan_path).c_str(),
+              cold_ms);
   // Output tensors preallocated per batch size outside the serving loop —
   // the direct engine path itself performs no allocations.
   std::vector<Tensor> outs(max_batch + 1);

@@ -16,9 +16,8 @@
 namespace alf {
 namespace {
 
-/// Height bound for the shifted-GEMM border-repair stack buffer; compile
-/// rejects taller maps (plan.cpp keeps the matching constant).
-constexpr size_t kMaxShiftH = 512;
+// kMaxShiftH (the shifted-GEMM border-repair height bound) comes from
+// plan.hpp: one definition shared with the compiler and the blob stamp.
 
 /// One row of an image's im2col unfold: dst[oh*wo + ow] = the (c, kh, kw)
 /// tap of output position (oh, ow), zero where the tap lands in padding.

@@ -1,9 +1,13 @@
 #include "engine/plan.hpp"
 
+#include <sys/mman.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <new>
+#include <utility>
 
 #include "alf/alf_conv.hpp"
 #include "alf/deploy.hpp"
@@ -38,7 +42,142 @@ const char* op_kind_name(OpKind kind) {
   return "?";
 }
 
+// ---------------------------------------------------------------------------
+// WeightArena: the plan's single weight allocation (owned or mapped).
+// ---------------------------------------------------------------------------
+
+WeightArena::~WeightArena() {
+  if (owned_ && data_ != nullptr)
+    ::operator delete(data_, std::align_val_t(kArenaAlign));
+  if (map_base_ != nullptr) ::munmap(map_base_, map_bytes_);
+}
+
+WeightArena::WeightArena(WeightArena&& o) noexcept
+    : data_(std::exchange(o.data_, nullptr)),
+      bytes_(std::exchange(o.bytes_, 0)),
+      map_base_(std::exchange(o.map_base_, nullptr)),
+      map_bytes_(std::exchange(o.map_bytes_, 0)),
+      owned_(std::exchange(o.owned_, false)) {}
+
+WeightArena& WeightArena::operator=(WeightArena&& o) noexcept {
+  if (this != &o) {
+    WeightArena tmp(std::move(o));
+    std::swap(data_, tmp.data_);
+    std::swap(bytes_, tmp.bytes_);
+    std::swap(map_base_, tmp.map_base_);
+    std::swap(map_bytes_, tmp.map_bytes_);
+    std::swap(owned_, tmp.owned_);
+  }
+  return *this;
+}
+
+WeightArena WeightArena::allocate(size_t bytes) {
+  WeightArena a;
+  a.bytes_ = bytes;
+  if (bytes > 0) {
+    // Aligned operator new (not aligned_alloc): the project bans the
+    // malloc family, and the aligned delete in the dtor pairs exactly.
+    a.data_ = static_cast<uint8_t*>(
+        ::operator new(bytes, std::align_val_t(kArenaAlign)));
+    std::memset(a.data_, 0, bytes);
+    a.owned_ = true;
+  }
+  return a;
+}
+
+WeightArena WeightArena::adopt_mapping(void* base, size_t map_bytes,
+                                       size_t data_off, size_t bytes) {
+  ALF_CHECK(base != nullptr && data_off + bytes <= map_bytes);
+  WeightArena a;
+  a.map_base_ = base;
+  a.map_bytes_ = map_bytes;
+  a.data_ = static_cast<uint8_t*>(base) + data_off;
+  a.bytes_ = bytes;
+  return a;
+}
+
+uint8_t* WeightArena::mutable_data() {
+  ALF_CHECK(owned_) << "WeightArena: mapped arenas are read-only";
+  return data_;
+}
+
+void Plan::bind_weight_views(std::vector<Step>& steps,
+                             const std::vector<WeightSection>& sections,
+                             const WeightArena& arena) {
+  for (const WeightSection& sec : sections) {
+    ALF_CHECK(sec.step < steps.size()) << "weight section step index";
+    ALF_CHECK(sec.offset % kWeightAlign == 0 &&
+              sec.offset + sec.bytes <= arena.bytes())
+        << "weight section outside the arena";
+    ALF_CHECK(sec.rank <= TensorView::kMaxRank) << "weight section rank";
+    const uint8_t* p = arena.data() + sec.offset;
+    size_t dims[TensorView::kMaxRank] = {0, 0, 0};
+    for (size_t d = 0; d < sec.rank; ++d)
+      dims[d] = static_cast<size_t>(sec.dims[d]);
+    Step& st = steps[sec.step];
+    switch (sec.field) {
+      case WeightField::kW:
+        st.w = TensorView(reinterpret_cast<const float*>(p), dims, sec.rank);
+        break;
+      case WeightField::kBias:
+        st.bias =
+            TensorView(reinterpret_cast<const float*>(p), dims, sec.rank);
+        break;
+      case WeightField::kScale:
+        st.scale =
+            TensorView(reinterpret_cast<const float*>(p), dims, sec.rank);
+        break;
+      case WeightField::kShift:
+        st.shift =
+            TensorView(reinterpret_cast<const float*>(p), dims, sec.rank);
+        break;
+      case WeightField::kW9:
+        st.w9 = TensorView(reinterpret_cast<const float*>(p), dims, sec.rank);
+        break;
+      case WeightField::kQw:
+        st.qw = ConstSpan<int8_t>(reinterpret_cast<const int8_t*>(p),
+                                  static_cast<size_t>(sec.bytes));
+        break;
+      case WeightField::kQwScales:
+        st.qw_scales =
+            ConstSpan<float>(reinterpret_cast<const float*>(p),
+                             static_cast<size_t>(sec.bytes) / sizeof(float));
+        break;
+    }
+  }
+}
+
 namespace {
+
+/// Compile-time staging form of a Step: the same metadata, but with
+/// OWNING weight payloads the passes below mutate freely (BN folding
+/// rewrites `w` in place, int8 lowering fills `qw` and releases `w`).
+/// The freeze pass at the end of compile() packs every payload into the
+/// plan's arena and emits the final Steps, whose weight fields are views.
+struct BuildStep {
+  OpKind kind = OpKind::kConv;
+  std::string name;
+  size_t in = 0;
+  size_t out = 0;
+  Act act = Act::kNone;
+  size_t in_sz = 0;
+  size_t out_sz = 0;
+  ConvGeom geom;
+  size_t out_c = 0;
+  size_t window = 0;
+  size_t in_features = 0;
+  size_t out_features = 0;
+  Tensor w;
+  Tensor bias;
+  Tensor scale, shift;
+  bool shift_gemm = false;
+  Tensor w9;
+  bool quantized = false;
+  std::vector<int8_t> qw;
+  std::vector<float> qw_scales;
+  int qbits = 8;
+  bool in_nonneg = false;
+};
 
 /// Walk state of Plan::compile. Activations are tracked as *virtual*
 /// buffers (one per producing step, plus id 0 = external input); a
@@ -46,7 +185,7 @@ namespace {
 /// by live range, so straight-line stretches ping-pong between two slots
 /// and a residual shortcut holds a third.
 struct Compiler {
-  std::vector<Step> steps;
+  std::vector<BuildStep> steps;
   std::vector<size_t> vnumel{0};  // per-image numel per virtual buffer
   size_t cur = 0;                 // virtual buffer holding the activation
   size_t c = 0, h = 0, w = 0;     // per-image shape of `cur`
@@ -65,7 +204,7 @@ struct Compiler {
   bool fuse_act(Act act) {
     if (act == Act::kNone) return true;
     if (steps.size() <= fence) return false;
-    Step& last = steps.back();
+    BuildStep& last = steps.back();
     if (last.out != cur || last.act != Act::kNone) return false;
     last.act = act;
     last.name += "+" + std::string(act_name(act));
@@ -77,7 +216,7 @@ struct Compiler {
   /// scale + shift. Returns false if no such step is available.
   bool fold_bn(const BatchNorm2d& bn) {
     if (steps.size() <= fence) return false;
-    Step& last = steps.back();
+    BuildStep& last = steps.back();
     if (last.out != cur || last.act != Act::kNone) return false;
     if (last.kind != OpKind::kConv && last.kind != OpKind::kLinear)
       return false;
@@ -103,7 +242,7 @@ struct Compiler {
 
   void conv_step(const std::string& name, Tensor w_mat, size_t out_c,
                  size_t k, size_t stride, size_t pad, Act act) {
-    Step st;
+    BuildStep st;
     st.kind = OpKind::kConv;
     st.name = name;
     st.geom = ConvGeom{c, h, w, k, stride, pad};
@@ -151,7 +290,7 @@ void Compiler::lower(const Layer& layer) {
     ALF_CHECK(c == bc && h == bh && w == bw)
         << res->name() << ": body/shortcut shape mismatch";
     ALF_CHECK_EQ(vnumel[skip], vnumel[body_out]) << res->name();
-    Step st;
+    BuildStep st;
     st.kind = OpKind::kAdd;
     st.name = res->name() + "_add+relu";
     st.in = skip;
@@ -201,7 +340,7 @@ void Compiler::lower(const Layer& layer) {
   if (const auto* bn = dynamic_cast<const BatchNorm2d*>(&layer)) {
     ALF_CHECK_EQ(c, bn->channels()) << bn->name();
     if (fold_bn(*bn)) return;
-    Step st;
+    BuildStep st;
     st.kind = OpKind::kScaleShift;
     st.name = bn->name();
     bn_fold_scale_shift(*bn, st.scale, st.shift);
@@ -216,7 +355,7 @@ void Compiler::lower(const Layer& layer) {
   }
   if (const auto* act = dynamic_cast<const Activation*>(&layer)) {
     if (fuse_act(act->act())) return;
-    Step st;
+    BuildStep st;
     st.kind = OpKind::kActivation;
     st.name = act->name();
     st.act = act->act();
@@ -228,7 +367,7 @@ void Compiler::lower(const Layer& layer) {
     return;
   }
   if (const auto* gap = dynamic_cast<const GlobalAvgPool*>(&layer)) {
-    Step st;
+    BuildStep st;
     st.kind = OpKind::kGlobalAvgPool;
     st.name = gap->name();
     st.geom = ConvGeom{c, h, w, 1, 1, 0};
@@ -245,7 +384,7 @@ void Compiler::lower(const Layer& layer) {
     ALF_CHECK(h % mp->window() == 0 && w % mp->window() == 0)
         << mp->name() << ": input " << h << "x" << w
         << " not divisible by window " << mp->window();
-    Step st;
+    BuildStep st;
     st.kind = OpKind::kMaxPool;
     st.name = mp->name();
     st.geom = ConvGeom{c, h, w, 1, 1, 0};
@@ -268,7 +407,7 @@ void Compiler::lower(const Layer& layer) {
   }
   if (const auto* lin = dynamic_cast<const Linear*>(&layer)) {
     ALF_CHECK_EQ(c * h * w, lin->in_features()) << lin->name();
-    Step st;
+    BuildStep st;
     st.kind = OpKind::kLinear;
     st.name = lin->name();
     st.in_features = lin->in_features();
@@ -288,11 +427,6 @@ void Compiler::lower(const Layer& layer) {
   ALF_CHECK(false) << "engine: cannot compile layer '" << layer.name()
                    << "' of kind '" << layer.kind() << "'";
 }
-
-/// Height bound for the shifted-GEMM border-repair stack buffer; taller
-/// maps fall back to the chunk-batched strategy at compile time. Mirrored
-/// by the runtime in exec_context.cpp (kMaxShiftH there).
-constexpr size_t kMaxShiftH = 512;
 
 }  // namespace
 
@@ -329,7 +463,7 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   // repair pass cost more than im2col saves. Quantized plans keep every
   // conv on the im2col path — one qgemm per chunk with one activation
   // scale, instead of K*K partial GEMMs plus a float repair pass.
-  for (Step& st : cc.steps) {
+  for (BuildStep& st : cc.steps) {
     if (quantize || st.kind != OpKind::kConv) continue;
     const ConvGeom& g = st.geom;
     if (g.stride != 1 || g.kernel % 2 == 0 || g.pad != (g.kernel - 1) / 2)
@@ -356,7 +490,7 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   // grid; the pass is structural, so the choice never depends on data.
   {
     std::vector<bool> nonneg(cc.vnumel.size(), false);
-    for (Step& st : cc.steps) {
+    for (BuildStep& st : cc.steps) {
       st.in_nonneg = st.in != 0 && nonneg[st.in];
       bool out_nn;
       if (st.act == Act::kRelu || st.act == Act::kSigmoid) {
@@ -390,7 +524,7 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   // (activations arrive as the A panel there).
   if (quantize) {
     const float levels = static_cast<float>((1 << (opts.bits - 1)) - 1);
-    for (Step& st : cc.steps) {
+    for (BuildStep& st : cc.steps) {
       if (st.kind != OpKind::kConv && st.kind != OpKind::kLinear) continue;
       const size_t rows = st.w.dim(0), cols = st.w.dim(1);
       st.quantized = true;
@@ -461,7 +595,7 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   std::vector<size_t> free_slots;
   size_t nslots = 0;
   for (size_t i = 0; i < cc.steps.size(); ++i) {
-    Step& st = cc.steps[i];
+    BuildStep& st = cc.steps[i];
     ALF_CHECK(st.out != 0) << "engine: step writes the input buffer";
     ALF_CHECK(st.in == 0 || slot_of[st.in] >= 0) << "engine: use before def";
     if (slot_of[st.out] < 0) {
@@ -480,6 +614,7 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   }
 
   std::shared_ptr<Plan> plan(new Plan());
+  plan->name_ = opts.name;
   plan->backend_ = backend;
   plan->quant_ = quantize;
   plan->batch_ = batch;
@@ -500,7 +635,7 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   // both regions are per-chunk slices at the arena tail.
   const size_t chunk_imgs = (batch + plan->nchunks_ - 1) / plan->nchunks_;
   size_t max_col = 0, max_res = 0;
-  for (const Step& st : cc.steps) {
+  for (const BuildStep& st : cc.steps) {
     if (st.kind != OpKind::kConv || st.shift_gemm) continue;
     max_col = std::max(
         max_col, st.geom.col_rows() * st.geom.col_cols() * chunk_imgs);
@@ -519,23 +654,102 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   // handed to the qgemm requantization.
   if (quantize) {
     size_t max_lin = 0;
-    for (const Step& st : cc.steps)
+    for (const BuildStep& st : cc.steps)
       if (st.kind == OpKind::kLinear)
         max_lin = std::max(max_lin, batch * st.in_features);
     plan->qws_sz_ = std::max(plan->nchunks_ * plan->col_sz_, max_lin);
     size_t max_cols = batch;  // linear steps use one scale per batch row
-    for (const Step& st : cc.steps)
+    for (const BuildStep& st : cc.steps)
       if (st.kind == OpKind::kConv && !st.shift_gemm)
         max_cols = std::max(max_cols, st.geom.col_cols() * chunk_imgs);
     plan->qbs_sz_ = max_cols;
   }
 
   // Rebind steps from virtual buffers to arena slots (slot 0 = input x).
-  for (Step& st : cc.steps) {
+  for (BuildStep& st : cc.steps) {
     st.in = st.in == 0 ? 0 : static_cast<size_t>(slot_of[st.in]) + 1;
     st.out = static_cast<size_t>(slot_of[st.out]) + 1;
   }
-  plan->steps_ = std::move(cc.steps);
+
+  // --- Freeze: pack every owning payload into the single weight arena. ---
+  // Sections are laid out in step order at kWeightAlign boundaries; the
+  // table is the authority the views are bound from, and exactly what
+  // alf::plan::save serializes — a loaded blob re-runs only the binding.
+  struct Pending {
+    WeightSection sec;
+    const void* src;
+  };
+  std::vector<Pending> pending;
+  uint64_t arena_bytes = 0;
+  const auto stage = [&](size_t step, WeightField field, const void* src,
+                         uint64_t bytes, uint32_t elem_size,
+                         const size_t* dims, size_t rank) {
+    if (bytes == 0) return;
+    arena_bytes = (arena_bytes + kWeightAlign - 1) & ~uint64_t{kWeightAlign - 1};
+    WeightSection sec;
+    sec.step = static_cast<uint32_t>(step);
+    sec.field = field;
+    sec.offset = arena_bytes;
+    sec.bytes = bytes;
+    sec.elem_size = elem_size;
+    sec.rank = static_cast<uint32_t>(rank);
+    for (size_t d = 0; d < rank; ++d) sec.dims[d] = dims[d];
+    pending.push_back(Pending{sec, src});
+    arena_bytes += bytes;
+  };
+  const auto stage_tensor = [&](size_t step, WeightField field,
+                                const Tensor& t) {
+    if (t.empty()) return;
+    ALF_CHECK(t.rank() >= 1 && t.rank() <= TensorView::kMaxRank);
+    size_t dims[TensorView::kMaxRank] = {0, 0, 0};
+    for (size_t d = 0; d < t.rank(); ++d) dims[d] = t.dim(d);
+    stage(step, field, t.data(), t.numel() * sizeof(float), sizeof(float),
+          dims, t.rank());
+  };
+  for (size_t i = 0; i < cc.steps.size(); ++i) {
+    const BuildStep& bs = cc.steps[i];
+    stage_tensor(i, WeightField::kW, bs.w);
+    stage_tensor(i, WeightField::kBias, bs.bias);
+    stage_tensor(i, WeightField::kScale, bs.scale);
+    stage_tensor(i, WeightField::kShift, bs.shift);
+    stage_tensor(i, WeightField::kW9, bs.w9);
+    const size_t qw_len = bs.qw.size();
+    stage(i, WeightField::kQw, bs.qw.data(), qw_len, 1, &qw_len, 1);
+    const size_t qs_len = bs.qw_scales.size();
+    stage(i, WeightField::kQwScales, bs.qw_scales.data(),
+          qs_len * sizeof(float), sizeof(float), &qs_len, 1);
+  }
+  plan->arena_ = WeightArena::allocate(arena_bytes);
+  plan->sections_.reserve(pending.size());
+  for (const Pending& p : pending) {
+    std::memcpy(plan->arena_.mutable_data() + p.sec.offset, p.src,
+                p.sec.bytes);
+    plan->sections_.push_back(p.sec);
+  }
+
+  // Emit the final Steps: metadata copies; weight views bound below.
+  plan->steps_.resize(cc.steps.size());
+  for (size_t i = 0; i < cc.steps.size(); ++i) {
+    const BuildStep& bs = cc.steps[i];
+    Step& st = plan->steps_[i];
+    st.kind = bs.kind;
+    st.name = bs.name;
+    st.in = bs.in;
+    st.out = bs.out;
+    st.act = bs.act;
+    st.in_sz = bs.in_sz;
+    st.out_sz = bs.out_sz;
+    st.geom = bs.geom;
+    st.out_c = bs.out_c;
+    st.window = bs.window;
+    st.in_features = bs.in_features;
+    st.out_features = bs.out_features;
+    st.shift_gemm = bs.shift_gemm;
+    st.quantized = bs.quantized;
+    st.qbits = bs.qbits;
+    st.in_nonneg = bs.in_nonneg;
+  }
+  bind_weight_views(plan->steps_, plan->sections_, plan->arena_);
 #ifndef NDEBUG
   // Debug builds validate every freshly compiled plan; release builds
   // rely on the test suite calling verify() explicitly (plan_verify.cpp).

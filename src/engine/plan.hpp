@@ -32,12 +32,91 @@
 #include "nn/activations.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/view.hpp"
 
 namespace alf {
 
 namespace kernels {
 struct KernelBackend;
 }  // namespace kernels
+
+/// Height bound for the shifted-GEMM border-repair stack buffer; taller
+/// maps fall back to the chunk-batched strategy at compile time. One
+/// definition shared by the compiler (plan.cpp), the runtime
+/// (exec_context.cpp), and the blob header stamp (plan_io.cpp) — a plan
+/// packed under a different bound must not load.
+constexpr size_t kMaxShiftH = 512;
+
+/// Alignment of every weight section inside the plan arena (cache-line,
+/// and a multiple of every element type the kernels read).
+constexpr size_t kWeightAlign = 64;
+
+/// Alignment of the arena base itself: one page, so a loaded blob can
+/// mmap the arena in place and N processes share the page-cache copy.
+constexpr size_t kArenaAlign = 4096;
+
+/// Which weight payload of a Step a section carries.
+enum class WeightField : uint32_t {
+  kW = 0,      ///< float GEMM matrix (rank 2)
+  kBias,       ///< folded bias (rank 1)
+  kScale,      ///< kScaleShift per-channel scale (rank 1)
+  kShift,      ///< kScaleShift per-channel shift (rank 1)
+  kW9,         ///< shift-GEMM [K*K, Co, Ci] pack (rank 3)
+  kQw,         ///< int8 weight panel (rank 2)
+  kQwScales,   ///< per-output-channel weight scales (rank 1)
+};
+constexpr size_t kWeightFieldCount = 7;
+
+/// One row of the plan's section table: where inside the arena one step's
+/// weight payload lives, and the shape it must be read as. This is the
+/// authority the steps' views are bound from — and exactly what
+/// alf::plan::save serializes, so a loaded plan rebinds by fixup alone.
+struct WeightSection {
+  uint32_t step = 0;                    ///< index into Plan::steps()
+  WeightField field = WeightField::kW;
+  uint64_t offset = 0;                  ///< bytes from the arena base
+  uint64_t bytes = 0;
+  uint32_t elem_size = 4;               ///< 4 (float) or 1 (int8)
+  uint32_t rank = 0;
+  uint64_t dims[TensorView::kMaxRank] = {0, 0, 0};
+};
+
+/// The plan's single weight allocation. Exactly one of two modes:
+///   - owned: page-aligned zeroed storage a fresh compile packs into;
+///   - mapped: an adopted read-only file mapping (plan_io.cpp load path),
+///     munmap'd on destruction — the arena bytes are the page cache's,
+///     shared across every process that loaded the same blob.
+class WeightArena {
+ public:
+  WeightArena() = default;
+  ~WeightArena();
+
+  WeightArena(WeightArena&& o) noexcept;
+  WeightArena& operator=(WeightArena&& o) noexcept;
+  WeightArena(const WeightArena&) = delete;
+  WeightArena& operator=(const WeightArena&) = delete;
+
+  /// Owned mode: zeroed storage of `bytes` aligned to kArenaAlign.
+  static WeightArena allocate(size_t bytes);
+
+  /// Mapped mode: adopts [base, base + map_bytes) (munmap'd by the dtor);
+  /// the arena data is the `bytes`-long run at base + data_off.
+  static WeightArena adopt_mapping(void* base, size_t map_bytes,
+                                   size_t data_off, size_t bytes);
+
+  const uint8_t* data() const { return data_; }
+  /// Writable base; only valid in owned mode (the compile-time packer).
+  uint8_t* mutable_data();
+  size_t bytes() const { return bytes_; }
+  bool mapped() const { return map_base_ != nullptr; }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t bytes_ = 0;
+  void* map_base_ = nullptr;  ///< non-null in mapped mode
+  size_t map_bytes_ = 0;
+  bool owned_ = false;
+};
 
 /// Kernel selector of one compiled step.
 enum class OpKind {
@@ -53,8 +132,9 @@ enum class OpKind {
 /// Printable kind tag.
 const char* op_kind_name(OpKind kind);
 
-/// One stateless kernel invocation. Weights are compile-time copies (with
-/// BN already folded in); activations are addressed by arena slot index.
+/// One stateless kernel invocation. Weight fields are non-owning views
+/// into the Plan's weight arena (bound from the section table), with BN
+/// already folded in; activations are addressed by arena slot index.
 /// Slot 0 is the external input tensor of run() and is never written.
 struct Step {
   OpKind kind = OpKind::kConv;
@@ -76,10 +156,10 @@ struct Step {
   size_t in_features = 0;
   size_t out_features = 0;
 
-  Tensor w;     ///< [Co, Ci*K*K] (kConv) or [out, in] (kLinear); released
-                ///< (empty) on int8-lowered steps, which read only qw
-  Tensor bias;  ///< folded bias [Co]/[out]; empty = no bias
-  Tensor scale, shift;  ///< kScaleShift per-channel affine
+  TensorView w;     ///< [Co, Ci*K*K] (kConv) or [out, in] (kLinear); released
+                    ///< (empty) on int8-lowered steps, which read only qw
+  TensorView bias;  ///< folded bias [Co]/[out]; empty = no bias
+  TensorView scale, shift;  ///< kScaleShift per-channel affine
 
   /// Conv execution strategy, chosen at compile time per layer:
   /// - shift_gemm (wide maps and all 1x1s): no im2col at all — K*K GEMMs of
@@ -92,7 +172,7 @@ struct Step {
   /// Both exploit what only a compiled plan has: pre-packed weights and
   /// arena scratch sized once for the whole batch.
   bool shift_gemm = false;
-  Tensor w9;
+  TensorView w9;
 
   /// int8 lowering (plans compiled with a quantized-datapath backend):
   /// the step runs the backend's qgemm instead of a float GEMM. `qw` is
@@ -106,8 +186,8 @@ struct Step {
   /// grid, which is what keeps quantized runs bit-identical across thread
   /// counts and batch packings.
   bool quantized = false;
-  std::vector<int8_t> qw;
-  std::vector<float> qw_scales;
+  ConstSpan<int8_t> qw;
+  ConstSpan<float> qw_scales;
   int qbits = 8;
   /// Compile-time proof that this step's input activation is non-negative
   /// (produced through a ReLU/sigmoid chain). Quantized steps then use an
@@ -138,6 +218,11 @@ struct EngineOptions {
   /// Quantization grid width for int8-lowered steps (2..8; the paper's
   /// Table 3 bit-width sweeps narrow this while storage stays int8).
   int bits = 8;
+  /// Model name stamped into the plan (and into saved blob headers —
+  /// plan_io.cpp); "" is fine for plans that are never serialized.
+  /// (Declared last: existing call sites designated-initialize the
+  /// fields above by position.)
+  std::string name;
 };
 
 /// Compiled model: flat step list, folded/packed weights, strategy choices,
@@ -161,6 +246,8 @@ class Plan {
   Plan& operator=(const Plan&) = delete;
 
   const std::vector<Step>& steps() const { return steps_; }
+  /// Model name (EngineOptions::name at compile, blob header at load).
+  const std::string& name() const { return name_; }
   size_t batch() const { return batch_; }
   size_t classes() const { return classes_; }
   size_t in_c() const { return in_c_; }
@@ -192,6 +279,14 @@ class Plan {
   /// Total per-image scale/inverse scratch floats (0 on float plans).
   size_t qbs_floats() const { return quant_ ? nchunks_ * 2 * qbs_sz_ : 0; }
 
+  // --- Weight storage (what save/load serializes) ---------------------------
+  /// The single arena holding every weight payload the steps view.
+  const WeightArena& weight_arena() const { return arena_; }
+  /// Section table binding (step, field) -> arena (offset, dims).
+  const std::vector<WeightSection>& weight_sections() const {
+    return sections_;
+  }
+
   /// Human-readable plan: one line per step with fused ops and slots.
   std::string str() const;
 
@@ -214,7 +309,22 @@ class Plan {
   /// invariant. Nothing in the library defines or uses it.
   friend struct PlanTestPeer;
 
+  /// Serializer backdoor: alf::plan::save/load (plan_io.cpp) read and
+  /// reconstruct the private state below; nothing else uses it.
+  friend struct PlanIo;
+
+  /// Rebinds every step's weight views from the section table over the
+  /// arena — the one fixup both compile (after packing) and load (after
+  /// mmap + validation) run. Checks section bounds/alignment; geometric
+  /// consistency is verify()'s job.
+  static void bind_weight_views(std::vector<Step>& steps,
+                                const std::vector<WeightSection>& sections,
+                                const WeightArena& arena);
+
   std::vector<Step> steps_;
+  std::string name_;
+  WeightArena arena_;                     ///< all weight payload bytes
+  std::vector<WeightSection> sections_;   ///< arena layout of the payloads
   const kernels::KernelBackend* backend_ = nullptr;
   bool quant_ = false;  ///< conv/linear steps lowered to qgemm
 

@@ -34,7 +34,10 @@
 //      kernel registry under its own name, and the plan's quantized flag
 //      must match the backend's datapath.
 #include <cmath>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/plan.hpp"
 #include "kernels/backend.hpp"
@@ -269,6 +272,77 @@ void Plan::verify() const {
   } else if (qws_sz_ != 0 || qbs_sz_ != 0) {
     fail("float plan carries int8 scratch sizing");
   }
+
+  // --- Weight arena & section table --------------------------------------
+  // Steps read weights through non-owning views; the authority on where
+  // the bytes live is the section table over the plan's single arena —
+  // which is exactly what save/load serializes. Every section must sit
+  // inside the arena, aligned and shape-consistent, and every non-empty
+  // view must resolve to exactly one section at exactly its bytes. A
+  // loaded blob whose table lies about geometry dies here, before any
+  // kernel touches the data. (These checks run after the step replay so a
+  // corrupted *shape* still reports its specific invariant above.)
+  const auto view_bytes = [](const Step& st,
+                             WeightField f) -> std::pair<const void*, size_t> {
+    switch (f) {
+      case WeightField::kW:
+        return {st.w.data(), st.w.numel() * sizeof(float)};
+      case WeightField::kBias:
+        return {st.bias.data(), st.bias.numel() * sizeof(float)};
+      case WeightField::kScale:
+        return {st.scale.data(), st.scale.numel() * sizeof(float)};
+      case WeightField::kShift:
+        return {st.shift.data(), st.shift.numel() * sizeof(float)};
+      case WeightField::kW9:
+        return {st.w9.data(), st.w9.numel() * sizeof(float)};
+      case WeightField::kQw:
+        return {st.qw.data(), st.qw.size()};
+      case WeightField::kQwScales:
+        return {st.qw_scales.data(), st.qw_scales.size() * sizeof(float)};
+    }
+    return {nullptr, 0};
+  };
+  std::vector<uint8_t> bound(steps_.size() * kWeightFieldCount, 0);
+  for (size_t s = 0; s < sections_.size(); ++s) {
+    const WeightSection& sec = sections_[s];
+    const std::string stag = "weight section " + std::to_string(s);
+    if (sec.step >= steps_.size())
+      fail(stag + ": step index out of range");
+    if (static_cast<size_t>(sec.field) >= kWeightFieldCount)
+      fail(stag + ": unknown weight field");
+    if (sec.elem_size != 1 && sec.elem_size != sizeof(float))
+      fail(stag + ": unsupported element size");
+    if (sec.offset % kWeightAlign != 0)
+      fail(stag + ": offset not " + std::to_string(kWeightAlign) +
+           "-byte aligned");
+    if (sec.offset + sec.bytes > arena_.bytes() ||
+        sec.offset + sec.bytes < sec.offset)
+      fail(stag + ": payload overflows the weight arena");
+    if (sec.rank < 1 || sec.rank > TensorView::kMaxRank)
+      fail(stag + ": rank outside [1, 3]");
+    uint64_t numel = 1;
+    for (uint32_t d = 0; d < sec.rank; ++d) numel *= sec.dims[d];
+    if (numel * sec.elem_size != sec.bytes)
+      fail(stag + ": byte count disagrees with dims");
+    uint8_t& slot_bound =
+        bound[sec.step * kWeightFieldCount + static_cast<size_t>(sec.field)];
+    if (slot_bound != 0)
+      fail(stag + ": duplicate section for one step field");
+    slot_bound = 1;
+    const auto [vptr, vbytes] = view_bytes(steps_[sec.step], sec.field);
+    if (vptr != arena_.data() + sec.offset)
+      fail(stag + ": step view does not point at its section");
+    if (vbytes != sec.bytes)
+      fail(stag + ": step view size disagrees with the section");
+  }
+  for (size_t i = 0; i < steps_.size(); ++i)
+    for (size_t f = 0; f < kWeightFieldCount; ++f) {
+      const auto [vptr, vbytes] =
+          view_bytes(steps_[i], static_cast<WeightField>(f));
+      if (vbytes != 0 && bound[i * kWeightFieldCount + f] == 0)
+        fail(tag(i, steps_[i]) + ": weight view has no backing section");
+      (void)vptr;
+    }
 }
 
 }  // namespace alf

@@ -66,6 +66,14 @@ enum CpuFeature : uint32_t {
   kCpuAvx512Vnni = 1u << 3,   ///< EVEX AVX512-VNNI (paired with AVX512VL)
 };
 
+/// ABI version of the packed weight-panel layouts every backend consumes:
+/// conv int8 panels as [Co, Ci*K*K] rows, linear int8 panels as the
+/// transposed [in, out] B panel, shift-GEMM float packs as [K*K, Co, Ci].
+/// Plan blobs stamp this (engine/plan_io.cpp); bump it whenever a kernel
+/// changes what it expects packed, so stale blobs are rejected at load
+/// with a clear message instead of mis-read by the kernels.
+constexpr uint32_t kPanelLayoutVersion = 1;
+
 /// Features the host CPU can actually execute (cached cpuid probe; 0 on
 /// non-x86 hosts).
 uint32_t detected_cpu_features();

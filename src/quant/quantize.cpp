@@ -35,13 +35,20 @@ double quantize_dequantize(Tensor& t, const QuantParams& params) {
 }
 
 PackedInt8 quantize_tensor(const Tensor& t, int bits) {
-  ALF_CHECK(bits >= 2 && bits <= 8) << "packed int8 export: bits=" << bits;
   PackedInt8 out;
-  out.shape = t.shape();
-  out.params = calibrate_quant(t, bits);
   out.data.resize(t.numel());
-  quantize_view(t.data(), t.numel(), out.params, out.data.data());
+  static_cast<PackedInt8Meta&>(out) =
+      quantize_tensor_into(t, bits, out.data.data());
   return out;
+}
+
+PackedInt8Meta quantize_tensor_into(const Tensor& t, int bits, int8_t* dst) {
+  ALF_CHECK(bits >= 2 && bits <= 8) << "packed int8 export: bits=" << bits;
+  PackedInt8Meta meta;
+  meta.shape = t.shape();
+  meta.params = calibrate_quant(t, bits);
+  quantize_view(t.data(), t.numel(), meta.params, dst);
+  return meta;
 }
 
 void quantize_view(const float* src, size_t n, const QuantParams& params,

@@ -52,23 +52,41 @@ struct ModelQuantStats {
 /// biases; BatchNorm scale/shift are left in float, the usual practice).
 ModelQuantStats quantize_model_weights(Sequential& model, int bits);
 
-/// A tensor exported to the packed int8 form the kernel layer's qgemm
-/// consumes: row-major int8 values on the symmetric grid, one per source
-/// element, plus the per-tensor scale. `bits` <= 8 narrows the grid (Table
-/// 3 bit-width sweeps) while the storage stays int8.
-struct PackedInt8 {
-  std::vector<int8_t> data;
+/// Metadata of a packed int8 panel: the source shape and the grid, WITHOUT
+/// the payload bytes. This is the split compiled plans keep — metadata in
+/// the step list, the int8 payload resident in the plan's single weight
+/// arena — so a serialized plan mmaps its panels back in place instead of
+/// re-quantizing (engine/plan_io.hpp). Standalone users get the owning
+/// bundle below.
+struct PackedInt8Meta {
   Shape shape;
   QuantParams params;  ///< scale chosen by max-abs calibration
 
-  /// De-quantized float value of element i (exact: grid * scale).
-  float dequant(size_t i) const {
-    return static_cast<float>(data[i]) * params.scale;
+  /// De-quantized float value of one grid element (exact: grid * scale).
+  float dequant_value(int8_t q) const {
+    return static_cast<float>(q) * params.scale;
   }
+};
+
+/// Owning bundle: metadata plus the payload, the packed int8 form the
+/// kernel layer's qgemm consumes — row-major int8 values on the symmetric
+/// grid, one per source element. `bits` <= 8 narrows the grid (Table 3
+/// bit-width sweeps) while the storage stays int8.
+struct PackedInt8 : PackedInt8Meta {
+  std::vector<int8_t> data;
+
+  /// De-quantized float value of element i.
+  float dequant(size_t i) const { return dequant_value(data[i]); }
 };
 
 /// Calibrates (max-abs symmetric) and packs `t` to int8. bits in [2, 8].
 PackedInt8 quantize_tensor(const Tensor& t, int bits);
+
+/// Arena-resident form: calibrates `t` and packs it into caller storage
+/// `dst` (t.numel() bytes, e.g. a slice of a plan's weight arena);
+/// returns only the metadata. quantize_tensor composes this with an
+/// owning buffer.
+PackedInt8Meta quantize_tensor_into(const Tensor& t, int bits, int8_t* dst);
 
 /// Raw packing core: rounds `n` floats onto the symmetric grid of
 /// `params` and stores them as int8. Used per-run by the engine to

@@ -7,6 +7,7 @@
 
 #include "core/check.hpp"
 #include "core/parallel.hpp"
+#include "engine/plan_io.hpp"
 
 namespace alf {
 
@@ -46,6 +47,21 @@ void ModelServer::add_model(const std::string& name,
   models_.push_back(
       std::make_unique<ModelQueue>(name, std::move(plan), cfg));
   sched_.add(m_, cfg.weight);
+}
+
+std::vector<std::string> ModelServer::add_models_from_dir(
+    const std::string& dir, ModelConfig cfg) {
+  // The compile-once/deploy-many path: every model this server hosts was
+  // compiled elsewhere (alf_planc); registration is mmap + validate per
+  // blob, so adding a model costs milliseconds, not a compile.
+  std::vector<std::string> names;
+  for (auto& [stem, plan] : plan::load_dir(dir)) {
+    add_model(stem, std::move(plan), cfg);
+    names.push_back(stem);
+  }
+  ALF_CHECK(!names.empty()) << "ModelServer: no *.plan blobs in '" << dir
+                            << "'";
+  return names;
 }
 
 void ModelServer::start() {

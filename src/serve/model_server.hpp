@@ -99,6 +99,15 @@ class ModelServer {
   void add_model(const std::string& name, std::shared_ptr<const Plan> plan,
                  ModelConfig cfg = {});
 
+  /// Registers every "*.plan" blob in `dir` via alf::plan::load, model
+  /// name = file stem, lexicographic order — the compile-once/deploy-many
+  /// path (blobs come from alf_planc). All models share `cfg`. Returns the
+  /// registered names; throws PlanIoError/PlanVerifyError on a bad blob
+  /// and CheckError if the directory holds no blobs. Only valid before
+  /// start().
+  std::vector<std::string> add_models_from_dir(const std::string& dir,
+                                               ModelConfig cfg = {});
+
   /// Allocates every worker's per-plan ExecContexts and staging buffers,
   /// then spawns the pool. Requires at least one model.
   void start();

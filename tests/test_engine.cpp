@@ -441,24 +441,27 @@ TEST(Engine, ExplicitBackendSelectionAtCompileTime) {
   warm_bn(*model, mc.in_channels, kHw, rng);
   Tensor x = random_input({4, mc.in_channels, kHw, kHw}, rng);
 
-  Engine scalar_eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
-                                      {.backend = "scalar", .bits = 8});
+  Engine scalar_eng =
+      Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                      {.backend = "scalar", .bits = 8, .name = ""});
   EXPECT_STREQ(scalar_eng.backend_name(), "scalar");
   EXPECT_FALSE(scalar_eng.quantized());
   const Tensor ref = scalar_eng.run(x);
 
   if (kernels::find_backend("simd") != nullptr) {
-    Engine simd_eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
-                                      {.backend = "simd", .bits = 8});
+    Engine simd_eng =
+        Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                        {.backend = "simd", .bits = 8, .name = ""});
     EXPECT_STREQ(simd_eng.backend_name(), "simd");
     const Tensor got = simd_eng.run(x);
     // Different float kernels, same math: agreement to a loose epsilon.
     EXPECT_LE(max_abs_diff(ref, got), 1e-3f);
   }
 
-  EXPECT_THROW(Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
-                               {.backend = "no-such-backend", .bits = 8}),
-               CheckError);
+  EXPECT_THROW(
+      Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
+                      {.backend = "no-such-backend", .bits = 8, .name = ""}),
+      CheckError);
 }
 
 TEST(Engine, Int8PlanLowersConvAndLinearToQgemm) {
@@ -469,7 +472,7 @@ TEST(Engine, Int8PlanLowersConvAndLinearToQgemm) {
   auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
   warm_bn(*model, mc.in_channels, kHw, rng);
   Engine eng = Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
-                               {.backend = "int8", .bits = 8});
+                               {.backend = "int8", .bits = 8, .name = ""});
   EXPECT_TRUE(eng.quantized());
   EXPECT_STREQ(eng.backend_name(), "int8");
   size_t quantized_steps = 0;
@@ -507,7 +510,7 @@ TEST(Engine, Int8EngineAgreesWithFloatEngineOnTop1) {
 
   Engine fp = Engine::compile(*model, n, mc.in_channels, kHw, kHw);
   Engine q8 = Engine::compile(*model, n, mc.in_channels, kHw, kHw,
-                              {.backend = "int8", .bits = 8});
+                              {.backend = "int8", .bits = 8, .name = ""});
   const Tensor ref = fp.run(x);
   const Tensor got = q8.run(x);
   size_t agree = 0;
@@ -537,7 +540,7 @@ TEST(Engine, Int8EngineBitIdenticalAcrossThreadCounts) {
 
   set_parallel_threads(1);
   Engine eng = Engine::compile(*model, 6, mc.in_channels, kHw, kHw,
-                               {.backend = "int8", .bits = 8});
+                               {.backend = "int8", .bits = 8, .name = ""});
   const Tensor ref = eng.run(x);
   for (const int threads : {2, 4}) {
     set_parallel_threads(threads);
@@ -562,7 +565,7 @@ TEST(Engine, NarrowBitWidthsDegradeGracefully) {
   double err8 = 0.0, err4 = 0.0;
   for (const int bits : {8, 4}) {
     Engine q = Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
-                               {.backend = "int8", .bits = bits});
+                               {.backend = "int8", .bits = bits, .name = ""});
     const Tensor got = q.run(x);
     double err = 0.0;
     for (size_t i = 0; i < ref.numel(); ++i) {
@@ -574,7 +577,7 @@ TEST(Engine, NarrowBitWidthsDegradeGracefully) {
   EXPECT_GT(err8, 0.0);   // a real integer datapath is not exact
   EXPECT_GT(err4, err8);  // and fewer bits hurt more (Table 3 direction)
   EXPECT_THROW(Engine::compile(*model, 4, mc.in_channels, kHw, kHw,
-                               {.backend = "int8", .bits = 1}),
+                               {.backend = "int8", .bits = 1, .name = ""}),
                CheckError);
 }
 
@@ -613,7 +616,7 @@ std::shared_ptr<const Plan> verify_fixture(const char* backend = "") {
   auto model = build_resnet20(mc, rng, standard_conv_maker(mc.init, &rng));
   warm_bn(*model, mc.in_channels, kHw, rng);
   return Plan::compile(*model, 4, mc.in_channels, kHw, kHw,
-                       {.backend = backend, .bits = 8});
+                       {.backend = backend, .bits = 8, .name = ""});
 }
 
 /// EXPECT wrapper asserting the typed error and the invariant it names.
@@ -660,8 +663,9 @@ TEST(PlanVerify, AcceptsEveryZooModelFloatAndInt8) {
   for (Case& c : cases) {
     warm_bn(*c.model, c.mc.in_channels, c.mc.in_hw, rng);
     for (const char* backend : {"", "int8"}) {
-      auto plan = Plan::compile(*c.model, 4, c.mc.in_channels, c.mc.in_hw,
-                                c.mc.in_hw, {.backend = backend, .bits = 8});
+      auto plan =
+          Plan::compile(*c.model, 4, c.mc.in_channels, c.mc.in_hw, c.mc.in_hw,
+                        {.backend = backend, .bits = 8, .name = ""});
       EXPECT_NO_THROW(plan->verify())
           << c.name << " backend='" << backend << "'";
     }
@@ -743,7 +747,9 @@ TEST(PlanVerify, RejectsWrongWeightPanelShape) {
   Plan& p = PlanTestPeer::mut(plan);
   Step& st = PlanTestPeer::steps(p)[0];
   ASSERT_EQ(st.kind, OpKind::kConv);
-  st.w = Tensor({st.out_c, st.geom.col_rows() + 1});
+  // Same arena bytes, lying dims: the view/section cross-check would also
+  // object, but the shape replay must name the specific invariant first.
+  st.w = TensorView(st.w.data(), {st.out_c, st.geom.col_rows() + 1});
   expect_verify_rejects(plan, "Co, Ci*K*K");
 }
 
@@ -752,7 +758,7 @@ TEST(PlanVerify, RejectsTruncatedBias) {
   Plan& p = PlanTestPeer::mut(plan);
   Step& st = PlanTestPeer::steps(p)[0];
   ASSERT_EQ(st.kind, OpKind::kConv);
-  st.bias = Tensor({st.out_c + 1});
+  st.bias = TensorView(st.bias.data(), {st.out_c + 1});
   expect_verify_rejects(plan, "bias");
 }
 
@@ -779,7 +785,8 @@ TEST(PlanVerify, RejectsInt8StepWithoutScales) {
   Plan& p = PlanTestPeer::mut(plan);
   Step& st = PlanTestPeer::steps(p)[0];
   ASSERT_TRUE(st.quantized);
-  st.qw_scales.pop_back();
+  st.qw_scales = ConstSpan<float>(st.qw_scales.data(),
+                                  st.qw_scales.size() - 1);
   expect_verify_rejects(plan, "scale");
 }
 
@@ -788,7 +795,9 @@ TEST(PlanVerify, RejectsInt8NonFiniteScale) {
   Plan& p = PlanTestPeer::mut(plan);
   Step& st = PlanTestPeer::steps(p)[0];
   ASSERT_TRUE(st.quantized);
-  st.qw_scales[0] = 0.0f;
+  // Freshly compiled plans own their (writable) arena; scribble through
+  // the const view the way a corrupted blob would arrive.
+  const_cast<float*>(st.qw_scales.data())[0] = 0.0f;
   expect_verify_rejects(plan, "scale");
 }
 
@@ -797,7 +806,7 @@ TEST(PlanVerify, RejectsInt8TruncatedPanel) {
   Plan& p = PlanTestPeer::mut(plan);
   Step& st = PlanTestPeer::steps(p)[0];
   ASSERT_TRUE(st.quantized);
-  st.qw.pop_back();
+  st.qw = ConstSpan<int8_t>(st.qw.data(), st.qw.size() - 1);
   expect_verify_rejects(plan, "panel");
 }
 
@@ -806,7 +815,9 @@ TEST(PlanVerify, RejectsInt8RetainedFloatWeights) {
   Plan& p = PlanTestPeer::mut(plan);
   Step& st = PlanTestPeer::steps(p)[0];
   ASSERT_TRUE(st.quantized);
-  st.w = Tensor({st.out_c, st.geom.col_rows()});
+  // Any non-empty float view marks the weights as retained; verify must
+  // object before ever dereferencing it.
+  st.w = TensorView(st.qw_scales.data(), {st.out_c, st.geom.col_rows()});
   expect_verify_rejects(plan, "not released");
 }
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
+#include <vector>
 
 #include "alf/trainer.hpp"
 #include "core/check.hpp"
@@ -76,6 +78,26 @@ TEST(Quant, FewerBitsMoreError) {
   const double e8 = quantize_dequantize(t8, calibrate_quant(t, 8));
   const double e4 = quantize_dequantize(t4, calibrate_quant(t, 4));
   EXPECT_LT(e8, e4);
+}
+
+TEST(Quant, PackIntoCallerStorageMatchesOwningPack) {
+  // quantize_tensor_into is the arena-resident split the plan packer
+  // uses; it must produce byte-identical payloads and the same metadata
+  // as the owning quantize_tensor bundle.
+  Rng rng(11);
+  Tensor t({16, 9});
+  for (size_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-2.0, 2.0));
+  for (const int bits : {8, 4, 2}) {
+    const PackedInt8 owned = quantize_tensor(t, bits);
+    std::vector<int8_t> dst(t.numel());
+    const PackedInt8Meta meta = quantize_tensor_into(t, bits, dst.data());
+    EXPECT_EQ(meta.params.bits, owned.params.bits);
+    EXPECT_FLOAT_EQ(meta.params.scale, owned.params.scale);
+    EXPECT_EQ(meta.shape, owned.shape);
+    ASSERT_EQ(owned.data.size(), dst.size());
+    EXPECT_EQ(std::memcmp(owned.data.data(), dst.data(), dst.size()), 0);
+  }
 }
 
 TEST(Quant, ModelWeightsQuantizedBnSkipped) {

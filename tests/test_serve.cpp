@@ -451,7 +451,7 @@ TEST(ModelServer, MultiModelBitIdenticalToDirectEngineRunOnSharedPool) {
   warm_bn(*model, rng);
   auto fplan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
   auto qplan = Plan::compile(*model, kBatch, kInC, kHw, kHw,
-                             {.backend = "int8", .bits = 8});
+                             {.backend = "int8", .bits = 8, .name = ""});
   ASSERT_FALSE(fplan->quantized());
   ASSERT_TRUE(qplan->quantized());
   Engine fref(fplan);
@@ -495,7 +495,7 @@ TEST(ModelServer, ConcurrentSubmitsToDifferentModelsAllServed) {
   warm_bn(*model, rng);
   auto fplan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
   auto qplan = Plan::compile(*model, kBatch, kInC, kHw, kHw,
-                             {.backend = "int8", .bits = 8});
+                             {.backend = "int8", .bits = 8, .name = ""});
   Engine fref(fplan);
   Engine qref(qplan);
 
@@ -613,7 +613,7 @@ TEST(ModelServer, StopDrainsEveryModelQueue) {
   warm_bn(*model, rng);
   auto fplan = Plan::compile(*model, kBatch, kInC, kHw, kHw);
   auto qplan = Plan::compile(*model, kBatch, kInC, kHw, kHw,
-                             {.backend = "int8", .bits = 8});
+                             {.backend = "int8", .bits = 8, .name = ""});
 
   ModelServer::Config cfg;
   cfg.workers = 2;
