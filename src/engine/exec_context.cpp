@@ -72,8 +72,8 @@ void conv2d_image_shift(const Step& st, const kernels::KernelBackend* be,
   const size_t ci = g.in_c, co = st.out_c, k = g.kernel;
   const long pad = static_cast<long>(g.pad);
   if (k == 1) {
-    be->gemm(st.w.data(), ci, false, x_img, hw, false, out_img, hw, co, ci,
-             hw, 1.0f, 0.0f);
+    kernels::gemm_dispatch(be, st.tile, st.w.data(), ci, false, x_img, hw,
+                           false, out_img, hw, co, ci, hw, 1.0f, 0.0f);
     bias_act_inplace(out_img, co, hw, st.bias.empty() ? nullptr : st.bias.data(),
                      st.act);
     return;
@@ -87,8 +87,9 @@ void conv2d_image_shift(const Step& st, const kernels::KernelBackend* be,
       const size_t c1 = shift > 0 ? hw - static_cast<size_t>(shift) : hw;
       if (c0 >= c1) continue;
       const float* a = st.w9.data() + (kh * k + kw) * co * ci;
-      be->gemm(a, ci, false, x_img + static_cast<long>(c0) + shift, hw, false,
-               out_img + c0, hw, co, ci, c1 - c0, 1.0f, 1.0f);
+      kernels::gemm_dispatch(be, st.tile, a, ci, false,
+                             x_img + static_cast<long>(c0) + shift, hw, false,
+                             out_img + c0, hw, co, ci, c1 - c0, 1.0f, 1.0f);
     }
   }
   // Repair the `pad` left/right border columns (their shifted reads wrapped
@@ -167,7 +168,7 @@ void ExecContext::run_conv(const Step& st, const float* in, float* out,
   // bit-identical for any runtime thread count; each chunk owns one im2col
   // + result scratch slice at the arena tail of THIS context.
   const Plan& p = *plan_;
-  const size_t nch = std::min(p.chunks(), n);
+  const size_t nch = std::min(p.step_chunks(st), n);
   const size_t chunk = (n + nch - 1) / nch;
   const size_t nchunks = (n + chunk - 1) / chunk;
   const float* bias = st.bias.empty() ? nullptr : st.bias.data();
@@ -178,7 +179,7 @@ void ExecContext::run_conv(const Step& st, const float* in, float* out,
           const size_t i1 = std::min(n, i0 + chunk);
           if (st.shift_gemm) {
             for (size_t i = i0; i < i1; ++i)
-              conv2d_image_shift(st, p.backend(), in + i * st.in_sz,
+              conv2d_image_shift(st, st.be, in + i * st.in_sz,
                                  out + i * st.out_sz);
             continue;
           }
@@ -251,14 +252,14 @@ void ExecContext::run_conv(const Step& st, const float* in, float* out,
             params.a_scales = st.qw_scales.data();  // per-output-channel
             params.b_scales = bscales;              // per-image
             params.b_zp = static_cast<int32_t>(zp);
-            p.backend()->qgemm(st.qw.data(), rows, qcol, ld, res, ld,
-                               st.out_c, rows, ld, params);
+            st.be->qgemm(st.qw.data(), rows, qcol, ld, res, ld, st.out_c,
+                         rows, ld, params);
           } else {
             for (size_t j = 0; j < imgs; ++j)
               im2col_view(in + (i0 + j) * st.in_sz, g, col + j * cols, ld);
-            p.backend()->gemm(st.w.data(), g.col_rows(), false, col, ld,
-                              false, res, ld, st.out_c, g.col_rows(), ld,
-                              1.0f, 0.0f);
+            kernels::gemm_dispatch(st.be, st.tile, st.w.data(), g.col_rows(),
+                                   false, col, ld, false, res, ld, st.out_c,
+                                   g.col_rows(), ld, 1.0f, 0.0f);
           }
           bias_act_inplace(res, st.out_c, ld, bias, st.act);
           for (size_t j = 0; j < imgs; ++j)
@@ -345,9 +346,9 @@ void ExecContext::run_rows(const float* x, size_t n, float* out) {
           params.a_scales = ascales;              // per-image
           params.b_scales = st.qw_scales.data();  // per-output-feature
           params.a_zp = static_cast<int32_t>(zp);
-          p.backend()->qgemm(qws_.data(), st.in_features, st.qw.data(),
-                             st.out_features, dst, st.out_features, n,
-                             st.in_features, st.out_features, params);
+          st.be->qgemm(qws_.data(), st.in_features, st.qw.data(),
+                       st.out_features, dst, st.out_features, n,
+                       st.in_features, st.out_features, params);
           const float* b = st.bias.empty() ? nullptr : st.bias.data();
           if (b != nullptr) {
             for (size_t i = 0; i < n; ++i) {
@@ -360,7 +361,7 @@ void ExecContext::run_rows(const float* x, size_t n, float* out) {
           linear_forward_view(src, n, st.in_features, st.w.data(),
                               st.out_features,
                               st.bias.empty() ? nullptr : st.bias.data(),
-                              st.act, dst, p.backend());
+                              st.act, dst, st.be);
         }
         break;
       }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 #include <utility>
@@ -19,6 +20,7 @@
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
 #include "quant/quantize.hpp"
+#include "tune/tuner.hpp"
 
 namespace alf {
 
@@ -177,7 +179,33 @@ struct BuildStep {
   std::vector<float> qw_scales;
   int qbits = 8;
   bool in_nonneg = false;
+  // Per-step algorithm decision (tuner/forced/heuristic), applied by
+  // compile() after strategy selection and copied into the final Step.
+  const kernels::KernelBackend* be = nullptr;
+  kernels::TileParams tile;
+  uint32_t chunk = 0;
 };
+
+/// How Plan::compile actually selects per-step algorithms once kDefault
+/// has been resolved: $ALF_TUNE ("off" / "cached" / "full"); unset or
+/// unrecognized keeps the hand-written heuristics.
+TuneMode resolve_tune_mode(TuneMode mode) {
+  if (mode != TuneMode::kDefault) return mode;
+  if (const char* env = std::getenv("ALF_TUNE"); env != nullptr) {
+    if (std::strcmp(env, "cached") == 0) return TuneMode::kCached;
+    if (std::strcmp(env, "full") == 0) return TuneMode::kFull;
+  }
+  return TuneMode::kHeuristic;
+}
+
+/// The geometric constraints the shifted-GEMM runtime hard-requires
+/// (beyond these it would read out of bounds or overflow the border-repair
+/// stack buffer). The compile-time heuristic ADDS a profitability test on
+/// top; a forced kShiftGemm choice is honored exactly up to this bound.
+bool shift_hard_eligible(const ConvGeom& g) {
+  return g.stride == 1 && g.kernel % 2 == 1 && g.pad == (g.kernel - 1) / 2 &&
+         g.in_w > 2 * g.pad && (g.kernel == 1 || g.in_h <= kMaxShiftH);
+}
 
 /// Walk state of Plan::compile. Activations are tracked as *virtual*
 /// buffers (one per producing step, plus id 0 = external input); a
@@ -456,38 +484,12 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   cc.lower(model);
   ALF_CHECK(!cc.steps.empty()) << "engine: model compiled to an empty plan";
 
-  // Lower eligible convs (stride 1, odd kernel, same-size padding) to the
-  // shifted-GEMM form, packing the per-offset weight slices now that BN
-  // folding has finished rewriting `w`. Narrow maps stay on the
-  // chunk-batched im2col path: their border fraction (2*pad / W) makes the
-  // repair pass cost more than im2col saves. Quantized plans keep every
-  // conv on the im2col path — one qgemm per chunk with one activation
-  // scale, instead of K*K partial GEMMs plus a float repair pass.
-  for (BuildStep& st : cc.steps) {
-    if (quantize || st.kind != OpKind::kConv) continue;
-    const ConvGeom& g = st.geom;
-    if (g.stride != 1 || g.kernel % 2 == 0 || g.pad != (g.kernel - 1) / 2)
-      continue;
-    if (g.kernel > 1 && (g.in_w < 16 * g.pad || g.in_h > kMaxShiftH))
-      continue;
-    if (g.in_w <= 2 * g.pad) continue;  // degenerate maps
-    st.shift_gemm = true;
-    if (g.kernel == 1) continue;  // 1x1 multiplies `w` against x directly
-    const size_t k = g.kernel, ci = g.in_c, co = st.out_c;
-    st.w9 = Tensor({k * k, co, ci});
-    for (size_t o = 0; o < co; ++o)
-      for (size_t c = 0; c < ci; ++c)
-        for (size_t kh = 0; kh < k; ++kh)
-          for (size_t kw = 0; kw < k; ++kw)
-            st.w9.at(((kh * k + kw) * co + o) * ci + c) =
-                st.w.at(o, (c * k + kh) * k + kw);
-  }
-
   // Non-negativity propagation over the (still virtual-buffer-addressed)
   // plan: a buffer is provably non-negative when its producer ends in
   // ReLU/sigmoid, and max-pool / global-avg-pool / residual-add preserve
   // the property. Quantized steps use it to pick an asymmetric activation
   // grid; the pass is structural, so the choice never depends on data.
+  // (Runs before the tuner below: in_nonneg is part of the shape key.)
   {
     std::vector<bool> nonneg(cc.vnumel.size(), false);
     for (BuildStep& st : cc.steps) {
@@ -513,6 +515,117 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
       }
       nonneg[st.out] = out_nn;
     }
+  }
+
+  // The fixed batch partition (needed by the tuner's shape key and by the
+  // scratch sizing below).
+  const size_t nchunks = std::min<size_t>(
+      batch, static_cast<size_t>(std::max(1, parallel_threads())));
+
+  // --- Per-step algorithm decisions. ---
+  // One AlgoChoice per step (non-GEMM steps keep the default). Priority:
+  // forced choices (tests, the tuner's own candidate compiles) > the
+  // tuner (kCached replays the persistent cache, measuring only missing
+  // shapes; kFull re-measures everything) > all-default, which the
+  // application passes below reproduce as the exact pre-tuner behavior.
+  const TuneMode mode = resolve_tune_mode(opts.tune);
+  std::vector<AlgoChoice> choices(cc.steps.size());
+  {
+    tune::AlgoCache* cache = nullptr;
+    size_t t = 0;  // index among conv/linear steps (force_choices indexing)
+    for (size_t i = 0; i < cc.steps.size(); ++i) {
+      const BuildStep& st = cc.steps[i];
+      if (st.kind != OpKind::kConv && st.kind != OpKind::kLinear) continue;
+      if (!opts.force_choices.empty()) {
+        choices[i] =
+            opts.force_choices[std::min(t, opts.force_choices.size() - 1)];
+      } else if (mode == TuneMode::kCached || mode == TuneMode::kFull) {
+        if (cache == nullptr) cache = &tune::cache_for(opts.algo_cache);
+        tune::TuneShape shape;
+        shape.is_conv = st.kind == OpKind::kConv;
+        shape.geom = st.geom;
+        shape.out_c = st.out_c;
+        shape.in_features = st.in_features;
+        shape.out_features = st.out_features;
+        shape.quantized = quantize;
+        shape.qbits = quantize ? opts.bits : 0;
+        shape.in_nonneg = st.in_nonneg;
+        shape.batch = batch;
+        shape.chunks = nchunks;
+        shape.plan_backend = backend->name;
+        choices[i] = tune::choose(shape, mode, *cache);
+      }
+      ++t;
+    }
+    if (cache != nullptr) cache->save();
+  }
+
+  // Conv strategy selection. The heuristic (Strategy::kAuto) lowers
+  // eligible convs (stride 1, odd kernel, same-size padding) to the
+  // shifted-GEMM form; narrow maps stay on the chunk-batched im2col path,
+  // where their border fraction (2*pad / W) makes the repair pass cost
+  // more than im2col saves. A kShiftGemm choice overrides the
+  // profitability test but never the hard geometry bound (an ineligible
+  // force falls back to im2col); kIm2col always sticks. Quantized plans
+  // keep every conv on the im2col path — one qgemm per chunk with one
+  // activation scale, instead of K*K partial GEMMs plus a float repair
+  // pass. Packing the per-offset w9 slices happens here, after BN folding
+  // has finished rewriting `w`.
+  for (size_t i = 0; i < cc.steps.size(); ++i) {
+    BuildStep& st = cc.steps[i];
+    if (quantize || st.kind != OpKind::kConv) continue;
+    const ConvGeom& g = st.geom;
+    bool want;
+    switch (choices[i].strategy) {
+      case AlgoChoice::Strategy::kShiftGemm:
+        want = shift_hard_eligible(g);
+        break;
+      case AlgoChoice::Strategy::kIm2col:
+        want = false;
+        break;
+      case AlgoChoice::Strategy::kAuto:
+      default:
+        want = shift_hard_eligible(g) &&
+               !(g.kernel > 1 &&
+                 (g.in_w < 16 * g.pad || g.in_h > kMaxShiftH));
+        break;
+    }
+    if (!want) continue;
+    st.shift_gemm = true;
+    if (g.kernel == 1) continue;  // 1x1 multiplies `w` against x directly
+    const size_t k = g.kernel, ci = g.in_c, co = st.out_c;
+    st.w9 = Tensor({k * k, co, ci});
+    for (size_t o = 0; o < co; ++o)
+      for (size_t c = 0; c < ci; ++c)
+        for (size_t kh = 0; kh < k; ++kh)
+          for (size_t kw = 0; kw < k; ++kw)
+            st.w9.at(((kh * k + kw) * co + o) * ci + c) =
+                st.w.at(o, (c * k + kh) * k + kw);
+  }
+
+  // Apply the rest of each choice: per-step backend, tile, chunk grid.
+  // Every step carries a backend pointer (the plan backend when the choice
+  // leaves it open); a named backend must exist and share the plan's
+  // datapath — the packed weight panels have one ABI per datapath. Tiles
+  // only stick on backends exposing a tiled GEMM entry; chunk overrides
+  // only on chunk-batched (non-shift) convs.
+  for (size_t i = 0; i < cc.steps.size(); ++i) {
+    BuildStep& st = cc.steps[i];
+    st.be = backend;
+    if (st.kind != OpKind::kConv && st.kind != OpKind::kLinear) continue;
+    const AlgoChoice& ch = choices[i];
+    if (!ch.backend.empty()) {
+      const kernels::KernelBackend* b = kernels::find_backend(ch.backend);
+      ALF_CHECK(b != nullptr)
+          << "engine: step '" << st.name << "': unknown tuned backend '"
+          << ch.backend << "'";
+      ALF_CHECK(b->quantized_datapath == quantize)
+          << "engine: step '" << st.name << "': tuned backend '" << ch.backend
+          << "' is on the wrong datapath for this plan";
+      st.be = b;
+    }
+    if (st.be->gemm_tiled != nullptr) st.tile = ch.tile;
+    if (st.kind == OpKind::kConv && !st.shift_gemm) st.chunk = ch.chunk;
   }
 
   // int8 lowering: export the (BN-folded) weights of every conv/linear
@@ -628,18 +741,25 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
   size_t max_act = 0;
   for (size_t v = 1; v < nvirt; ++v) max_act = std::max(max_act, cc.vnumel[v]);
   plan->slot_stride_ = batch * max_act;
-  plan->nchunks_ = std::min<size_t>(
-      batch, static_cast<size_t>(std::max(1, parallel_threads())));
+  plan->nchunks_ = nchunks;
   // Chunk-batched convs unfold a whole chunk of images into one im2col
   // matrix and land the GEMM in a result scratch before the NCHW scatter;
-  // both regions are per-chunk slices at the arena tail.
-  const size_t chunk_imgs = (batch + plan->nchunks_ - 1) / plan->nchunks_;
+  // both regions are per-chunk slices at the arena tail. A step with a
+  // tuned chunk override runs a *coarser* grid (fewer, larger chunks), so
+  // its scratch need is computed from its own effective grid — the sizing
+  // below takes the max over every step's grid, and the runtime partition
+  // (Plan::step_chunks) can never outgrow it.
+  const auto eff_imgs = [&](const BuildStep& st) {
+    const size_t nch =
+        st.chunk != 0 ? std::min<size_t>(st.chunk, nchunks) : nchunks;
+    return (batch + nch - 1) / nch;
+  };
   size_t max_col = 0, max_res = 0;
   for (const BuildStep& st : cc.steps) {
     if (st.kind != OpKind::kConv || st.shift_gemm) continue;
     max_col = std::max(
-        max_col, st.geom.col_rows() * st.geom.col_cols() * chunk_imgs);
-    max_res = std::max(max_res, st.out_sz * chunk_imgs);
+        max_col, st.geom.col_rows() * st.geom.col_cols() * eff_imgs(st));
+    max_res = std::max(max_res, st.out_sz * eff_imgs(st));
   }
   plan->col_sz_ = max_col;
   plan->res_sz_ = max_res;
@@ -661,7 +781,7 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
     size_t max_cols = batch;  // linear steps use one scale per batch row
     for (const BuildStep& st : cc.steps)
       if (st.kind == OpKind::kConv && !st.shift_gemm)
-        max_cols = std::max(max_cols, st.geom.col_cols() * chunk_imgs);
+        max_cols = std::max(max_cols, st.geom.col_cols() * eff_imgs(st));
     plan->qbs_sz_ = max_cols;
   }
 
@@ -748,6 +868,9 @@ std::shared_ptr<const Plan> Plan::compile(const Sequential& model,
     st.quantized = bs.quantized;
     st.qbits = bs.qbits;
     st.in_nonneg = bs.in_nonneg;
+    st.be = bs.be;
+    st.tile = bs.tile;
+    st.chunk = bs.chunk;
   }
   bind_weight_views(plan->steps_, plan->sections_, plan->arena_);
 #ifndef NDEBUG
@@ -764,7 +887,7 @@ const char* Plan::backend_name() const {
 
 std::string Plan::str() const {
   std::string s;
-  char line[256];
+  char line[320];
   std::snprintf(line, sizeof(line),
                 "engine plan: %zu steps, %zu activation slots x %zu floats, "
                 "%zu x %zu im2col scratch (batch %zu, backend %s%s)\n",
@@ -773,15 +896,32 @@ std::string Plan::str() const {
   s += line;
   for (size_t i = 0; i < steps_.size(); ++i) {
     const Step& st = steps_[i];
-    char geom[48] = "";
+    // Per-step algorithm decision: backend (when it differs from the
+    // plan's), tile blocking and chunk-grid override — the full choice a
+    // tuned plan (or a loaded blob) carries, so dumps diff meaningfully.
+    char algo[96] = "";
+    if (st.kind == OpKind::kConv || st.kind == OpKind::kLinear) {
+      size_t off = 0;
+      if (st.be != nullptr && st.be != backend_)
+        off += static_cast<size_t>(std::snprintf(
+            algo + off, sizeof(algo) - off, " be=%s", st.be->name));
+      if (!st.tile.is_default() && off < sizeof(algo))
+        off += static_cast<size_t>(
+            std::snprintf(algo + off, sizeof(algo) - off, " tile=%ux%ux%u",
+                          st.tile.mc, st.tile.kc, st.tile.nc));
+      if (st.chunk != 0 && off < sizeof(algo))
+        std::snprintf(algo + off, sizeof(algo) - off, " chunk=%u", st.chunk);
+    }
+    char geom[144] = "";
     if (st.kind == OpKind::kConv) {
-      std::snprintf(geom, sizeof(geom), "  [%zux%zux%zu] %s", st.out_c,
+      std::snprintf(geom, sizeof(geom), "  [%zux%zux%zu] %s%s", st.out_c,
                     st.geom.out_h(), st.geom.out_w(),
                     st.quantized ? "qgemm-int8"
-                                 : (st.shift_gemm ? "shift-gemm" : "im2col"));
+                                 : (st.shift_gemm ? "shift-gemm" : "im2col"),
+                    algo);
     } else if (st.kind == OpKind::kLinear) {
-      std::snprintf(geom, sizeof(geom), "  [%zu -> %zu]%s", st.in_features,
-                    st.out_features, st.quantized ? " qgemm-int8" : "");
+      std::snprintf(geom, sizeof(geom), "  [%zu -> %zu]%s%s", st.in_features,
+                    st.out_features, st.quantized ? " qgemm-int8" : "", algo);
     }
     std::snprintf(line, sizeof(line), "  %2zu %-11s %-28s s%zu -> s%zu%s%s%s\n",
                   i, op_kind_name(st.kind), st.name.c_str(), st.in, st.out,

@@ -23,12 +23,14 @@
 // across contexts, workers, and thread counts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "kernels/tile.hpp"
 #include "nn/activations.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/ops.hpp"
@@ -132,6 +134,42 @@ enum class OpKind {
 /// Printable kind tag.
 const char* op_kind_name(OpKind kind);
 
+/// How Plan::compile selects per-step algorithms (conv strategy, kernel
+/// backend, tile parameters, chunk grid).
+enum class TuneMode {
+  /// Resolve from the ALF_TUNE environment variable ("off" / "cached" /
+  /// "full"); unset or unrecognized means kHeuristic.
+  kDefault,
+  /// The hand-written predicates and the built-in blocking constants —
+  /// exactly the pre-tuner behavior, zero microbenchmark runs.
+  kHeuristic,
+  /// Replay the persistent algo cache (src/tune/); shapes missing from the
+  /// cache are measured once, recorded, and the cache file rewritten.
+  kCached,
+  /// Re-measure every shape and update the cache (ignore stale winners).
+  kFull,
+};
+
+/// One per-GEMM-step algorithm decision: what the tuner records per shape,
+/// what the plan carries per step, and what a blob persists (plan_io.cpp).
+/// The all-default AlgoChoice reproduces the heuristic path exactly.
+struct AlgoChoice {
+  /// Conv execution strategy; kAuto applies the compile-time predicate.
+  /// Quantized convs always run im2col (Plan::verify enforces it).
+  enum class Strategy : uint8_t { kAuto = 0, kShiftGemm = 1, kIm2col = 2 };
+  Strategy strategy = Strategy::kAuto;
+  /// Per-step kernel backend name; "" = the plan's backend. Must share the
+  /// plan backend's datapath (float plans pick float backends, quantized
+  /// plans pick quantized ones — the packed panels have one ABI).
+  std::string backend;
+  /// f32 GEMM cache blocking; all-zero = the backend's built-in constants.
+  kernels::TileParams tile;
+  /// Conv chunk-grid override (e.g. 1 = unfold the whole batch as one
+  /// im2col GEMM); 0 = the plan's compile-time grid. Numerics-neutral:
+  /// results are bit-identical across batch packings by contract.
+  uint32_t chunk = 0;
+};
+
 /// One stateless kernel invocation. Weight fields are non-owning views
 /// into the Plan's weight arena (bound from the section table), with BN
 /// already folded in; activations are addressed by arena slot index.
@@ -195,6 +233,15 @@ struct Step {
   /// range), doubling the resolution the symmetric grid would spend on
   /// values that cannot occur.
   bool in_nonneg = false;
+
+  /// Per-step kernel backend (tuner- or blob-chosen; the plan backend when
+  /// untuned). Never null on conv/linear steps after compile()/load; other
+  /// kinds issue no GEMMs and leave it at the plan backend too.
+  const kernels::KernelBackend* be = nullptr;
+  /// f32 GEMM cache blocking for this step (all-zero = backend defaults).
+  kernels::TileParams tile;
+  /// Conv chunk-grid override; 0 = the plan's grid (Plan::chunks()).
+  uint32_t chunk = 0;
 };
 
 /// Typed error thrown by Plan::verify() when a compiled plan violates one
@@ -220,9 +267,18 @@ struct EngineOptions {
   int bits = 8;
   /// Model name stamped into the plan (and into saved blob headers —
   /// plan_io.cpp); "" is fine for plans that are never serialized.
-  /// (Declared last: existing call sites designated-initialize the
-  /// fields above by position.)
+  /// (Existing call sites designated-initialize the fields above by
+  /// position; new fields go below this line.)
   std::string name;
+  /// Per-shape algorithm selection mode; kDefault reads $ALF_TUNE.
+  TuneMode tune = TuneMode::kDefault;
+  /// Algo-cache file for kCached/kFull; "" = $ALF_ALGO_CACHE, else the
+  /// built-in default path (tune/algo_cache.hpp).
+  std::string algo_cache;
+  /// Forced per-step choices (tests, the tuner's own candidate compiles):
+  /// the i-th conv/linear step takes force_choices[min(i, size-1)] and the
+  /// tuner is bypassed entirely. Empty = no forcing.
+  std::vector<AlgoChoice> force_choices;
 };
 
 /// Compiled model: flat step list, folded/packed weights, strategy choices,
@@ -272,6 +328,13 @@ class Plan {
   size_t result_floats() const { return res_sz_; }
   /// Fixed batch partition (chosen at compile for determinism).
   size_t chunks() const { return nchunks_; }
+  /// The chunk grid one step actually runs under: its tuned override when
+  /// set, the plan grid otherwise. The scratch sizing (compile) and the
+  /// runtime (run_conv) both consult this, so a per-step override can only
+  /// ever widen a chunk into scratch that was sized for it.
+  size_t step_chunks(const Step& st) const {
+    return st.chunk != 0 ? std::min<size_t>(st.chunk, nchunks_) : nchunks_;
+  }
   /// int8 activation scratch bytes of one context (0 on float plans).
   size_t qws_bytes() const { return qws_sz_; }
   /// Per-image scale-slice stride of the qgemm scratch.

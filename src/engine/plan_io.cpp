@@ -29,7 +29,7 @@ using Code = plan::PlanIoError::Code;
 // every field sits at its natural offset; any drift is a format change and
 // must bump kFormatVersion, so make the compiler enforce the layout.
 static_assert(sizeof(FileHeader) == 328, "blob format change: bump version");
-static_assert(sizeof(StepRecord) == 144, "blob format change: bump version");
+static_assert(sizeof(StepRecord) == 176, "blob format change: bump version");
 static_assert(sizeof(SectionRecord) == 64, "blob format change: bump version");
 static_assert(std::has_unique_object_representations_v<FileHeader>);
 static_assert(std::has_unique_object_representations_v<StepRecord>);
@@ -112,6 +112,15 @@ void PlanIo::save(const Plan& p, const std::string& path) {
     r.shift_gemm = st.shift_gemm ? 1 : 0;
     r.quantized = st.quantized ? 1 : 0;
     r.in_nonneg = st.in_nonneg ? 1 : 0;
+    // The per-step algorithm choice (v2). The actual backend name is
+    // stored for every GEMM step — never the "" shorthand — so a blob is
+    // self-describing even if the plan-level default changes meaning.
+    if (st.be != nullptr)
+      copy_name(r.backend_name, sizeof(r.backend_name), st.be->name);
+    r.tile_mc = st.tile.mc;
+    r.tile_kc = st.tile.kc;
+    r.tile_nc = st.tile.nc;
+    r.chunk = st.chunk;
   }
   std::vector<SectionRecord> xrecs(sections.size());
   for (size_t i = 0; i < sections.size(); ++i) {
@@ -139,7 +148,12 @@ void PlanIo::save(const Plan& p, const std::string& path) {
   hdr.panel_layout = kernels::kPanelLayoutVersion;
   copy_name(hdr.model_name, sizeof(hdr.model_name), p.name_);
   copy_name(hdr.backend_name, sizeof(hdr.backend_name), p.backend_->name);
+  // A tuned plan may route individual steps through backends wider than
+  // the plan's own, so the feature stamp is the union — a host must be
+  // able to execute EVERY step, not just the default dispatch.
   hdr.cpu_features = p.backend_->required_features;
+  for (const Step& st : steps)
+    if (st.be != nullptr) hdr.cpu_features |= st.be->required_features;
   hdr.quantized = p.quant_ ? 1 : 0;
   hdr.qbits = plan_qbits(p);
   hdr.max_shift_h = kMaxShiftH;
@@ -297,6 +311,9 @@ std::shared_ptr<const Plan> PlanIo::load(const std::string& path) {
 
   // --- Step records -------------------------------------------------------
   std::vector<Step> steps(hdr.nsteps);
+  // Per-step backend names decode here but resolve below, after the
+  // plan-level backend (the registry and feature checks live there).
+  std::vector<std::string> step_backends(hdr.nsteps);
   const auto* srecs =
       reinterpret_cast<const StepRecord*>(blob + hdr.steps_off);
   const char* names = reinterpret_cast<const char*>(blob + hdr.names_off);
@@ -329,6 +346,12 @@ std::shared_ptr<const Plan> PlanIo::load(const std::string& path) {
     s.shift_gemm = r.shift_gemm != 0;
     s.quantized = r.quantized != 0;
     s.in_nonneg = r.in_nonneg != 0;
+    if (std::memchr(r.backend_name, 0, sizeof(r.backend_name)) == nullptr)
+      io_fail(Code::kBadSection,
+              "step " + std::to_string(i) + ": unterminated backend name");
+    step_backends[i] = r.backend_name;
+    s.tile = kernels::TileParams{r.tile_mc, r.tile_kc, r.tile_nc};
+    s.chunk = r.chunk;
   }
 
   // --- Section records: structural pass, then payload checksums ----------
@@ -391,6 +414,30 @@ std::shared_ptr<const Plan> PlanIo::load(const std::string& path) {
   if ((hdr.quantized != 0) != backend->quantized_datapath)
     io_fail(Code::kBadHeader,
             "quantized flag disagrees with the stamped backend");
+  // Per-step backends: every stamped name must be live in this registry
+  // and executable on this host (the header's cpu_features union already
+  // covered the features at save; re-check against the live registry so a
+  // renamed or unregistered backend fails typed, not at dispatch).
+  for (size_t i = 0; i < steps.size(); ++i) {
+    Step& s = steps[i];
+    if (step_backends[i].empty()) {
+      s.be = backend;  // pre-tuner shorthand: the plan's own backend
+      continue;
+    }
+    const kernels::KernelBackend* be = kernels::find_backend(step_backends[i]);
+    if (be == nullptr)
+      io_fail(Code::kBackend, "step " + std::to_string(i) +
+                                  ": kernel backend '" + step_backends[i] +
+                                  "' is not registered in this build");
+    const uint32_t lacks =
+        be->required_features & ~kernels::allowed_cpu_features();
+    if (lacks != 0)
+      io_fail(Code::kCpuFeatures,
+              "step " + std::to_string(i) + ": backend '" + step_backends[i] +
+                  "' needs CPU features this host lacks (or has disabled): " +
+                  kernels::cpu_feature_names(lacks));
+    s.be = be;
+  }
 
   // --- Assemble -----------------------------------------------------------
   std::shared_ptr<Plan> p(new Plan());

@@ -11,7 +11,7 @@
 // Blob layout (offsets in the header; all integers little-endian):
 //
 //   [0,          328)        FileHeader (fixed size, self-describing)
-//   [steps_off,  ...)        nsteps x StepRecord (fixed 144 B each)
+//   [steps_off,  ...)        nsteps x StepRecord (fixed 176 B each)
 //   [names_off,  ...)        step-name string blob (StepRecord offsets)
 //   ...pad to 8...
 //   [sections_off, ...)      nsections x SectionRecord (fixed 64 B each,
@@ -80,7 +80,11 @@ class PlanIoError : public std::runtime_error {
 };
 
 constexpr char kMagic[8] = {'A', 'L', 'F', 'P', 'L', 'A', 'N', '\0'};
-constexpr uint32_t kFormatVersion = 1;
+// v2: StepRecord grew the per-step algorithm choice (backend name, tile
+// blocking, chunk override) so tuned plans replay their decisions on load
+// with zero re-tuning. v1 blobs are rejected (reject-don't-migrate; blobs
+// are cheap to regenerate with alf_planc).
+constexpr uint32_t kFormatVersion = 2;
 /// Arena file offset alignment: one page, so the mmap'd arena base meets
 /// kArenaAlign without copying.
 constexpr uint64_t kBlobPageAlign = 4096;
@@ -133,6 +137,11 @@ struct StepRecord {
   uint64_t name_len;
   int32_t qbits;
   uint8_t shift_gemm, quantized, in_nonneg, reserved0;
+  // v2: the step's algorithm choice. backend_name is NUL-terminated; ""
+  // means "the plan's backend". Tile fields of 0 select the backend's
+  // built-in blocking; chunk 0 the plan's compile-time grid.
+  char backend_name[16];
+  uint32_t tile_mc, tile_kc, tile_nc, chunk;
 };
 
 /// One WeightSection plus the payload checksum.

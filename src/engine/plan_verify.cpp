@@ -89,7 +89,14 @@ void Plan::verify() const {
     fail("im2col scratch offset does not abut the activation slots");
   if (res_off_ != col_off_ + nchunks_ * col_sz_)
     fail("result scratch offset does not abut the im2col scratch");
-  const size_t chunk_imgs = (batch_ + nchunks_ - 1) / nchunks_;
+  // Effective whole-chunk image count of one step: a tuned chunk override
+  // coarsens the grid (fewer, larger chunks), so scratch bounds are
+  // checked against each step's own partition — the same arithmetic the
+  // compile-time sizing and the runtime (Plan::step_chunks) use.
+  const auto step_imgs = [&](const Step& st) {
+    const size_t nch = step_chunks(st);
+    return (batch_ + nch - 1) / nch;
+  };
 
   // --- Step replay -------------------------------------------------------
   // slot 0 is the external input; arena slots are 1..slots_.
@@ -159,9 +166,9 @@ void Plan::verify() const {
         } else {
           // Chunk-batched im2col: the whole-chunk unfold and GEMM result
           // must fit the per-chunk scratch slices.
-          if (g.col_rows() * g.col_cols() * chunk_imgs > col_sz_)
+          if (g.col_rows() * g.col_cols() * step_imgs(st) > col_sz_)
             fail(tag(i, st) + ": im2col unfold overflows the col scratch");
-          if (st.out_sz * chunk_imgs > res_sz_)
+          if (st.out_sz * step_imgs(st) > res_sz_)
             fail(tag(i, st) + ": GEMM result overflows the result scratch");
         }
         if (!st.quantized &&
@@ -246,6 +253,29 @@ void Plan::verify() const {
         fail(tag(i, st) + ": float weights not released after int8 lowering");
     }
 
+    // Per-step algorithm choice. Conv/linear steps dispatch their GEMMs
+    // through st.be, so it must be a live registry entry on the plan's
+    // datapath; a tuned tile needs a backend that can actually consume it;
+    // chunk overrides only make sense on chunk-batched convs.
+    if (lowerable) {
+      if (st.be == nullptr) fail(tag(i, st) + ": no step backend pinned");
+      if (kernels::find_backend(st.be->name) != st.be)
+        fail(tag(i, st) + ": step backend '" + st.be->name +
+             "' is not live in the kernel registry");
+      if (st.be->quantized_datapath != quant_)
+        fail(tag(i, st) + ": step backend '" + st.be->name +
+             "' is on the wrong datapath for this plan");
+    }
+    if (!st.tile.is_default() &&
+        (st.be == nullptr || st.be->gemm_tiled == nullptr))
+      fail(tag(i, st) + ": tuned tile on a backend without a tiled GEMM");
+    if (st.chunk != 0) {
+      if (st.kind != OpKind::kConv || st.shift_gemm)
+        fail(tag(i, st) + ": chunk override on a non-chunk-batched step");
+      if (st.chunk > batch_)
+        fail(tag(i, st) + ": chunk override exceeds the batch");
+    }
+
     // Write: the output slot now holds this step's activation.
     slot[st.out] = SlotState{true, st.out_sz};
   }
@@ -264,7 +294,7 @@ void Plan::verify() const {
       if (st.kind == OpKind::kLinear && qws_sz_ < batch_ * st.in_features)
         fail("int8 activation scratch smaller than a linear input panel");
       if (st.kind == OpKind::kConv && !st.shift_gemm &&
-          qbs_sz_ < st.geom.col_cols() * chunk_imgs)
+          qbs_sz_ < st.geom.col_cols() * step_imgs(st))
         fail("per-image scale scratch smaller than a conv's GEMM columns");
     }
     if (qbs_sz_ < batch_)

@@ -46,6 +46,8 @@
 #include <string>
 #include <vector>
 
+#include "kernels/tile.hpp"
+
 namespace alf::kernels {
 
 // --- CPU feature gating ----------------------------------------------------
@@ -146,7 +148,34 @@ struct KernelBackend {
   void (*qgemm)(const int8_t* a, size_t lda, const int8_t* b, size_t ldb,
                 float* c, size_t ldc, size_t m, size_t k, size_t n,
                 const QgemmParams& p);
+
+  /// Optional tile-parametrized variant of `gemm` (same contract) with the
+  /// cache blocking chosen per call; a zero TileParams field selects this
+  /// backend's default, so gemm_tiled(..., {}) == gemm(...). Null when the
+  /// backend's blocking is fixed (the int8 dot kernels have a hard panel
+  /// ABI) — the tuner then only ever offers the default-tile candidate.
+  /// Declared LAST so existing aggregate initializers stay valid.
+  void (*gemm_tiled)(const float* a, size_t lda, bool trans_a, const float* b,
+                     size_t ldb, bool trans_b, float* c, size_t ldc, size_t m,
+                     size_t k, size_t n, float alpha, float beta,
+                     const TileParams& tile) = nullptr;
 };
+
+/// Routes one f32 GEMM through `be` with the tuned blocking `tile`: the
+/// tiled entry when the backend has one and the tile is non-default, the
+/// plain entry otherwise (so untuned plans keep the exact pre-tuner code
+/// path, constexpr blocking included).
+inline void gemm_dispatch(const KernelBackend* be, const TileParams& tile,
+                          const float* a, size_t lda, bool trans_a,
+                          const float* b, size_t ldb, bool trans_b, float* c,
+                          size_t ldc, size_t m, size_t k, size_t n,
+                          float alpha, float beta) {
+  if (be->gemm_tiled != nullptr && !tile.is_default())
+    be->gemm_tiled(a, lda, trans_a, b, ldb, trans_b, c, ldc, m, k, n, alpha,
+                   beta, tile);
+  else
+    be->gemm(a, lda, trans_a, b, ldb, trans_b, c, ldc, m, k, n, alpha, beta);
+}
 
 /// Registers a backend under backend->name (program-lifetime pointer).
 /// Later registrations of an existing name shadow earlier ones, so a test

@@ -28,6 +28,14 @@ void gemm_scalar(const float* a, size_t lda, bool trans_a, const float* b,
                  size_t ldb, bool trans_b, float* c, size_t ldc, size_t m,
                  size_t k, size_t n, float alpha, float beta);
 
+/// The scalar kernel body with its (k, n) cache-block extents exposed —
+/// the seam behind the scalar backend's gemm_tiled entry. gemm_scalar is
+/// exactly this with the historical kBlockK/kBlockN constants.
+void gemm_scalar_blocked(const float* a, size_t lda, bool trans_a,
+                         const float* b, size_t ldb, bool trans_b, float* c,
+                         size_t ldc, size_t m, size_t k, size_t n, float alpha,
+                         float beta, size_t block_k, size_t block_n);
+
 /// f32 gemm entry shared by every quantized backend: forwards to the best
 /// float backend the feature mask allows (simd when usable, else scalar),
 /// so non-lowered steps of an int8 plan keep full float speed. Defined in

@@ -26,9 +26,15 @@ constexpr size_t kMaddsPerWorker = size_t{1} << 16;
 
 namespace detail {
 
-void gemm_scalar(const float* pa, size_t lda, bool trans_a, const float* pb,
-                 size_t ldb, bool trans_b, float* pc, size_t ldc, size_t m,
-                 size_t k, size_t n, float alpha, float beta) {
+/// The blocked kernel body with the (k, n) tile extents as parameters; the
+/// public gemm_scalar pins the historical constants, the tiled entry below
+/// substitutes tuner-chosen ones. The k-block grid stays global for any
+/// given block_k, so each (block_k, block_n) choice is individually
+/// deterministic across thread counts.
+void gemm_scalar_blocked(const float* pa, size_t lda, bool trans_a,
+                         const float* pb, size_t ldb, bool trans_b, float* pc,
+                         size_t ldc, size_t m, size_t k, size_t n, float alpha,
+                         float beta, size_t block_k, size_t block_n) {
   // Each worker owns a contiguous block of C rows; inside a row-block the
   // (k, n) loop nest is tiled so the active B tile stays in cache. The
   // k-block grid is global (not per-thread), so every C element sees the
@@ -42,10 +48,10 @@ void gemm_scalar(const float* pa, size_t lda, bool trans_a, const float* pb,
         for (size_t j = 0; j < n; ++j) crow[j] *= beta;
       }
     }
-    for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const size_t k1 = std::min(k, k0 + kBlockK);
-      for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const size_t j1 = std::min(n, j0 + kBlockN);
+    for (size_t k0 = 0; k0 < k; k0 += block_k) {
+      const size_t k1 = std::min(k, k0 + block_k);
+      for (size_t j0 = 0; j0 < n; j0 += block_n) {
+        const size_t j1 = std::min(n, j0 + block_n);
         for (size_t i = r0; i < r1; ++i) {
           float* crow = pc + i * ldc;
           if (!trans_a && !trans_b) {
@@ -103,12 +109,33 @@ void gemm_scalar(const float* pa, size_t lda, bool trans_a, const float* pb,
   parallel_for_chunked(0, m, process_rows, min_rows);
 }
 
+void gemm_scalar(const float* pa, size_t lda, bool trans_a, const float* pb,
+                 size_t ldb, bool trans_b, float* pc, size_t ldc, size_t m,
+                 size_t k, size_t n, float alpha, float beta) {
+  gemm_scalar_blocked(pa, lda, trans_a, pb, ldb, trans_b, pc, ldc, m, k, n,
+                      alpha, beta, kBlockK, kBlockN);
+}
+
 }  // namespace detail
+
+namespace {
+
+void gemm_scalar_tiled(const float* pa, size_t lda, bool trans_a,
+                       const float* pb, size_t ldb, bool trans_b, float* pc,
+                       size_t ldc, size_t m, size_t k, size_t n, float alpha,
+                       float beta, const TileParams& t) {
+  detail::gemm_scalar_blocked(pa, lda, trans_a, pb, ldb, trans_b, pc, ldc, m,
+                              k, n, alpha, beta, t.kc != 0 ? t.kc : kBlockK,
+                              t.nc != 0 ? t.nc : kBlockN);
+}
+
+}  // namespace
 
 const KernelBackend* scalar_backend() {
   static const KernelBackend be{.name = "scalar",
                                 .gemm = &detail::gemm_scalar,
-                                .qgemm = &detail::qgemm_int8};
+                                .qgemm = &detail::qgemm_int8,
+                                .gemm_tiled = &gemm_scalar_tiled};
   return &be;
 }
 

@@ -137,14 +137,24 @@ inline void micro_4x16p_partial(const float* apanel, size_t kb,
   }
 }
 
-void gemm_simd(const float* pa, size_t lda, bool trans_a, const float* pb,
-               size_t ldb, bool trans_b, float* pc, size_t ldc, size_t m,
-               size_t k, size_t n, float alpha, float beta) {
+/// The packed kernel body with the (mc, kc, nc) cache-block extents as
+/// parameters. gemm_simd pins the historical constants; the tiled entry
+/// substitutes tuner-chosen ones (mc rounded up to the kMr register rows,
+/// nc down to whole kNr panels — the register tile itself is fixed). For
+/// one (kc) choice the k-block grid is global, so each tile candidate is
+/// individually bit-stable across thread counts.
+void gemm_simd_blocked(const float* pa, size_t lda, bool trans_a,
+                       const float* pb, size_t ldb, bool trans_b, float* pc,
+                       size_t ldc, size_t m, size_t k, size_t n, float alpha,
+                       float beta, size_t mc, size_t kc, size_t nc) {
   if (m * k * n < kScalarCutoffMadds || n < kNr / 2 || k == 0) {
     detail::gemm_scalar(pa, lda, trans_a, pb, ldb, trans_b, pc, ldc, m, k, n,
                         alpha, beta);
     return;
   }
+  mc = (std::max<size_t>(mc, kMr) + kMr - 1) & ~(kMr - 1);
+  kc = std::max<size_t>(kc, 1);
+  nc = std::max<size_t>(nc & ~(kNr - 1), kNr);
 
   const size_t madds_per_row = std::max<size_t>(1, k * n);
   const size_t min_rows = std::max<size_t>(1, kMaddsPerWorker / madds_per_row);
@@ -191,12 +201,12 @@ void gemm_simd(const float* pa, size_t lda, bool trans_a, const float* pb,
     }
   }
 
-  constexpr size_t kPanPerBlock = kNc / kNr;  // B panels per column block
+  const size_t pan_per_block = nc / kNr;  // B panels per column block
   const auto process_rows = [=](size_t r0, size_t r1) {
     // Per-thread A packing scratch, persistent across calls (pool workers
     // live for the process).
     thread_local std::vector<float> apack_tls;
-    apack_tls.resize(kMc * kKc);
+    apack_tls.resize(mc * kc);
     float* const apack = apack_tls.data();
 
     for (size_t i = r0; i < r1; ++i) {
@@ -207,12 +217,12 @@ void gemm_simd(const float* pa, size_t lda, bool trans_a, const float* pb,
         for (size_t j = 0; j < n; ++j) crow[j] *= beta;
       }
     }
-    for (size_t bj = 0; bj < npan; bj += kPanPerBlock) {
-      const size_t pe = std::min(npan, bj + kPanPerBlock);
-      for (size_t k0 = 0; k0 < k; k0 += kKc) {
-        const size_t kb = std::min(k, k0 + kKc) - k0;
-        for (size_t i0 = r0; i0 < r1; i0 += kMc) {
-          const size_t rows = std::min(r1, i0 + kMc) - i0;
+    for (size_t bj = 0; bj < npan; bj += pan_per_block) {
+      const size_t pe = std::min(npan, bj + pan_per_block);
+      for (size_t k0 = 0; k0 < k; k0 += kc) {
+        const size_t kb = std::min(k, k0 + kc) - k0;
+        for (size_t i0 = r0; i0 < r1; i0 += mc) {
+          const size_t rows = std::min(r1, i0 + mc) - i0;
           pack_a(pa, lda, trans_a, i0, rows, k0, kb, apack);
           for (size_t jp = bj; jp < pe; ++jp) {
             const float* bpanel = bp + jp * panel_stride + k0 * kNr;
@@ -239,6 +249,22 @@ void gemm_simd(const float* pa, size_t lda, bool trans_a, const float* pb,
     return;
   }
   parallel_for_chunked(0, m, process_rows, min_rows);
+}
+
+void gemm_simd(const float* pa, size_t lda, bool trans_a, const float* pb,
+               size_t ldb, bool trans_b, float* pc, size_t ldc, size_t m,
+               size_t k, size_t n, float alpha, float beta) {
+  gemm_simd_blocked(pa, lda, trans_a, pb, ldb, trans_b, pc, ldc, m, k, n,
+                    alpha, beta, kMc, kKc, kNc);
+}
+
+void gemm_simd_tiled(const float* pa, size_t lda, bool trans_a,
+                     const float* pb, size_t ldb, bool trans_b, float* pc,
+                     size_t ldc, size_t m, size_t k, size_t n, float alpha,
+                     float beta, const TileParams& t) {
+  gemm_simd_blocked(pa, lda, trans_a, pb, ldb, trans_b, pc, ldc, m, k, n,
+                    alpha, beta, t.mc != 0 ? t.mc : kMc,
+                    t.kc != 0 ? t.kc : kKc, t.nc != 0 ? t.nc : kNc);
 }
 
 /// The shared int8 body instantiated under this file's (possibly wider)
@@ -268,7 +294,8 @@ const KernelBackend* simd_backend() {
                                 .required_features = kCpuAvx2 | kCpuFma,
 #endif
                                 .gemm = &gemm_simd,
-                                .qgemm = &qgemm_simd};
+                                .qgemm = &qgemm_simd,
+                                .gemm_tiled = &gemm_simd_tiled};
   return &be;
 }
 

@@ -1,0 +1,218 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string_view>
+
+#include "core/rng.hpp"
+#include "engine/exec_context.hpp"
+#include "kernels/backend.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace alf::tune {
+
+namespace {
+
+std::atomic<int> g_reps{3};
+
+/// Hard shift-GEMM eligibility: the geometric constraints the runtime
+/// relies on (stride-1, odd-kernel, same-pad, border-repair stack bound),
+/// as opposed to the compile-time *heuristic* (which additionally wants
+/// wide maps). A forced kShiftGemm choice outside these falls back to
+/// im2col at compile; the tuner never emits such a candidate.
+bool shift_eligible(const ConvGeom& g) {
+  return g.stride == 1 && g.kernel % 2 == 1 && g.pad == (g.kernel - 1) / 2 &&
+         g.in_h <= kMaxShiftH && (g.pad == 0 || g.in_w > 2 * g.pad);
+}
+
+/// Backends a candidate may name for this shape: registered, executable
+/// under the current feature mask, and on the shape's datapath (float
+/// plans pick float backends, quantized plans quantized ones — the packed
+/// weight panels have one ABI per datapath).
+std::vector<const kernels::KernelBackend*> usable_backends(bool quantized) {
+  std::vector<const kernels::KernelBackend*> out;
+  const uint32_t allowed = kernels::allowed_cpu_features();
+  for (const std::string& name : kernels::backend_names()) {
+    const kernels::KernelBackend* be = kernels::find_backend(name);
+    if (be == nullptr) continue;
+    if (be->quantized_datapath != quantized) continue;
+    if ((be->required_features & ~allowed) != 0) continue;
+    out.push_back(be);
+  }
+  return out;
+}
+
+/// Tile grid offered on a backend's im2col GEMMs. Values are (mc, kc, nc)
+/// in the backend's own blocking terms; {0,0,0} (the default constants) is
+/// always offered first by the caller.
+std::vector<kernels::TileParams> tile_grid(const kernels::KernelBackend* be) {
+  if (be->gemm_tiled == nullptr) return {};
+  if (std::string_view(be->name) == "simd")
+    return {{128, 256, 256}, {64, 512, 256}, {64, 256, 512}};
+  return {{0, 256, 256}};  // scalar-style (k, n) blocking
+}
+
+}  // namespace
+
+std::string shape_key(const TuneShape& s) {
+  std::ostringstream os;
+  const int q = s.quantized ? s.qbits : 0;
+  if (s.is_conv) {
+    os << "conv:c" << s.geom.in_c << ":h" << s.geom.in_h << ":w"
+       << s.geom.in_w << ":k" << s.geom.kernel << ":s" << s.geom.stride
+       << ":p" << s.geom.pad << ":o" << s.out_c << ":q" << q << ":nn"
+       << (s.in_nonneg ? 1 : 0) << ":b" << s.batch << ":t" << s.chunks;
+  } else {
+    os << "linear:i" << s.in_features << ":o" << s.out_features << ":q" << q
+       << ":nn" << (s.in_nonneg ? 1 : 0) << ":b" << s.batch;
+  }
+  return os.str();
+}
+
+std::vector<AlgoChoice> candidates(const TuneShape& shape) {
+  std::vector<AlgoChoice> out;
+  out.push_back(AlgoChoice{});  // the heuristic default, always first
+
+  const auto backends = usable_backends(shape.quantized);
+
+  if (!shape.is_conv) {
+    // Linear: backend choice only. Tiles are not plumbed through the
+    // linear runtime path, and the chunk grid does not apply.
+    for (const kernels::KernelBackend* be : backends) {
+      AlgoChoice c;
+      c.backend = be->name;
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  // Conv. Chunk-grid variants only make sense when the plan actually
+  // splits the batch (chunk=1 unfolds the whole batch as one GEMM).
+  std::vector<uint32_t> chunk_set = {0};
+  if (shape.batch > 1 && shape.chunks > 1) chunk_set.push_back(1);
+
+  for (const kernels::KernelBackend* be : backends) {
+    if (!shape.quantized && shift_eligible(shape.geom)) {
+      AlgoChoice c;
+      c.strategy = AlgoChoice::Strategy::kShiftGemm;
+      c.backend = be->name;
+      out.push_back(std::move(c));
+    }
+    std::vector<kernels::TileParams> tiles = {{}};
+    if (!shape.quantized)
+      for (const kernels::TileParams& t : tile_grid(be)) tiles.push_back(t);
+    for (const kernels::TileParams& t : tiles) {
+      for (uint32_t chunk : chunk_set) {
+        AlgoChoice c;
+        c.strategy = AlgoChoice::Strategy::kIm2col;
+        c.backend = be->name;
+        c.tile = t;
+        c.chunk = chunk;
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  return out;
+}
+
+double measure_choice(const TuneShape& shape, const AlgoChoice& choice) {
+  // A throwaway single-layer model of the exact shape. The Rng seed is
+  // fixed so every candidate times the same weights and the same input.
+  Rng rng(0x7a11e5);
+  auto model = std::make_unique<Sequential>("tune-probe");
+  // in_nonneg shapes reach their GEMM through a ReLU chain; reproduce that
+  // so quantized candidates run the same asymmetric activation grid. The
+  // ReLU cost is identical across candidates, so rankings are unaffected.
+  if (shape.in_nonneg)
+    model->emplace<Activation>("relu", Act::kRelu);
+  size_t in_c, in_h, in_w;
+  if (shape.is_conv) {
+    in_c = shape.geom.in_c;
+    in_h = shape.geom.in_h;
+    in_w = shape.geom.in_w;
+    model->emplace<Conv2d>("conv", shape.geom.in_c, shape.out_c,
+                           shape.geom.kernel, shape.geom.stride,
+                           shape.geom.pad, Init::kHe, rng);
+  } else {
+    in_c = shape.in_features;
+    in_h = 1;
+    in_w = 1;
+    model->emplace<Flatten>("flatten");
+    model->emplace<Linear>("fc", shape.in_features, shape.out_features,
+                           Init::kHe, rng);
+  }
+
+  // Enough batch to exercise the chunk grid, small enough to keep tuning
+  // cheap; the per-image kernel work is what differs between candidates.
+  const size_t bench_batch = std::max<size_t>(1, std::min<size_t>(shape.batch, 8));
+
+  EngineOptions mopts;
+  mopts.backend = shape.plan_backend;
+  mopts.bits = shape.qbits;
+  mopts.tune = TuneMode::kHeuristic;  // recursion guard: forced, never tuned
+  mopts.force_choices = {choice};
+  auto plan = Plan::compile(*model, bench_batch, in_c, in_h, in_w, mopts);
+  ExecContext ctx(plan);
+
+  Tensor x(Shape{bench_batch, in_c, in_h, in_w});
+  for (size_t i = 0; i < x.numel(); ++i)
+    x.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  Tensor out = ctx.run(x);  // warmup: faults pages, fills TLS scratch
+
+  // min-of-K: scheduling noise on a shared machine is one-sided, so the
+  // minimum is the best estimate of the candidate's intrinsic cost.
+  double best_ms = 0.0;
+  const int k = reps();
+  for (int r = 0; r < k; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ctx.run(x, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  note_measure_run();
+  return best_ms;
+}
+
+AlgoChoice choose(const TuneShape& shape, TuneMode mode, AlgoCache& cache) {
+  if (mode != TuneMode::kCached && mode != TuneMode::kFull)
+    return AlgoChoice{};  // heuristic modes never reach the tuner
+
+  const std::string key = shape_key(shape);
+  if (mode == TuneMode::kCached) {
+    AlgoChoice hit;
+    if (cache.lookup(key, &hit)) {
+      note_cache_hit();
+      return hit;
+    }
+    note_cache_miss();
+  }
+
+  const std::vector<AlgoChoice> cands = candidates(shape);
+  // The heuristic baseline (cands[0]) is measured first and holds the
+  // title unless a challenger beats it by >3% — so a tuned plan is never
+  // slower than the untuned one beyond measurement noise.
+  AlgoChoice best = cands[0];
+  double best_ms = measure_choice(shape, cands[0]);
+  for (size_t i = 1; i < cands.size(); ++i) {
+    const double ms = measure_choice(shape, cands[i]);
+    if (ms < best_ms * 0.97) {
+      best_ms = ms;
+      best = cands[i];
+    }
+  }
+  cache.insert(key, best, best_ms);
+  return best;
+}
+
+void set_reps(int r) { g_reps.store(std::max(1, r), std::memory_order_relaxed); }
+int reps() { return g_reps.load(std::memory_order_relaxed); }
+
+}  // namespace alf::tune

@@ -367,6 +367,25 @@ TEST_F(PlanIoHostile, RejectsBogusStepRecord) {
                  /*restamp=*/true);
 }
 
+TEST_F(PlanIoHostile, RejectsUnknownStepBackendStamp) {
+  // v2: a step may pin its own backend (tuned plans). An unknown per-step
+  // name must be refused exactly like an unknown plan backend.
+  auto* steps = reinterpret_cast<plan::StepRecord*>(image_.data() +
+                                                    header()->steps_off);
+  std::strncpy(steps[0].backend_name, "nosuch-backend",
+               sizeof(steps[0].backend_name) - 1);
+  expect_rejects("step_backend.plan", PlanIoError::Code::kBackend,
+                 /*restamp=*/true);
+}
+
+TEST_F(PlanIoHostile, RejectsUnterminatedStepBackendName) {
+  auto* steps = reinterpret_cast<plan::StepRecord*>(image_.data() +
+                                                    header()->steps_off);
+  std::memset(steps[0].backend_name, 'x', sizeof(steps[0].backend_name));
+  expect_rejects("step_backend_nul.plan", PlanIoError::Code::kBadSection,
+                 /*restamp=*/true);
+}
+
 TEST_F(PlanIoHostile, RejectsMissingFile) {
   expect_load_rejects(td_.path / "does_not_exist.plan",
                       PlanIoError::Code::kOpen, "missing");
