@@ -1,0 +1,264 @@
+// Socket load generators for the ALFN network front end (src/net/) —
+// the measurement half of "serve real traffic over a wire".
+//
+// Two loop models, deliberately side by side:
+//
+//   run_closed_loop  C connections, each send -> wait -> send. The classic
+//                    benchmark loop — and the classic lie: when the server
+//                    stalls, the clients stop offering load, so queueing
+//                    delay never shows up in the sample (coordinated
+//                    omission). Offered load is capped at what the server
+//                    sustains; use it to probe capacity, not tails.
+//
+//   run_open_loop    Poisson arrivals at a fixed offered rate, DRAWN AHEAD
+//                    OF TIME: request i's intended send instant is
+//                    start + sum of Exp(rate) inter-arrivals, computed
+//                    before the first byte moves. Latency is measured from
+//                    the INTENDED instant, not the actual send, so a
+//                    stalled sender or a backed-up server shows up as
+//                    latency instead of silently thinning the load. This
+//                    is the curve that bends at saturation.
+//
+// Both stamp requests with the wire deadline budget, so shed requests come
+// back as typed error frames (kDeadlineExpired / kQueueFull) and are
+// tallied per status rather than vanishing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"  // NetError: send/connect failures
+#include "net/wire.hpp"
+
+namespace alf::bench {
+
+struct NetLoadConfig {
+  uint16_t port = 0;
+  std::string host = "127.0.0.1";
+  std::string model;
+  size_t image_floats = 0;   ///< floats per single-image request row
+  const float* row = nullptr;  ///< one image, reused for every request
+  size_t requests = 200;     ///< total requests to issue
+  size_t conns = 4;          ///< connections (and receiver threads)
+  uint64_t deadline_us = 50'000;  ///< wire budget stamped on every frame
+  double offered_rps = 0.0;  ///< open loop only: Poisson arrival rate
+  uint64_t seed = 99;        ///< open loop only: arrival-process seed
+};
+
+struct NetLoadResult {
+  std::vector<double> latency_ms;  ///< kOk responses only
+  size_t sent = 0;
+  size_t ok = 0;
+  size_t errors = 0;      ///< typed error frames received
+  size_t unanswered = 0;  ///< gave up waiting (server/conn died)
+  std::array<size_t, net::kNumStatus> by_status{};
+  double offered_rps = 0.0;   ///< open loop: configured rate
+  double achieved_rps = 0.0;  ///< kOk responses per second of wall time
+  double duration_s = 0.0;
+
+  double error_fraction() const {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(errors + unanswered) /
+                           static_cast<double>(sent);
+  }
+};
+
+/// One blocking round trip; used to wait for a (possibly still-loading)
+/// server: the connection sits in the accept backlog until the shard is
+/// up. Throws on connection failure or a non-kOk answer.
+inline void net_warmup(const NetLoadConfig& cfg) {
+  net::WireClient c;
+  c.connect(cfg.port, cfg.host);
+  c.send(cfg.model, 0, net::kMaxDeadlineUs, cfg.row, 1, cfg.image_floats);
+  net::WireClient::Response r;
+  if (c.recv(&r) != 1 || r.status != net::WireStatus::kOk)
+    throw net::WireError(r.status, "warmup request to '" + cfg.model +
+                                       "' failed: " + r.message);
+}
+
+/// Closed loop: cfg.conns threads, each issuing cfg.requests/conns
+/// send->wait round trips as fast as they complete. latency_ms is service
+/// latency (send to response). achieved_rps approximates server capacity
+/// for this request shape.
+inline NetLoadResult run_closed_loop(const NetLoadConfig& cfg) {
+  const size_t conns = std::max<size_t>(1, cfg.conns);
+  const size_t per_conn = std::max<size_t>(1, cfg.requests / conns);
+  std::vector<std::vector<double>> lat(conns);
+  std::vector<NetLoadResult> part(conns);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (size_t t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t] {
+      net::WireClient c;
+      c.connect(cfg.port, cfg.host);
+      for (size_t i = 0; i < per_conn; ++i) {
+        const auto s0 = std::chrono::steady_clock::now();
+        try {
+          c.send(cfg.model, i, cfg.deadline_us, cfg.row, 1, cfg.image_floats);
+        } catch (const net::NetError&) {
+          break;  // server gone mid-run (e.g. drained): stop this connection
+        }
+        part[t].sent++;
+        net::WireClient::Response r;
+        const int got = c.recv(&r, /*timeout_ms=*/60'000);
+        if (got != 1) {
+          part[t].unanswered++;
+          break;  // server gone; stop this connection's loop
+        }
+        part[t].by_status[static_cast<size_t>(r.status)]++;
+        if (r.status == net::WireStatus::kOk) {
+          part[t].ok++;
+          lat[t].push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - s0)
+                               .count());
+        } else {
+          part[t].errors++;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  NetLoadResult res;
+  res.duration_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (size_t t = 0; t < conns; ++t) {
+    res.latency_ms.insert(res.latency_ms.end(), lat[t].begin(), lat[t].end());
+    res.sent += part[t].sent;
+    res.ok += part[t].ok;
+    res.errors += part[t].errors;
+    res.unanswered += part[t].unanswered;
+    for (size_t s = 0; s < res.by_status.size(); ++s)
+      res.by_status[s] += part[t].by_status[s];
+  }
+  if (res.duration_s > 0)
+    res.achieved_rps = static_cast<double>(res.ok) / res.duration_s;
+  return res;
+}
+
+/// Open loop: Poisson arrivals at cfg.offered_rps. All intended send
+/// instants are drawn up front; one sender thread walks the schedule
+/// (requests round-robin across cfg.conns pipelined connections), one
+/// receiver thread per connection collects responses. latency_ms is
+/// response latency measured from the INTENDED send instant — the
+/// coordinated-omission-free number.
+inline NetLoadResult run_open_loop(const NetLoadConfig& cfg) {
+  using clock = std::chrono::steady_clock;
+  const size_t conns = std::max<size_t>(1, cfg.conns);
+  const size_t n = cfg.requests;
+  const double rate = cfg.offered_rps;
+
+  // The whole arrival process, before the first byte moves.
+  Rng rng(cfg.seed);
+  std::vector<double> offset_s(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += -std::log(1.0 - rng.uniform()) / rate;  // Exp(rate) gap
+    offset_s[i] = acc;
+  }
+  const clock::time_point start = clock::now() + std::chrono::milliseconds(10);
+  std::vector<clock::time_point> intended(n);
+  for (size_t i = 0; i < n; ++i)
+    intended[i] = start + std::chrono::duration_cast<clock::duration>(
+                              std::chrono::duration<double>(offset_s[i]));
+
+  std::vector<net::WireClient> clients(conns);
+  for (auto& c : clients) c.connect(cfg.port, cfg.host);
+  std::vector<size_t> expected(conns, 0);
+  for (size_t i = 0; i < n; ++i) expected[i % conns]++;
+
+  std::atomic<bool> sender_done{false};
+  // Per-receiver tallies; merged after the join (no shared mutable state).
+  std::vector<std::vector<double>> lat(conns);
+  std::vector<NetLoadResult> part(conns);
+
+  std::vector<std::thread> receivers;
+  receivers.reserve(conns);
+  for (size_t t = 0; t < conns; ++t) {
+    receivers.emplace_back([&, t] {
+      size_t got = 0;
+      // Every accepted frame is answered (possibly with a typed error),
+      // so receive until this connection's share arrived; the deadline
+      // bound plus slack is the give-up horizon if the server dies.
+      while (got < expected[t]) {
+        net::WireClient::Response r;
+        int rc;
+        try {
+          rc = clients[t].recv(&r, /*timeout_ms=*/250);
+        } catch (const net::WireError&) {
+          break;  // stream corrupt/truncated: count the rest unanswered
+        }
+        if (rc == 1) {
+          ++got;
+          part[t].by_status[static_cast<size_t>(r.status)]++;
+          if (r.status == net::WireStatus::kOk) {
+            part[t].ok++;
+            lat[t].push_back(std::chrono::duration<double, std::milli>(
+                                 clock::now() - intended[r.seq])
+                                 .count());
+          } else {
+            part[t].errors++;
+          }
+          continue;
+        }
+        if (rc == 0) break;  // server closed; remainder unanswered
+        // Timeout: keep waiting while the run is live or budgets can
+        // still expire server-side.
+        if (sender_done.load(std::memory_order_acquire) &&
+            clock::now() > intended.back() +
+                               std::chrono::microseconds(cfg.deadline_us) +
+                               std::chrono::seconds(3)) {
+          break;
+        }
+      }
+      part[t].unanswered = expected[t] - got;
+    });
+  }
+
+  // The sender walks the precomputed schedule. If it falls behind, the
+  // requests go out late — and the lateness is charged to latency via the
+  // intended instants, exactly as open loop demands. A send that fails
+  // (server drained/died mid-run) marks the connection dead; its
+  // unanswerable requests surface through the receivers' give-up horizon.
+  std::vector<bool> conn_dead(conns, false);
+  for (size_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(intended[i]);
+    if (conn_dead[i % conns]) continue;
+    try {
+      clients[i % conns].send(cfg.model, i, cfg.deadline_us, cfg.row, 1,
+                              cfg.image_floats);
+    } catch (const net::NetError&) {
+      conn_dead[i % conns] = true;
+    }
+  }
+  sender_done.store(true, std::memory_order_release);
+  for (auto& th : receivers) th.join();
+  const clock::time_point end = clock::now();
+
+  NetLoadResult res;
+  res.sent = n;
+  res.offered_rps = rate;
+  res.duration_s = std::chrono::duration<double>(end - start).count();
+  for (size_t t = 0; t < conns; ++t) {
+    res.latency_ms.insert(res.latency_ms.end(), lat[t].begin(), lat[t].end());
+    res.ok += part[t].ok;
+    res.errors += part[t].errors;
+    res.unanswered += part[t].unanswered;
+    for (size_t s = 0; s < res.by_status.size(); ++s)
+      res.by_status[s] += part[t].by_status[s];
+  }
+  if (res.duration_s > 0)
+    res.achieved_rps = static_cast<double>(res.ok) / res.duration_s;
+  return res;
+}
+
+}  // namespace alf::bench

@@ -1,0 +1,173 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/server.hpp"  // NetError
+
+namespace alf::net {
+
+namespace {
+
+/// Cap on a response payload we are willing to buffer; a header claiming
+/// more means the stream is corrupt.
+constexpr uint64_t kMaxResponsePayload = 64ull << 20;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+WireClient::~WireClient() { close(); }
+
+void WireClient::connect(uint16_t port, const std::string& host) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw NetError("inet_pton: bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+}
+
+void WireClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WireClient::hard_close() {
+  if (fd_ >= 0) {
+    linger lin{};
+    lin.l_onoff = 1;
+    lin.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  }
+  close();
+}
+
+void WireClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void WireClient::write_all(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd_, p + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+void WireClient::send(const std::string& model, uint64_t seq,
+                      uint64_t deadline_us, const float* rows, uint32_t n,
+                      size_t floats_per_row) {
+  RequestHeader h{};
+  h.magic = kMagic;
+  h.version = kWireVersion;
+  h.model_len = static_cast<uint16_t>(model.size());
+  h.rows = n;
+  h.seq = seq;
+  h.deadline_us = deadline_us;
+  h.payload_bytes =
+      static_cast<uint64_t>(n) * floats_per_row * sizeof(float);
+  std::vector<uint8_t> frame(sizeof(h) + model.size() + h.payload_bytes);
+  std::memcpy(frame.data(), &h, sizeof(h));
+  std::memcpy(frame.data() + sizeof(h), model.data(), model.size());
+  if (h.payload_bytes > 0)
+    std::memcpy(frame.data() + sizeof(h) + model.size(), rows,
+                h.payload_bytes);
+  write_all(frame.data(), frame.size());
+}
+
+void WireClient::send_raw(const void* data, size_t n) {
+  write_all(data, n);
+}
+
+bool WireClient::read_full(void* buf, size_t n, bool eof_ok_at_start) {
+  auto* p = static_cast<uint8_t*>(buf);
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd_, p + off, n - off);
+    if (r > 0) {
+      off += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      if (off == 0 && eof_ok_at_start) return false;
+      throw WireError(WireStatus::kTruncated,
+                      "connection closed mid-response");
+    }
+    throw_errno("read");
+  }
+  return true;
+}
+
+int WireClient::recv(Response* out, int timeout_ms) {
+  if (timeout_ms >= 0) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int r;
+    do {
+      r = ::poll(&pfd, 1, timeout_ms);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) throw_errno("poll");
+    if (r == 0) return -1;
+  }
+  ResponseHeader rh{};
+  if (!read_full(&rh, sizeof(rh), /*eof_ok_at_start=*/true)) return 0;
+  if (rh.magic != kMagic)
+    throw WireError(WireStatus::kBadMagic, "response without ALFN magic");
+  if (rh.version != kWireVersion)
+    throw WireError(WireStatus::kBadVersion, "response version mismatch");
+  if (rh.payload_bytes > kMaxResponsePayload)
+    throw WireError(WireStatus::kTooLarge, "response payload too large");
+  const auto st = static_cast<WireStatus>(rh.status);
+  out->seq = rh.seq;
+  out->rows = rh.rows;
+  out->status = st;
+  out->payload.clear();
+  out->message.clear();
+  if (st == WireStatus::kOk) {
+    if (rh.payload_bytes % sizeof(float) != 0)
+      throw WireError(WireStatus::kBadHeader,
+                      "kOk payload not a float array");
+    out->payload.resize(rh.payload_bytes / sizeof(float));
+    if (rh.payload_bytes > 0)
+      read_full(out->payload.data(), rh.payload_bytes, false);
+  } else if (rh.payload_bytes > 0) {
+    out->message.resize(rh.payload_bytes);
+    read_full(out->message.data(), rh.payload_bytes, false);
+  }
+  return 1;
+}
+
+}  // namespace alf::net

@@ -1,0 +1,88 @@
+// WireClient: minimal blocking client for the ALFN wire protocol
+// (net/wire.hpp) — the test and load-generator side of NetServer.
+//
+// One WireClient is one TCP connection. send() frames a request; recv()
+// blocks (optionally with a timeout) for the next response frame. Because
+// `seq` is echoed by the server, a client may pipeline: send() from one
+// thread while a second thread recv()s — the two directions of the socket
+// are independent, and WireClient keeps no shared mutable state between
+// them. What it does NOT do: reorder, retry, reconnect. Load harnesses
+// (bench/netload.hpp) and tests compose those on top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace alf::net {
+
+class WireClient {
+ public:
+  /// One decoded response frame.
+  struct Response {
+    uint64_t seq = 0;
+    uint32_t rows = 0;
+    WireStatus status = WireStatus::kInternal;
+    std::vector<float> payload;  ///< logit rows (kOk only)
+    std::string message;         ///< server's error text (non-kOk)
+  };
+
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  WireClient(WireClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  WireClient& operator=(WireClient&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects (blocking) to host:port; IPv4 dotted-quad hosts only.
+  /// Throws NetError (via wire.hpp's WireError sibling) on failure.
+  void connect(uint16_t port, const std::string& host = "127.0.0.1");
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Aborts the connection with a TCP RST (SO_LINGER 0) instead of a
+  /// graceful FIN — simulates a client vanishing mid-request, the path
+  /// that orphans server-side completions.
+  void hard_close();
+
+  /// Half-closes the send direction, telling the server this client is
+  /// done submitting; pending responses still arrive until clean EOF.
+  void shutdown_write();
+
+  /// Frames and sends one request: `n` rows of `floats_per_row` floats
+  /// from `rows`, with the client-chosen `seq` and the mandatory
+  /// `deadline_us` budget. Blocks until fully written.
+  void send(const std::string& model, uint64_t seq, uint64_t deadline_us,
+            const float* rows, uint32_t n, size_t floats_per_row);
+
+  /// Sends raw bytes verbatim — the hostile-frame path for tests.
+  void send_raw(const void* data, size_t n);
+
+  /// Receives the next response frame. Returns 1 on a frame (decoded into
+  /// *out), 0 on clean EOF before any byte of a frame, -1 when
+  /// `timeout_ms` >= 0 elapsed before the first byte. Throws WireError on
+  /// a malformed or truncated response stream.
+  int recv(Response* out, int timeout_ms = -1);
+
+ private:
+  void write_all(const void* data, size_t n);
+  /// False on clean EOF at a frame boundary; throws WireError(kTruncated)
+  /// on EOF mid-read.
+  bool read_full(void* buf, size_t n, bool eof_ok_at_start);
+
+  int fd_ = -1;
+};
+
+}  // namespace alf::net

@@ -1,0 +1,556 @@
+#include "net/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace alf::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+std::chrono::steady_clock::time_point now_tp() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace
+
+int listen_on(uint16_t port, bool reuseport, int backlog) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("setsockopt(SO_REUSEPORT)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("bind/listen");
+  }
+  return fd;
+}
+
+uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw_errno("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+// ---------------------------------------------------------------------------
+// Internal state. All of it is owned by the single event-loop thread; the
+// only cross-thread structure is CompletionQueue.
+// ---------------------------------------------------------------------------
+
+/// One engine result (or typed shed) travelling worker thread -> loop.
+struct NetServer::Completion {
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+  uint32_t rows = 0;
+  WireStatus status = WireStatus::kInternal;
+  Tensor logits;  ///< kOk only
+};
+
+/// Worker-to-loop handoff: callbacks push under the mutex and poke the
+/// eventfd; the loop swaps the vector out. Held by shared_ptr from both
+/// sides so a straggling callback never touches a dead NetServer.
+struct NetServer::CompletionQueue {
+  Mutex m;
+  std::vector<Completion> items ALF_GUARDED_BY(m);
+  int event_fd = -1;
+
+  ~CompletionQueue() {
+    if (event_fd >= 0) ::close(event_fd);
+  }
+
+  void push(Completion&& c) {
+    {
+      MutexLock lk(m);
+      items.push_back(std::move(c));
+    }
+    poke();
+  }
+
+  /// Async-signal-safe (one write() on an eventfd).
+  void poke() const {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(event_fd, &one, sizeof(one));
+  }
+};
+
+struct NetServer::Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  std::vector<uint8_t> rbuf;  ///< unparsed request bytes from rpos on
+  size_t rpos = 0;
+  std::vector<uint8_t> wbuf;  ///< unsent response bytes from wpos on
+  size_t wpos = 0;
+  size_t inflight = 0;      ///< submitted, response not yet queued to wbuf
+  bool want_write = false;  ///< EPOLLOUT currently armed
+  bool drop_input = false;  ///< stop parsing (fatal reject or drain)
+  bool closing = false;     ///< close once inflight == 0 and wbuf flushed
+  bool dead = false;        ///< scheduled for reaping (never touch again)
+  bool frame_timed = false;
+  std::chrono::steady_clock::time_point frame_t0{};  ///< first byte seen
+};
+
+struct NetServer::Loop {
+  static constexpr uint64_t kListenId = 0;
+  static constexpr uint64_t kEventId = 1;
+  static constexpr size_t kReadChunk = 64 * 1024;
+
+  NetServer& S;
+  int ep = -1;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+  std::vector<uint64_t> dead_ids;
+  uint64_t next_id = 2;
+  bool listening = true;
+  bool draining = false;
+
+  explicit Loop(NetServer& s) : S(s) {
+    ep = ::epoll_create1(EPOLL_CLOEXEC);
+    if (ep < 0) throw_errno("epoll_create1");
+    add(S.listen_fd_, kListenId, EPOLLIN);
+    add(S.completions_->event_fd, kEventId, EPOLLIN);
+  }
+
+  ~Loop() {
+    for (auto& [id, c] : conns)
+      if (c->fd >= 0) ::close(c->fd);
+    if (listening && S.listen_fd_ >= 0) {
+      ::close(S.listen_fd_);
+      S.listen_fd_ = -1;
+    }
+    if (ep >= 0) ::close(ep);
+  }
+
+  void add(int fd, uint64_t id, uint32_t events) const {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    if (::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev) != 0)
+      throw_errno("epoll_ctl(ADD)");
+  }
+
+  // --- stats (loop thread is the only writer) ---
+
+  void count_response(WireStatus st, bool submitted) {
+    MutexLock lk(S.stats_m_);
+    S.stats_.by_status[static_cast<size_t>(st)]++;
+    if (st == WireStatus::kOk)
+      S.stats_.ok++;
+    else if (submitted)
+      S.stats_.shed++;
+    else
+      S.stats_.rejected++;
+  }
+
+  void run() {
+    epoll_event events[64];
+    for (;;) {
+      if (S.drain_.load(std::memory_order_acquire)) begin_drain();
+      drain_completions();
+      reap();
+      if (draining && conns.empty()) return;
+      const int n = ::epoll_wait(ep, events, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("epoll_wait");
+      }
+      for (int i = 0; i < n; ++i) {
+        const uint64_t id = events[i].data.u64;
+        if (id == kListenId) {
+          accept_ready();
+        } else if (id == kEventId) {
+          uint64_t count = 0;
+          [[maybe_unused]] const ssize_t r =
+              ::read(S.completions_->event_fd, &count, sizeof(count));
+        } else {
+          const auto it = conns.find(id);
+          if (it == conns.end()) continue;
+          Conn& c = *it->second;
+          if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+            on_peer_gone(c);
+            continue;
+          }
+          if ((events[i].events & EPOLLIN) != 0) conn_readable(c);
+          if ((events[i].events & EPOLLOUT) != 0) flush(c);
+        }
+      }
+    }
+  }
+
+  void accept_ready() {
+    if (!listening) return;
+    for (;;) {
+      const int fd =
+          ::accept4(S.listen_fd_, nullptr, nullptr,
+                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;  // EAGAIN, or transient (ECONNABORTED/EMFILE)
+      if (draining) {
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto c = std::make_unique<Conn>();
+      c->fd = fd;
+      c->id = next_id++;
+      add(fd, c->id, EPOLLIN | EPOLLET);
+      conns.emplace(c->id, std::move(c));
+      MutexLock lk(S.stats_m_);
+      S.stats_.connections++;
+    }
+  }
+
+  void conn_readable(Conn& c) {
+    if (c.dead || c.drop_input) return;
+    bool eof = false;
+    for (;;) {  // edge-triggered: read until EAGAIN or EOF
+      const size_t old = c.rbuf.size();
+      c.rbuf.resize(old + kReadChunk);
+      const ssize_t r = ::read(c.fd, c.rbuf.data() + old, kReadChunk);
+      if (r > 0) {
+        c.rbuf.resize(old + static_cast<size_t>(r));
+        if (!c.frame_timed && c.rbuf.size() > c.rpos) {
+          c.frame_timed = true;  // first byte of a new frame: start of
+          c.frame_t0 = now_tp();  // the time-on-wire clock
+        }
+        continue;
+      }
+      c.rbuf.resize(old);
+      if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) eof = true;
+      break;
+    }
+    parse(c);
+    if (c.dead) return;
+    if (eof) {
+      if (!c.drop_input && c.rbuf.size() > c.rpos) {
+        // The peer hung up inside a frame: nothing to respond to, but the
+        // rejection is typed in the stats.
+        MutexLock lk(S.stats_m_);
+        S.stats_.truncated++;
+        S.stats_.by_status[static_cast<size_t>(WireStatus::kTruncated)]++;
+      }
+      c.drop_input = true;
+      c.closing = true;
+      finish_if_done(c);
+    }
+  }
+
+  void parse(Conn& c) {
+    while (!c.dead && !c.drop_input) {
+      const size_t avail = c.rbuf.size() - c.rpos;
+      if (avail < sizeof(RequestHeader)) break;
+      RequestHeader h;
+      std::memcpy(&h, c.rbuf.data() + c.rpos, sizeof(h));
+      WireStatus fatal = WireStatus::kOk;
+      if (h.magic != kMagic)
+        fatal = WireStatus::kBadMagic;
+      else if (h.version != kWireVersion)
+        fatal = WireStatus::kBadVersion;
+      else if (h.model_len == 0 || h.model_len > kMaxModelName)
+        fatal = WireStatus::kBadHeader;
+      else if (h.payload_bytes > S.cfg_.max_frame_bytes)
+        fatal = WireStatus::kTooLarge;
+      if (fatal != WireStatus::kOk) {
+        // The stream is no longer trustworthy: answer, then close after
+        // every in-flight response has flushed.
+        respond(c, h.seq, fatal, 0, nullptr, 0, /*submitted=*/false);
+        c.drop_input = true;
+        c.closing = true;
+        finish_if_done(c);
+        break;
+      }
+      const size_t total = sizeof(h) + h.model_len + h.payload_bytes;
+      if (avail < total) break;  // wait for the rest of the frame
+      {
+        MutexLock lk(S.stats_m_);
+        S.stats_.frames++;
+      }
+      const char* name =
+          reinterpret_cast<const char*>(c.rbuf.data() + c.rpos + sizeof(h));
+      const uint8_t* payload =
+          c.rbuf.data() + c.rpos + sizeof(h) + h.model_len;
+      S.handle_frame(*this, c, h, name, payload);
+      c.rpos += total;
+      c.frame_timed = c.rbuf.size() > c.rpos;
+      if (c.frame_timed) c.frame_t0 = now_tp();
+    }
+    // Compact once the parse pointer has moved past everything (or far).
+    if (c.rpos > 0 &&
+        (c.rpos == c.rbuf.size() || c.rpos >= (1u << 20))) {
+      c.rbuf.erase(c.rbuf.begin(),
+                   c.rbuf.begin() + static_cast<ptrdiff_t>(c.rpos));
+      c.rpos = 0;
+    }
+  }
+
+  /// Serializes one response frame and tries to flush it.
+  void respond(Conn& c, uint64_t seq, WireStatus st, uint32_t rows,
+               const void* payload, size_t payload_bytes, bool submitted) {
+    if (c.dead) return;
+    const char* msg = nullptr;
+    if (st != WireStatus::kOk && payload == nullptr) {
+      msg = status_name(st);
+      payload = msg;
+      payload_bytes = std::strlen(msg);
+    }
+    ResponseHeader rh{};
+    rh.magic = kMagic;
+    rh.version = kWireVersion;
+    rh.status = static_cast<uint16_t>(st);
+    rh.rows = rows;
+    rh.seq = seq;
+    rh.payload_bytes = payload_bytes;
+    const size_t old = c.wbuf.size();
+    c.wbuf.resize(old + sizeof(rh) + payload_bytes);
+    std::memcpy(c.wbuf.data() + old, &rh, sizeof(rh));
+    if (payload_bytes > 0)
+      std::memcpy(c.wbuf.data() + old + sizeof(rh), payload, payload_bytes);
+    count_response(st, submitted);
+    flush(c);
+  }
+
+  void flush(Conn& c) {
+    if (c.dead) return;
+    while (c.wpos < c.wbuf.size()) {
+      const ssize_t w = ::send(c.fd, c.wbuf.data() + c.wpos,
+                               c.wbuf.size() - c.wpos, MSG_NOSIGNAL);
+      if (w > 0) {
+        c.wpos += static_cast<size_t>(w);
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      on_peer_gone(c);  // EPIPE/ECONNRESET: responses are undeliverable
+      return;
+    }
+    if (c.wpos == c.wbuf.size()) {
+      c.wbuf.clear();
+      c.wpos = 0;
+    }
+    update_interest(c);
+    finish_if_done(c);
+  }
+
+  void update_interest(Conn& c) {
+    const bool want = c.wpos < c.wbuf.size();
+    if (want == c.want_write || c.dead) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = c.id;
+    if (::epoll_ctl(ep, EPOLL_CTL_MOD, c.fd, &ev) == 0) c.want_write = want;
+  }
+
+  void on_peer_gone(Conn& c) {
+    if (c.dead) return;
+    c.dead = true;
+    dead_ids.push_back(c.id);
+  }
+
+  void finish_if_done(Conn& c) {
+    if (!c.dead && c.closing && c.inflight == 0 && c.wpos == c.wbuf.size()) {
+      c.dead = true;
+      dead_ids.push_back(c.id);
+    }
+  }
+
+  void reap() {
+    for (const uint64_t id : dead_ids) {
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      ::epoll_ctl(ep, EPOLL_CTL_DEL, it->second->fd, nullptr);
+      ::close(it->second->fd);
+      conns.erase(it);
+    }
+    dead_ids.clear();
+  }
+
+  void drain_completions() {
+    std::vector<Completion> items;
+    {
+      MutexLock lk(S.completions_->m);
+      items.swap(S.completions_->items);
+    }
+    for (Completion& comp : items) {
+      const auto it = conns.find(comp.conn_id);
+      if (it == conns.end() || it->second->dead) {
+        MutexLock lk(S.stats_m_);
+        S.stats_.orphaned++;
+        continue;
+      }
+      Conn& c = *it->second;
+      c.inflight--;
+      if (comp.status == WireStatus::kOk) {
+        respond(c, comp.seq, WireStatus::kOk, comp.rows, comp.logits.data(),
+                comp.logits.numel() * sizeof(float), /*submitted=*/true);
+      } else {
+        respond(c, comp.seq, comp.status, 0, nullptr, 0, /*submitted=*/true);
+      }
+      finish_if_done(c);
+    }
+  }
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    if (listening) {
+      ::epoll_ctl(ep, EPOLL_CTL_DEL, S.listen_fd_, nullptr);
+      ::close(S.listen_fd_);
+      S.listen_fd_ = -1;
+      listening = false;
+    }
+    for (auto& [id, c] : conns) {
+      if (c->dead) continue;
+      c->drop_input = true;
+      c->closing = true;
+      finish_if_done(*c);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NetServer
+// ---------------------------------------------------------------------------
+
+NetServer::NetServer(ModelServer& server, int listen_fd, NetServerConfig cfg)
+    : server_(server), cfg_(cfg), listen_fd_(listen_fd) {
+  ALF_CHECK(listen_fd >= 0) << "NetServer needs a listening socket";
+  port_ = local_port(listen_fd);
+  completions_ = std::make_shared<CompletionQueue>();
+  completions_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (completions_->event_fd < 0) {
+    ::close(listen_fd_);
+    throw_errno("eventfd");
+  }
+}
+
+NetServer::~NetServer() {
+  if (!ran_.load() && listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void NetServer::request_drain() {
+  drain_.store(true, std::memory_order_release);
+  completions_->poke();
+}
+
+NetStats NetServer::stats() const {
+  MutexLock lk(stats_m_);
+  return stats_;
+}
+
+void NetServer::run() {
+  ALF_CHECK(!ran_.exchange(true)) << "NetServer::run is one-shot";
+  ALF_CHECK(server_.started())
+      << "start() the ModelServer before serving sockets";
+  Loop loop(*this);
+  loop.run();
+}
+
+void NetServer::handle_frame(Loop& loop, Conn& conn, const RequestHeader& h,
+                             const char* name, const uint8_t* payload) {
+  const auto reject = [&](WireStatus st) {
+    loop.respond(conn, h.seq, st, 0, nullptr, 0, /*submitted=*/false);
+  };
+  if (drain_.load(std::memory_order_acquire)) {
+    reject(WireStatus::kShuttingDown);
+    return;
+  }
+  const std::string model(name, h.model_len);
+  const Plan* plan = nullptr;
+  try {
+    plan = &server_.plan(model);
+  } catch (const CheckError&) {
+    reject(WireStatus::kUnknownModel);
+    return;
+  }
+  if (h.rows == 0 || h.rows > plan->batch() ||
+      h.payload_bytes !=
+          static_cast<uint64_t>(h.rows) * plan->image_floats() *
+              sizeof(float)) {
+    reject(WireStatus::kBadShape);
+    return;
+  }
+  if (h.deadline_us == 0 || h.deadline_us > cfg_.max_deadline_us) {
+    reject(WireStatus::kBadDeadline);
+    return;
+  }
+  // Deadline propagation: the wire budget is measured from the client's
+  // send, best approximated by the first byte of the frame; what remains
+  // after time-on-wire is the server-side budget.
+  const uint64_t wire_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now_tp() - conn.frame_t0)
+          .count());
+  if (wire_us >= h.deadline_us) {
+    reject(WireStatus::kDeadlineExpired);
+    return;
+  }
+  Tensor x({h.rows, plan->in_c(), plan->in_h(), plan->in_w()});
+  std::memcpy(x.data(), payload, h.payload_bytes);
+  const auto cq = completions_;
+  const uint64_t cid = conn.id;
+  const uint64_t seq = h.seq;
+  const uint32_t rows = h.rows;
+  ModelServer::SubmitOptions opts;
+  opts.deadline_us = h.deadline_us - wire_us;
+  try {
+    server_.submit(
+        model, std::move(x),
+        [cq, cid, seq, rows](Tensor&& logits) {
+          cq->push({cid, seq, rows, WireStatus::kOk, std::move(logits)});
+        },
+        [cq, cid, seq, rows](std::exception_ptr ep) {
+          WireStatus st = WireStatus::kInternal;
+          try {
+            std::rethrow_exception(std::move(ep));
+          } catch (const QueueFullError&) {
+            st = WireStatus::kQueueFull;
+          } catch (const DeadlineExpiredError&) {
+            st = WireStatus::kDeadlineExpired;
+          } catch (...) {
+          }
+          cq->push({cid, seq, rows, st, Tensor()});
+        },
+        opts);
+  } catch (const QueueFullError&) {
+    reject(WireStatus::kQueueFull);
+    return;
+  } catch (const std::exception&) {
+    reject(WireStatus::kInternal);
+    return;
+  }
+  conn.inflight++;
+  MutexLock lk(stats_m_);
+  stats_.submitted++;
+}
+
+}  // namespace alf::net

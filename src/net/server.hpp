@@ -1,0 +1,143 @@
+// NetServer: the epoll TCP front end over ModelServer::submit — the wire
+// that turns the in-process multi-tenant server into a network service.
+//
+// One NetServer owns one listening socket and one edge-triggered epoll
+// event loop (run(), blocking; typically a dedicated thread or the whole
+// process). Connections are nonblocking with per-connection read/write
+// buffers; complete request frames (net/wire.hpp) are validated, routed to
+// the named model, and submitted to the ModelServer with the wire deadline
+// budget minus observed time-on-wire propagated into
+// SubmitOptions::deadline_us. Completions arrive on ModelServer worker
+// threads, get queued through an eventfd-signalled completion queue, and
+// the event loop serializes the response frames — all socket I/O happens
+// on the ONE loop thread, so connection state needs no locking.
+//
+// Drain (the SIGTERM path): request_drain() is async-signal-safe (an
+// atomic store plus an eventfd write). The loop then stops accepting
+// (closes the listen socket), stops parsing new frames on every
+// connection, waits for every submitted request to complete and every
+// response byte to flush, closes the connections, and run() returns. No
+// accepted (= submitted) request is dropped without a response frame:
+// after a drain, stats().submitted == stats().ok + stats().shed (+
+// stats().orphaned for clients that vanished mid-request).
+//
+// Process-level sharding: bind N listening sockets to the SAME port with
+// SO_REUSEPORT (listen_on(port, /*reuseport=*/true)) and give each to a
+// NetServer in its own process — the kernel hash-balances incoming
+// connections across the shards, and mmap-loaded plan blobs
+// (engine/plan_io.hpp) keep one physical copy of the weights across all
+// of them. tools/alf_served.cpp packages exactly this.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
+#include "net/wire.hpp"
+#include "serve/model_server.hpp"
+
+namespace alf::net {
+
+/// Syscall-level failure (socket/bind/listen/epoll/eventfd); carries
+/// errno text. Protocol-level rejections are WireStatus, not exceptions.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Creates a nonblocking TCP listening socket on 127.0.0.1-any:`port`
+/// (0 = ephemeral; read it back with local_port). With `reuseport`,
+/// SO_REUSEPORT is set before bind so N sockets — typically one per
+/// process shard — can share the port. Throws NetError on failure.
+int listen_on(uint16_t port, bool reuseport = false, int backlog = 128);
+
+/// The bound port of a listening socket (resolves port 0). Throws
+/// NetError.
+uint16_t local_port(int fd);
+
+struct NetServerConfig {
+  /// Hard per-frame payload cap; a header claiming more is kTooLarge and
+  /// fatal to the connection (the server refuses to buffer it).
+  uint64_t max_frame_bytes = 16ull << 20;
+  /// Upper bound on deadline_us (protocol default: kMaxDeadlineUs).
+  uint64_t max_deadline_us = kMaxDeadlineUs;
+};
+
+/// Event-loop counters. by_status[s] counts every response frame sent
+/// with that status; the drain identity is
+///   submitted == ok + shed + orphaned.
+struct NetStats {
+  uint64_t connections = 0;  ///< accepted connections
+  uint64_t frames = 0;       ///< complete request frames parsed
+  uint64_t submitted = 0;    ///< frames accepted into the ModelServer
+  uint64_t ok = 0;           ///< kOk responses for submitted frames
+  uint64_t shed = 0;         ///< error responses for submitted frames
+                             ///< (drop-oldest, deadline, internal)
+  uint64_t rejected = 0;     ///< error responses for never-submitted frames
+  uint64_t orphaned = 0;     ///< completions whose connection had closed
+  uint64_t truncated = 0;    ///< connections that died mid-frame
+  std::array<uint64_t, kNumStatus> by_status{};
+
+  uint64_t responses() const { return ok + shed + rejected; }
+};
+
+class NetServer {
+ public:
+  /// Takes ownership of `listen_fd` (a socket from listen_on; already
+  /// listening, possibly shared via SO_REUSEPORT). `server` must be
+  /// started and outlive the NetServer. Throws NetError on epoll/eventfd
+  /// setup failure.
+  NetServer(ModelServer& server, int listen_fd, NetServerConfig cfg = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Runs the event loop on the calling thread until a drain completes.
+  /// Call at most once.
+  void run();
+
+  /// Initiates graceful drain; run() returns once every submitted request
+  /// has been answered and flushed. Async-signal-safe (atomic store +
+  /// eventfd write) — safe to call from a SIGTERM handler — and safe to
+  /// call from any thread, repeatedly.
+  void request_drain();
+
+  bool draining() const { return drain_.load(std::memory_order_acquire); }
+
+  /// Coherent snapshot (counters are mutated only by the loop thread,
+  /// under the same mutex the copy takes).
+  NetStats stats() const;
+
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Conn;
+  struct Completion;
+  struct CompletionQueue;
+  struct Loop;  ///< epoll/connection state, alive only inside run()
+
+  void handle_frame(Loop& loop, Conn& conn, const RequestHeader& hdr,
+                    const char* name, const uint8_t* payload);
+
+  ModelServer& server_;
+  NetServerConfig cfg_;
+  int listen_fd_;
+  uint16_t port_ = 0;
+  std::atomic<bool> drain_{false};
+  std::atomic<bool> ran_{false};
+  /// Shared with in-flight ModelServer callbacks: they only touch the
+  /// queue, so a callback completing after run() returned (it cannot
+  /// after a drain, by the drain identity — but belt and braces) never
+  /// dereferences the server.
+  std::shared_ptr<CompletionQueue> completions_;
+
+  mutable Mutex stats_m_;
+  NetStats stats_ ALF_GUARDED_BY(stats_m_);
+};
+
+}  // namespace alf::net

@@ -1,0 +1,37 @@
+#include "net/wire.hpp"
+
+namespace alf::net {
+
+const char* status_name(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kBadMagic: return "bad_magic";
+    case WireStatus::kBadVersion: return "bad_version";
+    case WireStatus::kBadHeader: return "bad_header";
+    case WireStatus::kTooLarge: return "too_large";
+    case WireStatus::kUnknownModel: return "unknown_model";
+    case WireStatus::kBadShape: return "bad_shape";
+    case WireStatus::kBadDeadline: return "bad_deadline";
+    case WireStatus::kQueueFull: return "queue_full";
+    case WireStatus::kDeadlineExpired: return "deadline_expired";
+    case WireStatus::kShuttingDown: return "shutting_down";
+    case WireStatus::kInternal: return "internal";
+    case WireStatus::kTruncated: return "truncated";
+  }
+  return "unknown";
+}
+
+bool status_closes_connection(WireStatus s) {
+  switch (s) {
+    case WireStatus::kBadMagic:
+    case WireStatus::kBadVersion:
+    case WireStatus::kBadHeader:
+    case WireStatus::kTooLarge:
+    case WireStatus::kTruncated:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace alf::net

@@ -1,0 +1,133 @@
+// Wire protocol of the TCP serving front end (src/net/server.hpp):
+// length-prefixed little-endian binary frames over a byte stream.
+//
+// Request frame:
+//
+//   RequestHeader (40 B, layout below)
+//   model name    (header.model_len bytes, NOT NUL-terminated)
+//   payload       (header.payload_bytes bytes: `rows` NCHW float32 images,
+//                  exactly rows * image_floats * 4 bytes for the model)
+//
+// Response frame:
+//
+//   ResponseHeader (32 B)
+//   payload        (kOk: rows * classes float32 logits; any error status:
+//                   a short human-readable message, safe to ignore)
+//
+// `seq` is chosen by the client and echoed verbatim in the response, so a
+// client may pipeline any number of requests per connection; responses to
+// DIFFERENT models can complete out of order.
+//
+// `deadline_us` is the client's latency budget measured from the moment it
+// sends the frame. It is mandatory: 0 and anything above kMaxDeadlineUs
+// are rejected as kBadDeadline (a serving tier without per-request budgets
+// cannot shed honestly under overload). The server propagates the budget
+// minus observed time-on-wire (first byte of the frame to full receipt)
+// into ModelServer::SubmitOptions::deadline_us; a request still queued
+// when the remaining budget runs out comes back as kDeadlineExpired.
+//
+// Reject codes are typed (WireStatus, mirroring the PlanIoError style of
+// engine/plan_io.hpp) and split into two classes, per
+// status_closes_connection():
+//
+//   frame-level errors    connection survives; the offending frame is
+//                         consumed and answered with an error frame
+//                         (kUnknownModel, kBadShape, kBadDeadline,
+//                         kQueueFull, kDeadlineExpired, kShuttingDown)
+//   framing-fatal errors  the byte stream can no longer be trusted (or is
+//                         hostile); the server answers with an error frame
+//                         and closes after flushing in-flight responses
+//                         (kBadMagic, kBadVersion, kBadHeader, kTooLarge)
+//
+// kTruncated never travels on the wire: it counts connections that died
+// mid-frame (EOF with a partial header or payload buffered) in NetStats.
+//
+// All integers are little-endian; the header structs below are packed PODs
+// with no padding (statically asserted), memcpy'd to and from the stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace alf::net {
+
+/// "ALFN" as the first four bytes on the wire (little-endian u32).
+constexpr uint32_t kMagic = 0x4E464C41u;
+constexpr uint16_t kWireVersion = 1;
+/// Longest accepted model name; longer model_len fields are kBadHeader.
+constexpr size_t kMaxModelName = 64;
+/// Largest accepted deadline_us (10 minutes); anything above is absurd for
+/// an inference request and rejected as kBadDeadline, like 0.
+constexpr uint64_t kMaxDeadlineUs = 600ull * 1000 * 1000;
+
+/// Typed verdict of one frame (and of the connection carrying it).
+enum class WireStatus : uint16_t {
+  kOk = 0,
+  kBadMagic = 1,         ///< not an ALFN frame (fatal)
+  kBadVersion = 2,       ///< protocol version mismatch (fatal)
+  kBadHeader = 3,        ///< header structurally broken, e.g. model_len
+                         ///< 0 or > kMaxModelName (fatal)
+  kTooLarge = 4,         ///< payload_bytes above the server cap (fatal)
+  kUnknownModel = 5,     ///< no such model hosted
+  kBadShape = 6,         ///< rows/payload_bytes inconsistent with the model
+  kBadDeadline = 7,      ///< deadline_us zero or above kMaxDeadlineUs
+  kQueueFull = 8,        ///< admission control rejected or shed the request
+  kDeadlineExpired = 9,  ///< budget ran out (on the wire or in the queue)
+  kShuttingDown = 10,    ///< server is draining; request was not accepted
+  kInternal = 11,        ///< unexpected server-side failure
+  kTruncated = 12,       ///< stats-only: connection died mid-frame
+};
+constexpr size_t kNumStatus = 13;
+
+/// Short stable name ("ok", "bad_magic", ...) for logs and error payloads.
+const char* status_name(WireStatus s);
+
+/// True for the framing-fatal class: the server closes the connection
+/// after sending the error frame and flushing in-flight responses.
+bool status_closes_connection(WireStatus s);
+
+/// On-wire request header. Packed POD, no padding; all fields LE.
+struct RequestHeader {
+  uint32_t magic;          ///< kMagic
+  uint16_t version;        ///< kWireVersion
+  uint16_t model_len;      ///< 1..kMaxModelName name bytes follow
+  uint32_t rows;           ///< images in the payload, 1..Plan::batch()
+  uint32_t reserved;       ///< must-ignore (send 0)
+  uint64_t seq;            ///< client-chosen, echoed in the response
+  uint64_t deadline_us;    ///< latency budget from client send; mandatory
+  uint64_t payload_bytes;  ///< rows * image_floats * 4
+};
+static_assert(sizeof(RequestHeader) == 40, "packed layout is the protocol");
+
+/// On-wire response header. Packed POD, no padding; all fields LE.
+struct ResponseHeader {
+  uint32_t magic;          ///< kMagic
+  uint16_t version;        ///< kWireVersion
+  uint16_t status;         ///< WireStatus
+  uint32_t rows;           ///< logit rows in the payload (kOk only)
+  uint32_t reserved;       ///< must-ignore (sent 0)
+  uint64_t seq;            ///< echo of the request's seq
+  uint64_t payload_bytes;  ///< logits (kOk) or message bytes (errors)
+};
+static_assert(sizeof(ResponseHeader) == 32, "packed layout is the protocol");
+
+/// Typed wire rejection, thrown by client-side helpers when the peer
+/// answers with an error status or violates the framing itself — the
+/// PlanIoError idiom applied to the socket: status() tells a caller apart
+/// "my request was bad" (kBadShape, kUnknownModel) from "the server is
+/// overloaded or going away" (kQueueFull, kDeadlineExpired,
+/// kShuttingDown).
+class WireError : public std::runtime_error {
+ public:
+  WireError(WireStatus status, const std::string& what)
+      : std::runtime_error("wire: " + what), status_(status) {}
+
+  WireStatus status() const { return status_; }
+
+ private:
+  WireStatus status_;
+};
+
+}  // namespace alf::net

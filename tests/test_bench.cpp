@@ -124,5 +124,27 @@ TEST(Percentile, RejectsEmptySamplesAndBadP) {
   EXPECT_THROW(percentile({1.0}, 1.1), CheckError);
 }
 
+TEST(Percentile, P999CollapsesToP99OnSmallSamples) {
+  // Nearest rank: ceil(0.99 n) == ceil(0.999 n) for every n <= 99, so a
+  // small latency sample CANNOT resolve p99.9 — it merely repeats p99.
+  // Guard the identity so reporting both on small runs (serve,
+  // serve_latency) stays honest rather than silently fabricating a tail.
+  std::vector<double> v;
+  for (int n = 1; n <= 99; ++n) {
+    v.push_back(n);  // v = 1..n
+    EXPECT_DOUBLE_EQ(percentile(v, 0.99), percentile(v, 0.999)) << "n=" << n;
+  }
+  // n = 100 is the first sample size where the two ranks separate:
+  // ceil(99.0) = 99 but ceil(99.9) = 100.
+  v.push_back(100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.999), 100.0);
+  // And with n = 1000 they are a full order of tail apart.
+  std::vector<double> big;
+  for (int i = 1; i <= 1000; ++i) big.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(big, 0.99), 990.0);
+  EXPECT_DOUBLE_EQ(percentile(big, 0.999), 999.0);
+}
+
 }  // namespace
 }  // namespace alf::bench
